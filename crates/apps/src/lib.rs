@@ -1,0 +1,22 @@
+//! # jitise-apps — the 14 benchmark applications
+//!
+//! The paper's evaluation suite (§IV): ten scientific applications from
+//! SPEC2000/SPEC2006 and four embedded applications from MiBench/SciMark2.
+//!
+//! * [`profile`] — the published Table I/II data for every application
+//!   (the calibration source and the "paper" column of every reproduced
+//!   table).
+//! * [`embedded`] — `adpcm`, `fft`, `sor`, `whetstone` as hand-written IR
+//!   kernels (real algorithms).
+//! * [`synth`] — the shape-calibrated synthetic generator standing in for
+//!   the SPEC applications (see DESIGN.md §1).
+//! * [`app`] — the [`app::App`] bundle: module + datasets + VM model, and
+//!   the registry ([`app::App::build`], [`app::App::all`]).
+
+pub mod app;
+pub mod embedded;
+pub mod profile;
+pub mod synth;
+
+pub use app::{App, Dataset};
+pub use profile::{embedded_names, paper_profile, scientific_names, AppProfile, Domain, PAPER_APPS};

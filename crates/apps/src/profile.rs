@@ -1,0 +1,593 @@
+//! Published per-application data from the paper (Tables I and II).
+//!
+//! These records serve two purposes: they parameterize the synthetic
+//! application generator (so each generated app matches its original's
+//! shape), and they are the "paper" column in every table reproduction in
+//! `EXPERIMENTS.md`.
+
+/// Application domain, deciding which half of Tables I/II a row lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// SPEC2006 / SPEC2000 ("scientific" in the paper).
+    Scientific,
+    /// MiBench / SciMark2 ("embedded").
+    Embedded,
+}
+
+/// One application's published characteristics.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Benchmark name (paper row label).
+    pub name: &'static str,
+    /// Domain.
+    pub domain: Domain,
+    /// Source files (Table I `files`).
+    pub files: u32,
+    /// Lines of code (Table I `LOC`).
+    pub loc: u32,
+    /// Compile-to-bitcode seconds (Table I `real [s]`).
+    pub compile_s: f64,
+    /// Basic blocks (Table I `blk`).
+    pub blocks: u32,
+    /// Bitcode instructions (Table I `ins`).
+    pub insts: u32,
+    /// VM runtime seconds (Table I `VM`).
+    pub vm_s: f64,
+    /// Native runtime seconds (Table I `Native`).
+    pub native_s: f64,
+    /// VM/native ratio (Table I `Ratio`).
+    pub vm_ratio: f64,
+    /// Upper-bound ASIP speedup, all candidates implemented (Table I
+    /// `ASIP Ratio`).
+    pub asip_ratio_max: f64,
+    /// Live code fraction (Table I `live` %, as 0–1).
+    pub live: f64,
+    /// Dead code fraction.
+    pub dead: f64,
+    /// Constant code fraction.
+    pub const_: f64,
+    /// Kernel size as fraction of instructions (Table I `size` %).
+    pub kernel_size: f64,
+    /// Kernel coverage of execution time (Table I `freq` %).
+    pub kernel_freq: f64,
+    // ---- Table II ----
+    /// Candidate-search real time (ms).
+    pub search_ms: f64,
+    /// Pruning efficiency.
+    pub prune_efficiency: f64,
+    /// Blocks surviving @50pS3L.
+    pub pruned_blocks: u32,
+    /// Instructions in surviving blocks.
+    pub pruned_insts: u32,
+    /// Candidates selected.
+    pub candidates: u32,
+    /// ASIP speedup with pruned selection (Table II `ratio`).
+    pub asip_ratio_pruned: f64,
+    /// Constant CAD overhead, minutes:seconds as seconds (Table II `const`).
+    pub const_overhead_s: u64,
+    /// Mapping time (Table II `map`), seconds.
+    pub map_s: u64,
+    /// Place-and-route time (Table II `par`), seconds.
+    pub par_s: u64,
+    /// Total overhead (Table II `sum`), seconds.
+    pub sum_s: u64,
+    /// Break-even time in seconds (Table II last column).
+    pub break_even_s: u64,
+}
+
+const fn dhms(d: u64, h: u64, m: u64, s: u64) -> u64 {
+    ((d * 24 + h) * 60 + m) * 60 + s
+}
+
+const fn ms(m: u64, s: u64) -> u64 {
+    m * 60 + s
+}
+
+/// All 14 applications of the evaluation, paper values transcribed from
+/// Tables I and II.
+pub const PAPER_APPS: &[AppProfile] = &[
+    AppProfile {
+        name: "164.gzip",
+        domain: Domain::Scientific,
+        files: 20,
+        loc: 8605,
+        compile_s: 3.89,
+        blocks: 1006,
+        insts: 6925,
+        vm_s: 23.71,
+        native_s: 18.47,
+        vm_ratio: 1.28,
+        asip_ratio_max: 1.17,
+        live: 0.3886,
+        dead: 0.4466,
+        const_: 0.1648,
+        kernel_size: 0.0452,
+        kernel_freq: 0.9105,
+        search_ms: 1.44,
+        prune_efficiency: 71.79,
+        pruned_blocks: 2,
+        pruned_insts: 100,
+        candidates: 19,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(56, 22),
+        map_s: ms(13, 2),
+        par_s: ms(18, 28),
+        sum_s: ms(87, 52),
+        break_even_s: dhms(206, 22, 15, 50),
+    },
+    AppProfile {
+        name: "179.art",
+        domain: Domain::Scientific,
+        files: 1,
+        loc: 1270,
+        compile_s: 1.06,
+        blocks: 376,
+        insts: 2164,
+        vm_s: 69.92,
+        native_s: 74.70,
+        vm_ratio: 0.94,
+        asip_ratio_max: 1.46,
+        live: 0.4205,
+        dead: 0.2847,
+        const_: 0.2948,
+        kernel_size: 0.0504,
+        kernel_freq: 0.9163,
+        search_ms: 1.05,
+        prune_efficiency: 23.37,
+        pruned_blocks: 3,
+        pruned_insts: 79,
+        candidates: 9,
+        asip_ratio_pruned: 1.01,
+        const_overhead_s: ms(26, 42),
+        map_s: ms(8, 58),
+        par_s: ms(13, 20),
+        sum_s: ms(49, 0),
+        break_even_s: dhms(1, 12, 18, 13),
+    },
+    AppProfile {
+        name: "183.equake",
+        domain: Domain::Scientific,
+        files: 1,
+        loc: 1513,
+        compile_s: 1.71,
+        blocks: 257,
+        insts: 2670,
+        vm_s: 7.97,
+        native_s: 6.79,
+        vm_ratio: 1.17,
+        asip_ratio_max: 2.08,
+        live: 0.7539,
+        dead: 0.0891,
+        const_: 0.1569,
+        kernel_size: 0.1532,
+        kernel_freq: 0.948,
+        search_ms: 2.25,
+        prune_efficiency: 8.33,
+        pruned_blocks: 2,
+        pruned_insts: 244,
+        candidates: 11,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(32, 38),
+        map_s: ms(7, 56),
+        par_s: ms(16, 12),
+        sum_s: ms(56, 46),
+        break_even_s: dhms(259, 2, 28, 33),
+    },
+    AppProfile {
+        name: "188.ammp",
+        domain: Domain::Scientific,
+        files: 31,
+        loc: 13483,
+        compile_s: 10.10,
+        blocks: 4244,
+        insts: 26647,
+        vm_s: 23.18,
+        native_s: 17.24,
+        vm_ratio: 1.34,
+        asip_ratio_max: 3.44,
+        live: 0.1922,
+        dead: 0.7089,
+        const_: 0.0989,
+        kernel_size: 0.0343,
+        kernel_freq: 0.9579,
+        search_ms: 3.27,
+        prune_efficiency: 52.29,
+        pruned_blocks: 1,
+        pruned_insts: 382,
+        candidates: 92,
+        asip_ratio_pruned: 1.41,
+        const_overhead_s: ms(272, 58),
+        map_s: ms(102, 12),
+        par_s: ms(142, 49),
+        sum_s: ms(517, 59),
+        break_even_s: dhms(0, 14, 56, 39),
+    },
+    AppProfile {
+        name: "429.mcf",
+        domain: Domain::Scientific,
+        files: 25,
+        loc: 2685,
+        compile_s: 0.97,
+        blocks: 284,
+        insts: 1917,
+        vm_s: 23.94,
+        native_s: 24.06,
+        vm_ratio: 1.00,
+        asip_ratio_max: 1.08,
+        live: 0.759,
+        dead: 0.1309,
+        const_: 0.1101,
+        kernel_size: 0.2034,
+        kernel_freq: 0.9418,
+        search_ms: 1.05,
+        prune_efficiency: 28.2,
+        pruned_blocks: 1,
+        pruned_insts: 77,
+        candidates: 5,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(14, 50),
+        map_s: ms(4, 6),
+        par_s: ms(7, 48),
+        sum_s: ms(26, 44),
+        break_even_s: dhms(213, 20, 5, 55),
+    },
+    AppProfile {
+        name: "433.milc",
+        domain: Domain::Scientific,
+        files: 89,
+        loc: 15042,
+        compile_s: 10.88,
+        blocks: 1538,
+        insts: 14260,
+        vm_s: 20.95,
+        native_s: 16.43,
+        vm_ratio: 1.28,
+        asip_ratio_max: 1.26,
+        live: 0.6167,
+        dead: 0.3472,
+        const_: 0.0361,
+        kernel_size: 0.1083,
+        kernel_freq: 0.9347,
+        search_ms: 6.6,
+        prune_efficiency: 26.71,
+        pruned_blocks: 2,
+        pruned_insts: 673,
+        candidates: 9,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(26, 42),
+        map_s: ms(6, 44),
+        par_s: ms(15, 8),
+        sum_s: ms(48, 34),
+        break_even_s: dhms(568, 6, 8, 5),
+    },
+    AppProfile {
+        name: "444.namd",
+        domain: Domain::Scientific,
+        files: 32,
+        loc: 5315,
+        compile_s: 22.77,
+        blocks: 5147,
+        insts: 47534,
+        vm_s: 39.94,
+        native_s: 34.31,
+        vm_ratio: 1.16,
+        asip_ratio_max: 1.61,
+        live: 0.3171,
+        dead: 0.6281,
+        const_: 0.0548,
+        kernel_size: 0.0733,
+        kernel_freq: 0.9359,
+        search_ms: 7.68,
+        prune_efficiency: 57.43,
+        pruned_blocks: 3,
+        pruned_insts: 776,
+        candidates: 129,
+        asip_ratio_pruned: 1.03,
+        const_overhead_s: ms(382, 45),
+        map_s: ms(117, 24),
+        par_s: ms(178, 4),
+        sum_s: ms(678, 13),
+        break_even_s: dhms(6, 16, 0, 48),
+    },
+    AppProfile {
+        name: "458.sjeng",
+        domain: Domain::Scientific,
+        files: 23,
+        loc: 13847,
+        compile_s: 8.49,
+        blocks: 3373,
+        insts: 20531,
+        vm_s: 180.41,
+        native_s: 155.66,
+        vm_ratio: 1.16,
+        asip_ratio_max: 1.13,
+        live: 0.4849,
+        dead: 0.4944,
+        const_: 0.0207,
+        kernel_size: 0.4622,
+        kernel_freq: 1.0,
+        search_ms: 1.8,
+        prune_efficiency: 184.11,
+        pruned_blocks: 3,
+        pruned_insts: 121,
+        candidates: 8,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(23, 44),
+        map_s: ms(6, 56),
+        par_s: ms(12, 58),
+        sum_s: ms(43, 38),
+        break_even_s: dhms(2403, 1, 35, 57),
+    },
+    AppProfile {
+        name: "470.lbm",
+        domain: Domain::Scientific,
+        files: 6,
+        loc: 1155,
+        compile_s: 1.36,
+        blocks: 104,
+        insts: 1988,
+        vm_s: 5.68,
+        native_s: 5.36,
+        vm_ratio: 1.06,
+        asip_ratio_max: 2.61,
+        live: 0.5523,
+        dead: 0.249,
+        const_: 0.1987,
+        kernel_size: 0.2938,
+        kernel_freq: 0.9312,
+        search_ms: 10.62,
+        prune_efficiency: 2.43,
+        pruned_blocks: 3,
+        pruned_insts: 961,
+        candidates: 179,
+        asip_ratio_pruned: 2.53,
+        const_overhead_s: ms(531, 7),
+        map_s: ms(181, 51),
+        par_s: ms(308, 24),
+        sum_s: ms(1021, 22),
+        break_even_s: dhms(1, 3, 29, 48),
+    },
+    AppProfile {
+        name: "473.astar",
+        domain: Domain::Scientific,
+        files: 19,
+        loc: 5829,
+        compile_s: 3.68,
+        blocks: 757,
+        insts: 6010,
+        vm_s: 66.00,
+        native_s: 67.68,
+        vm_ratio: 0.98,
+        asip_ratio_max: 1.21,
+        live: 0.7879,
+        dead: 0.0531,
+        const_: 0.1591,
+        kernel_size: 0.083,
+        kernel_freq: 0.9411,
+        search_ms: 2.25,
+        prune_efficiency: 38.2,
+        pruned_blocks: 3,
+        pruned_insts: 184,
+        candidates: 33,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(97, 54),
+        map_s: ms(29, 46),
+        par_s: ms(46, 59),
+        sum_s: ms(174, 39),
+        break_even_s: dhms(5149, 2, 19, 14),
+    },
+    AppProfile {
+        name: "adpcm",
+        domain: Domain::Embedded,
+        files: 6,
+        loc: 448,
+        compile_s: 0.29,
+        blocks: 43,
+        insts: 305,
+        vm_s: 29.22,
+        native_s: 28.35,
+        vm_ratio: 1.03,
+        asip_ratio_max: 1.21,
+        live: 0.8541,
+        dead: 0.0129,
+        const_: 0.133,
+        kernel_size: 0.3992,
+        kernel_freq: 0.9178,
+        search_ms: 0.84,
+        prune_efficiency: 5.59,
+        pruned_blocks: 2,
+        pruned_insts: 61,
+        candidates: 8,
+        asip_ratio_pruned: 1.08,
+        const_overhead_s: ms(23, 44),
+        map_s: ms(6, 0),
+        par_s: ms(10, 34),
+        sum_s: ms(40, 18),
+        break_even_s: dhms(0, 4, 34, 10),
+    },
+    AppProfile {
+        name: "fft",
+        domain: Domain::Embedded,
+        files: 3,
+        loc: 187,
+        compile_s: 0.26,
+        blocks: 47,
+        insts: 304,
+        vm_s: 18.47,
+        native_s: 18.49,
+        vm_ratio: 1.00,
+        asip_ratio_max: 2.94,
+        live: 0.6061,
+        dead: 0.2458,
+        const_: 0.1481,
+        kernel_size: 0.4558,
+        kernel_freq: 0.9756,
+        search_ms: 0.78,
+        prune_efficiency: 3.78,
+        pruned_blocks: 2,
+        pruned_insts: 75,
+        candidates: 14,
+        asip_ratio_pruned: 2.40,
+        const_overhead_s: ms(41, 32),
+        map_s: ms(11, 44),
+        par_s: ms(20, 56),
+        sum_s: ms(74, 12),
+        break_even_s: dhms(0, 1, 53, 7),
+    },
+    AppProfile {
+        name: "sor",
+        domain: Domain::Embedded,
+        files: 3,
+        loc: 74,
+        compile_s: 0.13,
+        blocks: 19,
+        insts: 129,
+        vm_s: 15.83,
+        native_s: 15.85,
+        vm_ratio: 1.00,
+        asip_ratio_max: 6.93,
+        live: 0.6364,
+        dead: 0.0909,
+        const_: 0.2727,
+        kernel_size: 0.10,
+        kernel_freq: 0.9999,
+        search_ms: 0.24,
+        prune_efficiency: 2.21,
+        pruned_blocks: 1,
+        pruned_insts: 22,
+        candidates: 2,
+        asip_ratio_pruned: 1.00,
+        const_overhead_s: ms(5, 56),
+        map_s: ms(4, 48),
+        par_s: ms(10, 12),
+        sum_s: ms(20, 56),
+        break_even_s: dhms(0, 0, 24, 19),
+    },
+    AppProfile {
+        name: "whetstone",
+        domain: Domain::Embedded,
+        files: 1,
+        loc: 442,
+        compile_s: 0.25,
+        blocks: 44,
+        insts: 284,
+        vm_s: 28.66,
+        native_s: 28.50,
+        vm_ratio: 1.01,
+        asip_ratio_max: 17.78,
+        live: 0.3474,
+        dead: 0.2632,
+        const_: 0.3895,
+        kernel_size: 0.0954,
+        kernel_freq: 0.9327,
+        search_ms: 0.54,
+        prune_efficiency: 7.7,
+        pruned_blocks: 2,
+        pruned_insts: 49,
+        candidates: 9,
+        asip_ratio_pruned: 15.43,
+        const_overhead_s: ms(26, 42),
+        map_s: ms(11, 34),
+        par_s: ms(25, 52),
+        sum_s: ms(64, 8),
+        break_even_s: dhms(0, 1, 8, 4),
+    },
+];
+
+/// Looks up a paper profile by name.
+pub fn paper_profile(name: &str) -> Option<&'static AppProfile> {
+    PAPER_APPS.iter().find(|p| p.name == name)
+}
+
+/// Names of the scientific apps, in table order.
+pub fn scientific_names() -> Vec<&'static str> {
+    PAPER_APPS
+        .iter()
+        .filter(|p| p.domain == Domain::Scientific)
+        .map(|p| p.name)
+        .collect()
+}
+
+/// Names of the embedded apps, in table order.
+pub fn embedded_names() -> Vec<&'static str> {
+    PAPER_APPS
+        .iter()
+        .filter(|p| p.domain == Domain::Embedded)
+        .map(|p| p.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_apps_ten_plus_four() {
+        assert_eq!(PAPER_APPS.len(), 14);
+        assert_eq!(scientific_names().len(), 10);
+        assert_eq!(embedded_names().len(), 4);
+    }
+
+    #[test]
+    fn coverage_fractions_sum_to_one() {
+        for p in PAPER_APPS {
+            let sum = p.live + p.dead + p.const_;
+            assert!(
+                (sum - 1.0).abs() < 0.01,
+                "{}: coverage sums to {sum}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn vm_ratio_consistent_with_times() {
+        for p in PAPER_APPS {
+            let ratio = p.vm_s / p.native_s;
+            assert!(
+                (ratio - p.vm_ratio).abs() < 0.02,
+                "{}: ratio {} vs column {}",
+                p.name,
+                ratio,
+                p.vm_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn sum_column_is_const_plus_map_plus_par() {
+        for p in PAPER_APPS {
+            let sum = p.const_overhead_s + p.map_s + p.par_s;
+            assert_eq!(sum, p.sum_s, "{}: overhead sum mismatch", p.name);
+        }
+    }
+
+    #[test]
+    fn paper_averages_match_avg_rows() {
+        // AVG-E sum column: 49:53 = 2993 s.
+        let emb: Vec<_> = PAPER_APPS
+            .iter()
+            .filter(|p| p.domain == Domain::Embedded)
+            .collect();
+        let avg_sum: f64 = emb.iter().map(|p| p.sum_s as f64).sum::<f64>() / emb.len() as f64;
+        assert!((avg_sum - (49.0 * 60.0 + 53.0)).abs() < 2.0, "AVG-E sum {avg_sum}");
+        // AVG-E ASIP pruned ratio 4.98.
+        let avg_ratio: f64 =
+            emb.iter().map(|p| p.asip_ratio_pruned).sum::<f64>() / emb.len() as f64;
+        assert!((avg_ratio - 4.98).abs() < 0.01);
+        // AVG-S max ASIP ratio 1.71.
+        let sci: Vec<_> = PAPER_APPS
+            .iter()
+            .filter(|p| p.domain == Domain::Scientific)
+            .collect();
+        let avg_max: f64 = sci.iter().map(|p| p.asip_ratio_max).sum::<f64>() / sci.len() as f64;
+        assert!((avg_max - 1.705).abs() < 0.01, "AVG-S max {avg_max}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(paper_profile("470.lbm").is_some());
+        assert_eq!(paper_profile("470.lbm").unwrap().candidates, 179);
+        assert!(paper_profile("never-heard-of-it").is_none());
+    }
+}

@@ -1,0 +1,433 @@
+//! Synthetic scientific applications.
+//!
+//! The paper evaluates ten SPEC2000/SPEC2006 applications. Their sources
+//! and data sets cannot be redistributed, so each is reproduced as a
+//! *shape-calibrated synthetic program* (see DESIGN.md §1): the generator
+//! reads the application's published profile (Table I/II) and emits a
+//! module with
+//!
+//! * the same basic-block and instruction totals,
+//! * the same live/dead/constant instruction split (by construction:
+//!   sections whose execution frequency varies with / is independent of /
+//!   never reaches the input),
+//! * a hot kernel whose largest blocks match the post-pruning `blk`/`ins`
+//!   columns, subdivided into candidate-sized arithmetic segments between
+//!   hardware-infeasible memory operations (reproducing the paper's ~7
+//!   instructions-per-candidate observation and its cause, §V-D),
+//! * an operator mix (integer vs float vs memory) steering the achievable
+//!   ASIP speedup toward the app's published ratio.
+//!
+//! Everything is deterministic per application name.
+
+use crate::app::{App, Dataset};
+use crate::profile::AppProfile;
+use jitise_base::hash::SigHasher;
+use jitise_base::rng::SplitMix64;
+use jitise_ir::{FunctionBuilder, Global, GlobalId, Module, Operand as Op, Type};
+use jitise_vm::exec_model::ExecModel;
+use jitise_vm::Value;
+
+/// Per-app generation knobs not derivable from the paper tables.
+struct Knobs {
+    /// Fraction of float operations in hot-segment arithmetic.
+    hot_float: f64,
+    /// Arithmetic-segment length between forbidden ops in hot blocks
+    /// (controls candidate size ≈ this, and candidate count ≈
+    /// pruned_insts / (seg + 2)).
+    seg_len: u32,
+    /// Inner iterations of the kernel loop per outer iteration.
+    hot_iters: i32,
+    /// Fraction of multiplies among integer arithmetic (profitability).
+    int_mul: f64,
+}
+
+fn knobs(p: &AppProfile) -> Knobs {
+    // seg chosen so pruned_insts / (seg_len + overhead) ≈ candidates.
+    let seg = if p.candidates > 0 {
+        ((p.pruned_insts as f64 / p.candidates as f64) - 2.0)
+            .round()
+            .clamp(3.0, 24.0) as u32
+    } else {
+        7
+    };
+    // (hot_float, int_mul): the operator-mix pair steering per-app
+    // profitability toward the paper's pruned ASIP ratios — lbm/ammp are
+    // the only scientific apps with visible speedups (2.53 / 1.41); the
+    // integer SPEC codes sit at ≈ 1.00 because their candidates are mostly
+    // marginal (cheap single-cycle ALU ops).
+    // Values fit against the measured transfer curve ratio ≈
+    // 1/(1 - 40f/(40f + 3.8)) so each app's pruned ASIP ratio lands near
+    // its Table II value (lbm 2.53, ammp 1.41, namd 1.03, rest ≈ 1.0x).
+    let (hot_float, int_mul) = match p.name {
+        "470.lbm" => (0.14, 0.10),
+        "188.ammp" => (0.045, 0.10),
+        "444.namd" => (0.008, 0.10),
+        "183.equake" => (0.006, 0.10),
+        "433.milc" => (0.005, 0.10),
+        "179.art" => (0.008, 0.10),
+        _ => (0.0, 0.08), // gzip, mcf, sjeng, astar: integer codes
+    };
+    Knobs {
+        hot_float,
+        seg_len: seg,
+        hot_iters: 260,
+        int_mul,
+    }
+}
+
+/// Deterministic seed from the app name.
+fn seed_of(name: &str) -> u64 {
+    let mut h = SigHasher::new();
+    h.write_str(name);
+    h.finish()
+}
+
+/// Emits one straight-line block body of `size` instructions into the
+/// current block: arithmetic segments of `seg_len` separated by
+/// loads/stores to the data globals (the hardware-infeasible breakers).
+/// Returns the final integer value for checksum chaining.
+#[allow(clippy::too_many_arguments)]
+fn emit_body(
+    b: &mut FunctionBuilder,
+    rng: &mut SplitMix64,
+    size: u32,
+    seg_len: u32,
+    float_frac: f64,
+    int_mul: f64,
+    int_data: GlobalId,
+    float_data: GlobalId,
+    seed_val: Op,
+) -> Op {
+    let int_base = b.global_addr(int_data);
+    let float_base = b.global_addr(float_data);
+    let mut emitted = 2u32;
+    let mut v = seed_val; // running int value
+    let mut w: Option<Op> = None; // running float value
+    let mut slot = 0i32;
+
+    while emitted < size {
+        // One arithmetic segment.
+        let is_float_seg = rng.next_f64() < float_frac;
+        let this_seg = seg_len.min(size - emitted);
+        if is_float_seg {
+            // Load a float seed if none live.
+            let mut cur = match w {
+                Some(x) => x,
+                None => {
+                    let p = b.gep(float_base, Op::ci32(slot & 63), 8);
+                    emitted += 2;
+                    slot += 1;
+                    b.load(Type::F64, p)
+                }
+            };
+            for k in 0..this_seg {
+                cur = match rng.next_index(4) {
+                    0 => b.fmul(cur, Op::cf64(0.995)),
+                    1 => b.fadd(cur, Op::cf64(0.125 + k as f64 * 0.01)),
+                    2 => {
+                        let t = b.fmul(cur, Op::cf64(0.5));
+                        emitted += 1;
+                        b.fsub(cur, t)
+                    }
+                    _ => b.fmul(cur, Op::cf64(1.003)),
+                };
+                emitted += 1;
+            }
+            // Forbidden breaker: store the float.
+            let p = b.gep(float_base, Op::ci32(slot & 63), 8);
+            b.store(cur, p);
+            emitted += 2;
+            slot += 1;
+            w = Some(cur);
+        } else {
+            for k in 0..this_seg {
+                v = match (rng.next_f64() < int_mul, rng.next_index(4)) {
+                    (true, _) => b.mul(v, Op::ci32(3 + (k as i32 & 3) * 2)),
+                    (false, 0) => b.add(v, Op::ci32(k as i32 + 1)),
+                    (false, 1) => b.xor(v, Op::ci32(0x5a5a)),
+                    (false, 2) => {
+                        let t = b.shl(v, Op::ci32(1));
+                        emitted += 1;
+                        b.sub(t, v)
+                    }
+                    (false, _) => b.and(v, Op::ci32(0x00ff_ffff)),
+                };
+                emitted += 1;
+            }
+            // Forbidden breaker: store + reload from the int array.
+            let p = b.gep(int_base, Op::ci32(slot & 255), 4);
+            b.store(v, p);
+            emitted += 2;
+            slot += 1;
+        }
+    }
+    v
+}
+
+/// Emits a chain of `nblocks` blocks totalling ~`total_ins` instructions
+/// inside the current function, leaving the insertion point in the last
+/// block. Returns the final running value.
+#[allow(clippy::too_many_arguments)]
+fn emit_chain(
+    b: &mut FunctionBuilder,
+    rng: &mut SplitMix64,
+    label: &str,
+    nblocks: u32,
+    total_ins: u32,
+    seg_len: u32,
+    float_frac: f64,
+    int_mul: f64,
+    int_data: GlobalId,
+    float_data: GlobalId,
+    seed: Op,
+) -> Op {
+    let nblocks = nblocks.max(1);
+    let per_block = (total_ins / nblocks).max(3);
+    let mut v = seed;
+    for i in 0..nblocks {
+        let blk = b.new_block(format!("{label}.{i}"));
+        b.br(blk);
+        b.switch_to(blk);
+        v = emit_body(
+            b, rng, per_block, seg_len, float_frac, int_mul, int_data, float_data, v,
+        );
+    }
+    v
+}
+
+/// Builds one synthetic scientific application from its paper profile.
+pub fn build_scientific(p: &AppProfile) -> App {
+    let mut rng = SplitMix64::new(seed_of(p.name));
+    let k = knobs(p);
+    let mut m = Module::new(p.name);
+    let int_data = m.add_global(Global::zeroed("idata", Type::I32, 256));
+    let float_data = {
+        let vals: Vec<f64> = (0..64).map(|i| 1.0 + i as f64 * 0.01).collect();
+        m.add_global(Global::of_f64("fdata", &vals))
+    };
+
+    let total = p.insts;
+    let kernel_ins = ((p.kernel_size * total as f64) as u32).max(p.pruned_insts);
+    let hot_ins = p.pruned_insts;
+    let warm_ins = kernel_ins.saturating_sub(hot_ins);
+    let live_total = (p.live * total as f64) as u32;
+    let live_rest = live_total.saturating_sub(kernel_ins);
+    let const_ins = (p.const_ * total as f64) as u32;
+    let dead_ins = (p.dead * total as f64) as u32;
+
+    // Small-block budget: distribute remaining blocks across sections
+    // proportionally to their instruction share.
+    let avg_small = (total as f64 / p.blocks as f64).clamp(3.0, 12.0) as u32;
+    let blocks_of = |ins: u32| (ins / avg_small.max(1)).max(1);
+
+    // ---- hot function: the kernel ----
+    let hot_fn = {
+        let mut b = FunctionBuilder::new("hot", vec![Type::I32], Type::I32);
+        // The big post-pruning blocks, one per pruned block, iterated hard.
+        let hot_sizes: Vec<u32> = {
+            let n = p.pruned_blocks.max(1);
+            let base = hot_ins / n;
+            (0..n).map(|i| if i == 0 { hot_ins - base * (n - 1) } else { base }).collect()
+        };
+        b.counted_loop("kern", Op::ci32(0), Op::ci32(k.hot_iters), |b, i| {
+            let mut v = i;
+            for (bi, &sz) in hot_sizes.iter().enumerate() {
+                let blk = b.new_block(format!("hotblk.{bi}"));
+                b.br(blk);
+                b.switch_to(blk);
+                v = emit_body(
+                    b, &mut rng, sz, k.seg_len, k.hot_float, k.int_mul, int_data, float_data, v,
+                );
+            }
+        });
+        // Warm kernel remainder at lower frequency.
+        if warm_ins > 0 {
+            let warm_blocks = blocks_of(warm_ins).min(64);
+            b.counted_loop("warm", Op::ci32(0), Op::ci32(k.hot_iters / 8), |b, _| {
+                emit_chain(
+                    b, &mut rng, "warmblk", warm_blocks, warm_ins, k.seg_len, k.hot_float / 2.0,
+                    k.int_mul, int_data, float_data, Op::Arg(0),
+                );
+            });
+        }
+        b.ret(Op::Arg(0));
+        m.add_func(b.finish())
+    };
+
+    // ---- live remainder ----
+    let live_fn = {
+        let mut b = FunctionBuilder::new("live_rest", vec![Type::I32], Type::I32);
+        let blocks = blocks_of(live_rest).min(1200);
+        let v = emit_chain(
+            b_ref(&mut b), &mut rng, "live", blocks, live_rest, k.seg_len, 0.05, k.int_mul,
+            int_data, float_data, Op::Arg(0),
+        );
+        b.ret(v);
+        m.add_func(b.finish())
+    };
+
+    // ---- constant section (fixed work, input-independent) ----
+    let const_fn = {
+        let mut b = FunctionBuilder::new("startup", vec![], Type::I32);
+        let blocks = blocks_of(const_ins).min(800);
+        let v = emit_chain(
+            b_ref(&mut b), &mut rng, "const", blocks, const_ins, k.seg_len, 0.05, k.int_mul,
+            int_data, float_data, Op::ci32(0x1234),
+        );
+        b.ret(v);
+        m.add_func(b.finish())
+    };
+
+    // ---- dead section (never called with our datasets) ----
+    let dead_fn = {
+        let mut b = FunctionBuilder::new("coldpath", vec![], Type::I32);
+        let blocks = blocks_of(dead_ins).min(2500);
+        let v = emit_chain(
+            b_ref(&mut b), &mut rng, "dead", blocks, dead_ins, k.seg_len, 0.05, k.int_mul,
+            int_data, float_data, Op::ci32(0x4321),
+        );
+        b.ret(v);
+        m.add_func(b.finish())
+    };
+
+    // ---- main(scale) ----
+    {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let acc = b.alloca(4);
+        let c0 = b.call(const_fn, vec![], Type::I32);
+        b.store(c0, acc);
+        b.counted_loop("outer", Op::ci32(0), Op::Arg(0), |b, i| {
+            let l = b.call(live_fn, vec![i], Type::I32);
+            let h = b.call(hot_fn, vec![l], Type::I32);
+            let a = b.load(Type::I32, acc);
+            let x = b.xor(a, h);
+            b.store(x, acc);
+        });
+        // Dead guard: negative scales never occur in the datasets.
+        let dead_blk = b.new_block("deadcall");
+        let exit_blk = b.new_block("exit");
+        let is_neg = b.cmp(jitise_ir::CmpOp::Slt, Op::Arg(0), Op::ci32(0));
+        b.cond_br(is_neg, dead_blk, exit_blk);
+        b.switch_to(dead_blk);
+        let d = b.call(dead_fn, vec![], Type::I32);
+        let a = b.load(Type::I32, acc);
+        let x = b.or(a, d);
+        b.store(x, acc);
+        b.br(exit_blk);
+        b.switch_to(exit_blk);
+        let out = b.load(Type::I32, acc);
+        b.ret(out);
+        m.add_func(b.finish());
+    }
+
+    jitise_ir::verify::verify_module(&m)
+        .unwrap_or_else(|e| panic!("{}: synthetic module invalid: {e}", p.name));
+
+    App {
+        name: p.name,
+        domain: p.domain,
+        module: m,
+        datasets: vec![
+            Dataset {
+                name: "train",
+                args: vec![Value::I(4)],
+            },
+            Dataset {
+                name: "small",
+                args: vec![Value::I(2)],
+            },
+        ],
+        exec_model: ExecModel {
+            jit_quality: p.vm_ratio.clamp(0.90, 1.40),
+            ..ExecModel::default()
+        },
+        entry: "main",
+    }
+}
+
+/// Identity helper keeping borrowck happy when a closure would otherwise
+/// capture the builder twice.
+fn b_ref(b: &mut FunctionBuilder) -> &mut FunctionBuilder {
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::paper_profile;
+
+    #[test]
+    fn builds_all_ten_scientific_apps() {
+        for name in crate::profile::scientific_names() {
+            let p = paper_profile(name).unwrap();
+            let app = build_scientific(p);
+            assert_eq!(app.name, name);
+            let blk = app.module.num_blocks() as f64;
+            let ins = app.module.num_insts() as f64;
+            // Shape calibration: within a factor of ~2.5 of the published
+            // totals (the generator works in whole blocks).
+            assert!(
+                blk > p.blocks as f64 / 3.0 && blk < p.blocks as f64 * 3.0,
+                "{name}: {blk} blocks vs paper {}",
+                p.blocks
+            );
+            assert!(
+                ins > p.insts as f64 / 3.0 && ins < p.insts as f64 * 3.0,
+                "{name}: {ins} insts vs paper {}",
+                p.insts
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let p = paper_profile("470.lbm").unwrap();
+        let a = build_scientific(p);
+        let b = build_scientific(p);
+        assert_eq!(a.module, b.module);
+    }
+
+    #[test]
+    fn executes_and_scales_with_input() {
+        let p = paper_profile("429.mcf").unwrap();
+        let app = build_scientific(p);
+        let p1 = app.run_dataset(0); // scale 4
+        let p2 = app.run_dataset(1); // scale 2
+        assert!(p1.total_cycles() > p2.total_cycles());
+    }
+
+    #[test]
+    fn dead_code_never_executes() {
+        let p = paper_profile("164.gzip").unwrap();
+        let app = build_scientific(p);
+        let prof = app.run_dataset(0);
+        // The coldpath function's blocks must all have zero counts.
+        let dead_fid = app.module.func_by_name("coldpath").unwrap();
+        for bid in app.module.func(dead_fid).block_ids() {
+            assert_eq!(
+                prof.count(jitise_vm::BlockKey::new(dead_fid, bid)),
+                0,
+                "dead block executed"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_dominates_execution() {
+        let p = paper_profile("470.lbm").unwrap();
+        let app = build_scientific(p);
+        let prof = app.run_dataset(0);
+        let hot_fid = app.module.func_by_name("hot").unwrap();
+        let hot_cycles: u64 = app
+            .module
+            .func(hot_fid)
+            .block_ids()
+            .map(|bid| prof.block_cycles(jitise_vm::BlockKey::new(hot_fid, bid)))
+            .sum();
+        let frac = hot_cycles as f64 / prof.total_cycles() as f64;
+        assert!(
+            frac > 0.70,
+            "kernel holds {frac:.2} of cycles, expected > 0.70"
+        );
+    }
+}

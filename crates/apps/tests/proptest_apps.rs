@@ -1,0 +1,82 @@
+//! Property tests over the application suite: every registered benchmark
+//! must execute deterministically, scale with its input, and expose the
+//! structure (hot kernel, coverage classes) the evaluation relies on.
+
+use jitise_apps::{App, Domain, PAPER_APPS};
+use jitise_vm::coverage::classify;
+use jitise_vm::{Interpreter, Value};
+use proptest::prelude::*;
+
+/// Names as a strategy (cheap apps only; the biggest synthetics are
+/// exercised once in the integration suite).
+fn app_names() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "adpcm",
+        "fft",
+        "sor",
+        "whetstone",
+        "429.mcf",
+        "470.lbm",
+        "179.art",
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn apps_execute_deterministically(name in app_names(), scale in 1i64..4) {
+        let app = App::build(name).unwrap();
+        let run = |s: i64| {
+            let mut vm = Interpreter::new(&app.module);
+            let out = vm.run("main", &[Value::I(s)]).expect("runs");
+            (out.ret, out.cycles)
+        };
+        prop_assert_eq!(run(scale), run(scale));
+    }
+
+    #[test]
+    fn work_scales_with_input(name in app_names()) {
+        let app = App::build(name).unwrap();
+        let cycles = |s: i64| {
+            let mut vm = Interpreter::new(&app.module);
+            vm.run("main", &[Value::I(s)]).expect("runs").cycles
+        };
+        prop_assert!(cycles(3) > cycles(1));
+    }
+
+    #[test]
+    fn coverage_classes_always_partition(name in app_names()) {
+        let app = App::build(name).unwrap();
+        let profiles = app.profile_all_datasets();
+        let rep = classify(&app.module, &profiles);
+        prop_assert!((rep.live_frac + rep.dead_frac + rep.const_frac - 1.0).abs() < 1e-9);
+        prop_assert!(rep.live_frac > 0.0, "some code must vary with input");
+    }
+}
+
+#[test]
+fn registry_is_complete_and_domains_match() {
+    for p in PAPER_APPS {
+        let app = App::build(p.name).unwrap_or_else(|| panic!("{} missing", p.name));
+        assert_eq!(app.domain, p.domain);
+        assert_eq!(app.name, p.name);
+        assert!(app.datasets.len() >= 2);
+    }
+    assert_eq!(App::all().len(), 14);
+    assert_eq!(
+        App::all()
+            .iter()
+            .filter(|a| a.domain == Domain::Embedded)
+            .count(),
+        4
+    );
+}
+
+#[test]
+fn all_modules_verify() {
+    for app in App::all() {
+        jitise_ir::verify::verify_module(&app.module)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    }
+}

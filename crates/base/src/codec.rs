@@ -1,0 +1,243 @@
+//! Minimal binary encoding for persisted artifacts (bitstream-cache entries).
+//!
+//! Hand-rolled LEB128-style varints plus length-prefixed byte strings; small
+//! enough to audit, with explicit error handling on decode. This keeps the
+//! workspace free of a serde *format* dependency while still allowing the
+//! bitstream cache to round-trip through disk.
+
+use crate::{Error, Result};
+
+/// Append-only encoder.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// New empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Unsigned varint (LEB128).
+    pub fn put_varu64(&mut self, mut v: u64) -> &mut Self {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return self;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// 32-bit convenience wrapper over [`Self::put_varu64`].
+    pub fn put_varu32(&mut self, v: u32) -> &mut Self {
+        self.put_varu64(v as u64)
+    }
+
+    /// Fixed-width little-endian u64 (used for signatures, where fixed
+    /// width makes hex dumps greppable).
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.put_varu64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) -> &mut Self {
+        self.put_bytes(s.as_bytes())
+    }
+
+    /// Finishes and returns the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// New decoder at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(Error::Codec(format!(
+                "unexpected end of input: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.data.len()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Unsigned varint (LEB128).
+    pub fn get_varu64(&mut self) -> Result<u64> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            let byte = self.take(1)?[0];
+            if shift >= 64 {
+                return Err(Error::Codec("varint overflows u64".into()));
+            }
+            out |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// 32-bit varint, with range check.
+    pub fn get_varu32(&mut self) -> Result<u32> {
+        let v = self.get_varu64()?;
+        u32::try_from(v).map_err(|_| Error::Codec(format!("varint {v} exceeds u32")))
+    }
+
+    /// Fixed-width little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("take(8)")))
+    }
+
+    /// Length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_varu64()? as usize;
+        self.take(len)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|e| Error::Codec(format!("invalid utf-8: {e}")))
+    }
+
+    /// True once all input is consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut enc = Encoder::new();
+        for &v in &values {
+            enc.put_varu64(v);
+        }
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        for &v in &values {
+            assert_eq!(dec.get_varu64().unwrap(), v);
+        }
+        assert!(dec.is_at_end());
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut enc = Encoder::new();
+        enc.put_varu64(127);
+        assert_eq!(enc.len(), 1);
+        let mut enc = Encoder::new();
+        enc.put_varu64(128);
+        assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn mixed_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u64(0xDEAD_BEEF_CAFE_F00D)
+            .put_str("bitstream")
+            .put_bytes(&[1, 2, 3])
+            .put_varu32(42);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.get_u64().unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(dec.get_str().unwrap(), "bitstream");
+        assert_eq!(dec.get_bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(dec.get_varu32().unwrap(), 42);
+        assert!(dec.is_at_end());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut enc = Encoder::new();
+        enc.put_str("hello");
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf[..3]);
+        assert!(dec.get_str().is_err());
+    }
+
+    #[test]
+    fn empty_string_and_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_str("").put_bytes(&[]);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.get_str().unwrap(), "");
+        assert_eq!(dec.get_bytes().unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn varu32_range_check() {
+        let mut enc = Encoder::new();
+        enc.put_varu64(u64::from(u32::MAX) + 1);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert!(dec.get_varu32().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes would shift past 64 bits.
+        let buf = [0x80u8; 11];
+        let mut dec = Decoder::new(&buf);
+        assert!(dec.get_varu64().is_err());
+    }
+}

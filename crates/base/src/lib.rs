@@ -1,0 +1,84 @@
+//! # jitise-base
+//!
+//! Foundation utilities shared by every crate in the `jitise` workspace:
+//!
+//! * [`SimTime`] — exact, nanosecond-resolution *simulated* time. The paper's
+//!   tool-flow runtimes range from milliseconds (candidate search) to days
+//!   (break-even times); modeling them as integer nanoseconds keeps all
+//!   arithmetic exact and lets the whole evaluation run in milliseconds of
+//!   host time.
+//! * [`rng::SplitMix64`] / [`rng::XorShift128Plus`] — tiny deterministic
+//!   PRNGs used where reproducibility matters more than statistical quality
+//!   (workload generation seeds, cache population draws).
+//! * [`stats::OnlineStats`] — Welford mean/stdev accumulation, used to
+//!   reproduce the mean ± stdev rows of Table III.
+//! * [`hash`] — FNV-1a based structural signatures (bitstream-cache keys).
+//! * [`table`] — plain-text table rendering for the table-reproduction
+//!   binaries.
+//! * [`codec`] — a minimal binary encoder/decoder for the on-disk bitstream
+//!   cache format (hand-rolled to avoid a serde format dependency).
+
+pub mod codec;
+pub mod hash;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+mod simtime;
+
+pub use simtime::SimTime;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Workspace-wide error type.
+///
+/// Each crate layers its own context on top via its constructor variant; we
+/// deliberately keep a single flat error enum because the tool flow is a
+/// pipeline — errors either abort a candidate or abort the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// IR construction or verification failed.
+    Ir(String),
+    /// Interpreter fault (bad memory access, missing function, …).
+    Vm(String),
+    /// ISE identification / selection failure.
+    Ise(String),
+    /// Datapath generation / estimation failure.
+    Pivpav(String),
+    /// CAD tool-flow failure (unroutable design, timing, …).
+    Cad(String),
+    /// Architecture-level failure (no free CI slot, bad bitstream, …).
+    Arch(String),
+    /// Binary decoding failure.
+    Codec(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Ir(m) => write!(f, "ir: {m}"),
+            Error::Vm(m) => write!(f, "vm: {m}"),
+            Error::Ise(m) => write!(f, "ise: {m}"),
+            Error::Pivpav(m) => write!(f, "pivpav: {m}"),
+            Error::Cad(m) => write!(f, "cad: {m}"),
+            Error::Arch(m) => write!(f, "arch: {m}"),
+            Error::Codec(m) => write!(f, "codec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_domain() {
+        let e = Error::Cad("unroutable".into());
+        assert_eq!(e.to_string(), "cad: unroutable");
+        let e = Error::Ir("bad operand".into());
+        assert!(e.to_string().starts_with("ir:"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workspace needs reproducible randomness in three places: the
+//! synthetic application generator (`jitise-apps`), the simulated-annealing
+//! placer (`jitise-cad`), and the Monte-Carlo cache-population experiment of
+//! Table IV (`jitise-core`). All three seed one of these generators with a
+//! fixed value so that every table reproduction run is bit-identical.
+
+/// SplitMix64 — tiny, fast, and good enough for seeding and light use.
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire-style multiply-shift rejection-free approximation is fine
+        // here; slight modulo bias is irrelevant for our use cases but we
+        // use 128-bit multiply to avoid it anyway.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    ///
+    /// Used by the Table IV experiment: "we have populated the cache with
+    /// r % of the required bitstreams … the selection … is random".
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        let mut all: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut all);
+        all.truncate(k);
+        all
+    }
+}
+
+/// xorshift128+ — slightly higher quality stream for the SA placer, where
+/// correlated low bits would bias move selection.
+#[derive(Debug, Clone)]
+pub struct XorShift128Plus {
+    s0: u64,
+    s1: u64,
+}
+
+impl XorShift128Plus {
+    /// Seeds the generator via SplitMix64 expansion (never all-zero state).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s0 = sm.next_u64() | 1; // guarantee non-zero state
+        let s1 = sm.next_u64();
+        XorShift128Plus { s0, s1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_range_inclusive() {
+        let mut r = SplitMix64::new(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.next_range(5, 8);
+            assert!((5..=8).contains(&v));
+            saw_lo |= v == 5;
+            saw_hi |= v == 8;
+        }
+        assert!(saw_lo && saw_hi, "range endpoints should both occur");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = SplitMix64::new(11);
+        let sample = r.sample_indices(50, 20);
+        assert_eq!(sample.len(), 20);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices must be distinct");
+        assert!(sample.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_all_is_permutation() {
+        let mut r = SplitMix64::new(13);
+        let mut sample = r.sample_indices(10, 10);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xorshift_deterministic_and_uniformish() {
+        let mut a = XorShift128Plus::new(100);
+        let mut b = XorShift128Plus::new(100);
+        let mut below_half = 0usize;
+        for _ in 0..10_000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            if x < 0.5 {
+                below_half += 1;
+            }
+        }
+        // Extremely loose uniformity sanity check.
+        assert!((3_000..7_000).contains(&below_half));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(21);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+}

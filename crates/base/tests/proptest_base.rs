@@ -1,0 +1,139 @@
+//! Property tests for the foundation crate: SimTime algebra, codec
+//! round-trips, hashing stability, and RNG sampling invariants.
+
+use jitise_base::codec::{Decoder, Encoder};
+use jitise_base::hash::SigHasher;
+use jitise_base::rng::SplitMix64;
+use jitise_base::stats::OnlineStats;
+use jitise_base::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn simtime_addition_is_commutative_and_associative(
+        a in 0u64..1u64 << 40,
+        b in 0u64..1u64 << 40,
+        c in 0u64..1u64 << 40,
+    ) {
+        let (ta, tb, tc) = (
+            SimTime::from_nanos(a),
+            SimTime::from_nanos(b),
+            SimTime::from_nanos(c),
+        );
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
+    }
+
+    #[test]
+    fn simtime_scale_is_monotone(ns in 0u64..1u64 << 50, f in 0.0f64..2.0) {
+        let t = SimTime::from_nanos(ns);
+        let scaled = t.scale(f);
+        if f <= 1.0 {
+            prop_assert!(scaled <= t + SimTime::from_nanos(1));
+        } else {
+            prop_assert!(scaled + SimTime::from_nanos(1) >= t);
+        }
+    }
+
+    #[test]
+    fn simtime_formatting_roundtrips_seconds(secs in 0u64..1_000_000) {
+        let t = SimTime::from_secs(secs);
+        // h:m:s parses back to the same seconds.
+        let hms = t.fmt_hms();
+        let parts: Vec<u64> = hms.split(':').map(|p| p.parse().unwrap()).collect();
+        prop_assert_eq!(parts[0] * 3600 + parts[1] * 60 + parts[2], secs);
+        // d:h:m:s as well.
+        let dhms = t.fmt_dhms();
+        let parts: Vec<u64> = dhms.split(':').map(|p| p.parse().unwrap()).collect();
+        prop_assert_eq!(
+            ((parts[0] * 24 + parts[1]) * 60 + parts[2]) * 60 + parts[3],
+            secs
+        );
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_sequences(
+        vals in prop::collection::vec(any::<u64>(), 0..40),
+        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..10),
+        text in "[a-zA-Z0-9 _-]{0,40}",
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_varu64(vals.len() as u64);
+        for &v in &vals {
+            enc.put_varu64(v);
+            enc.put_u64(v.rotate_left(13));
+        }
+        enc.put_varu64(blobs.len() as u64);
+        for b in &blobs {
+            enc.put_bytes(b);
+        }
+        enc.put_str(&text);
+        let buf = enc.finish();
+
+        let mut dec = Decoder::new(&buf);
+        let n = dec.get_varu64().unwrap();
+        prop_assert_eq!(n as usize, vals.len());
+        for &v in &vals {
+            prop_assert_eq!(dec.get_varu64().unwrap(), v);
+            prop_assert_eq!(dec.get_u64().unwrap(), v.rotate_left(13));
+        }
+        let m = dec.get_varu64().unwrap();
+        prop_assert_eq!(m as usize, blobs.len());
+        for b in &blobs {
+            prop_assert_eq!(dec.get_bytes().unwrap(), b.as_slice());
+        }
+        prop_assert_eq!(dec.get_str().unwrap(), text.as_str());
+        prop_assert!(dec.is_at_end());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut dec = Decoder::new(&data);
+        // Whatever the bytes are, decoding returns Ok or Err — no panic.
+        let _ = dec.get_varu64();
+        let _ = dec.get_bytes();
+        let _ = dec.get_str();
+        let _ = dec.get_u64();
+    }
+
+    #[test]
+    fn hashing_is_injective_ish_and_stable(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        let h = |x: &[u8]| {
+            let mut s = SigHasher::new();
+            s.write_bytes(x);
+            s.finish()
+        };
+        prop_assert_eq!(h(&a), h(&a), "stability");
+        if a != b {
+            // 64-bit collisions exist but must be astronomically unlikely
+            // for random proptest inputs.
+            prop_assert_ne!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn rng_sample_indices_always_distinct(n in 1usize..200, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let k = n / 2;
+        let sample = rng.sample_indices(n, k);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(s.min(), Some(min));
+    }
+}

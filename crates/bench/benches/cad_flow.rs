@@ -1,0 +1,32 @@
+//! Real algorithmic cost of the CAD substrate: top-level synthesis,
+//! simulated-annealing placement, negotiated routing, and bitstream
+//! generation, across design sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jitise_cad::{bitgen, place, route, Fabric, PlaceEffort, RouteEffort};
+use jitise_pivpav::netlist::synthesize_core;
+
+fn bench_cad(c: &mut Criterion) {
+    let fabric = Fabric::pr_region();
+    let mut group = c.benchmark_group("cad_flow");
+    group.sample_size(10);
+
+    for &luts in &[40u32, 120, 240] {
+        let nl = synthesize_core("bench", 16, luts, luts / 8, 2, 42);
+        group.bench_with_input(BenchmarkId::new("place", luts), &luts, |b, _| {
+            b.iter(|| place(&fabric, &nl, PlaceEffort::fast(), 1).unwrap())
+        });
+        let placement = place(&fabric, &nl, PlaceEffort::fast(), 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("route", luts), &luts, |b, _| {
+            b.iter(|| route(&fabric, &nl, &placement, RouteEffort::fast()).unwrap())
+        });
+        let routed = route(&fabric, &nl, &placement, RouteEffort::fast()).unwrap();
+        group.bench_with_input(BenchmarkId::new("bitgen", luts), &luts, |b, _| {
+            b.iter(|| bitgen(&fabric, &nl, &placement, &routed, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cad);
+criterion_main!(benches);

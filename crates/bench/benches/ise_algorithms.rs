@@ -1,0 +1,64 @@
+//! Identification-algorithm runtime: MAXMISO (linear) vs SingleCut
+//! (exponential) vs UnionMISO — the algorithmic gap that makes MAXMISO the
+//! only viable choice for just-in-time use (paper §II/§III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jitise_ir::{BlockId, Dfg, FuncId, Function, FunctionBuilder, Operand as Op, Type};
+use jitise_ise::{maxmiso, single_cut, union_miso, ForbiddenPolicy, PortConstraints};
+use jitise_vm::BlockKey;
+
+/// A block with `n` mixed operations and some data-flow diversity.
+fn block_of(n: usize) -> Function {
+    let mut b = FunctionBuilder::new("bench", vec![Type::I32, Type::I32], Type::I32);
+    let mut vals = vec![
+        b.add(Op::Arg(0), Op::Arg(1)),
+        b.xor(Op::Arg(0), Op::ci32(0x5a)),
+    ];
+    for i in 2..n {
+        let a = vals[i - 1];
+        let c = vals[i / 2];
+        let v = match i % 4 {
+            0 => b.add(a, c),
+            1 => b.mul(a, Op::ci32(3)),
+            2 => b.xor(a, c),
+            _ => b.shl(a, Op::ci32(1)),
+        };
+        vals.push(v);
+    }
+    b.ret(*vals.last().unwrap());
+    b.finish()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let key = BlockKey::new(FuncId(0), BlockId(0));
+    let policy = ForbiddenPolicy::default();
+    let ports = PortConstraints::default();
+
+    let mut group = c.benchmark_group("ise_algorithms");
+    group.sample_size(10);
+    for &n in &[8usize, 12, 16] {
+        let f = block_of(n);
+        let dfg = Dfg::build(&f, BlockId(0));
+        group.bench_with_input(BenchmarkId::new("maxmiso", n), &n, |b, _| {
+            b.iter(|| maxmiso(&f, &dfg, key, &policy, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("singlecut", n), &n, |b, _| {
+            b.iter(|| single_cut(&f, &dfg, key, &policy, ports, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("unionmiso", n), &n, |b, _| {
+            b.iter(|| union_miso(&f, &dfg, key, &policy, ports, 2))
+        });
+    }
+    // MAXMISO stays practical on large blocks where exact search cannot go.
+    for &n in &[64usize, 256] {
+        let f = block_of(n);
+        let dfg = Dfg::build(&f, BlockId(0));
+        group.bench_with_input(BenchmarkId::new("maxmiso", n), &n, |b, _| {
+            b.iter(|| maxmiso(&f, &dfg, key, &policy, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end ASIP-SP pipeline on an embedded application, cold vs through
+//! the bitstream cache (the §VI-A optimization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitise_apps::App;
+use jitise_core::{specialize, BitstreamCache, EvalContext, SpecializeConfig};
+use jitise_woolcano::Woolcano;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ctx = EvalContext::new();
+    let app = App::build("sor").unwrap();
+    let profile = app.run_dataset(0);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("specialize_cold", |b| {
+        b.iter(|| {
+            let cache = BitstreamCache::new(); // fresh: every candidate misses
+            let mut m = app.module.clone();
+            let machine = Woolcano::new(64);
+            specialize(
+                &mut m,
+                &profile,
+                &machine,
+                &ctx.estimator,
+                &ctx.db,
+                &ctx.netlists,
+                &cache,
+                &SpecializeConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    let warm_cache = BitstreamCache::new();
+    {
+        let mut m = app.module.clone();
+        let machine = Woolcano::new(64);
+        specialize(
+            &mut m,
+            &profile,
+            &machine,
+            &ctx.estimator,
+            &ctx.db,
+            &ctx.netlists,
+            &warm_cache,
+            &SpecializeConfig::default(),
+        )
+        .unwrap();
+    }
+    group.bench_function("specialize_cached", |b| {
+        b.iter(|| {
+            let mut m = app.module.clone();
+            let machine = Woolcano::new(64);
+            specialize(
+                &mut m,
+                &profile,
+                &machine,
+                &ctx.estimator,
+                &ctx.db,
+                &ctx.netlists,
+                &warm_cache,
+                &SpecializeConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Candidate search with and without the `@50pS3L` pruning filter — the
+//! source of the "two orders of magnitude" identification-time reduction
+//! the paper inherits from [9].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitise_apps::App;
+use jitise_ise::{candidate_search, DepthEstimator, PruneFilter, SearchConfig};
+
+fn bench_pruning(c: &mut Criterion) {
+    let app = App::build("429.mcf").expect("mcf builds");
+    let profile = app.run_dataset(0);
+    let estimator = DepthEstimator::default();
+
+    let mut group = c.benchmark_group("candidate_search");
+    group.sample_size(10);
+    group.bench_function("pruned@50pS3L", |b| {
+        let cfg = SearchConfig::default();
+        b.iter(|| candidate_search(&app.module, &profile, &estimator, &cfg))
+    });
+    group.bench_function("unpruned", |b| {
+        let cfg = SearchConfig {
+            filter: PruneFilter::none(),
+            ..SearchConfig::default()
+        };
+        b.iter(|| candidate_search(&app.module, &profile, &estimator, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Interpreter + profiler throughput on the embedded kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitise_apps::App;
+use jitise_vm::{Interpreter, Value};
+
+fn bench_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_interp");
+    group.sample_size(10);
+    for name in ["sor", "adpcm"] {
+        let app = App::build(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut vm = Interpreter::new(&app.module);
+                vm.run("main", &[Value::I(2)]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Diagnostic: per-app candidate/selection details (development aid).
+
+use jitise_apps::App;
+use jitise_core::EvalContext;
+use jitise_ise::{candidate_search, PruneFilter, SearchConfig};
+
+fn main() {
+    let ctx = EvalContext::new();
+    for name in ["sor", "whetstone", "fft", "adpcm"] {
+        let app = App::build(name).unwrap();
+        let profile = app.run_dataset(0);
+        for (label, filter) in [
+            ("@50pS3L", PruneFilter::paper_default()),
+            ("none", PruneFilter::none()),
+        ] {
+            let cfg = SearchConfig {
+                filter,
+                ..SearchConfig::default()
+            };
+            let out = candidate_search(&app.module, &profile, &ctx.estimator, &cfg);
+            println!(
+                "{name:10} {label:8} blk={} ins={} covered={:.2} ident={} sel={} ratio={:.2}",
+                out.prune.blocks.len(),
+                out.prune.insts_after,
+                out.prune.time_covered,
+                out.identified,
+                out.selection.selected.len(),
+                out.asip_ratio
+            );
+            if label == "@50pS3L" {
+                for s in out.selection.selected.iter().take(6) {
+                    println!(
+                        "    cand sz={} sw={} hw={} merit={} execs={} luts={}",
+                        s.candidate.len(),
+                        s.estimate.sw_cycles,
+                        s.estimate.hw_cycles,
+                        s.estimate.merit(),
+                        s.estimate.exec_count,
+                        s.estimate.luts
+                    );
+                }
+                let total = profile.total_cycles();
+                println!(
+                    "    total_cycles={} saved={}",
+                    total, out.selection.total_saved_cycles
+                );
+            }
+        }
+    }
+}

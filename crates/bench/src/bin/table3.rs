@@ -1,0 +1,111 @@
+//! Reproduces **Table III**: the constant per-candidate overheads of the
+//! ASIP-SP process — C2V (Netlist Generation), Syntax check, Xst,
+//! Translate, and Bitgen — as mean ± standard deviation over all embedded
+//! candidates, plus the EAPR-vs-regular bitgen comparison discussed in
+//! §V-C.
+//!
+//! Usage: `cargo run --release -p jitise-bench --bin table3`
+
+use jitise_apps::App;
+use jitise_base::stats::OnlineStats;
+use jitise_base::table::{fnum, TextTable};
+use jitise_cad::{run_flow, Fabric, FlowOptions};
+use jitise_core::EvalContext;
+use jitise_ir::Dfg;
+use jitise_ise::{candidate_search, SearchConfig};
+use jitise_pivpav::create_project;
+
+fn main() {
+    println!("=== Table III: constant overheads of the ASIP-SP process ===\n");
+    let ctx = EvalContext::new();
+    let fabric = Fabric::pr_region();
+
+    let mut c2v = OnlineStats::new();
+    let mut syn = OnlineStats::new();
+    let mut xst = OnlineStats::new();
+    let mut tra = OnlineStats::new();
+    let mut bitgen = OnlineStats::new();
+    let mut bitgen_full = OnlineStats::new();
+    let mut total_candidates = 0usize;
+
+    for app in App::embedded() {
+        let profile = app.scaled_profile();
+        let search = candidate_search(&app.module, &profile, &ctx.estimator, &SearchConfig::default());
+        for sel in &search.selection.selected {
+            let cand = &sel.candidate;
+            let f = app.module.func(cand.key.func);
+            let dfg = Dfg::build(f, cand.key.block);
+            let (project, c2v_t) =
+                create_project(&ctx.db, &ctx.netlists, f, &dfg, cand).expect("project");
+            let report = run_flow(&fabric, &project, &FlowOptions::fast()).expect("flow");
+            let full = run_flow(
+                &fabric,
+                &project,
+                &FlowOptions {
+                    eapr: false,
+                    ..FlowOptions::fast()
+                },
+            )
+            .expect("full flow");
+            c2v.push(c2v_t.total().as_secs_f64());
+            syn.push(report.syntax.as_secs_f64());
+            xst.push(report.xst.as_secs_f64());
+            tra.push(report.translate.as_secs_f64());
+            bitgen.push(report.bitgen.as_secs_f64());
+            bitgen_full.push(full.bitgen.as_secs_f64());
+            total_candidates += 1;
+        }
+    }
+
+    let sum_mean = c2v.mean() + syn.mean() + xst.mean() + tra.mean() + bitgen.mean();
+    let mut t = TextTable::new(vec!["", "C2V[s]", "Syn[s]", "Xst[s]", "Tra[s]", "Bitgen[s]", "Sum[s]"]);
+    t.row(vec![
+        "measured avg".to_string(),
+        fnum(c2v.mean(), 2),
+        fnum(syn.mean(), 2),
+        fnum(xst.mean(), 2),
+        fnum(tra.mean(), 2),
+        fnum(bitgen.mean(), 2),
+        fnum(sum_mean, 2),
+    ]);
+    t.row(vec![
+        "measured stdev".to_string(),
+        fnum(c2v.stdev(), 2),
+        fnum(syn.stdev(), 2),
+        fnum(xst.stdev(), 2),
+        fnum(tra.stdev(), 2),
+        fnum(bitgen.stdev(), 2),
+        "".to_string(),
+    ]);
+    t.rule();
+    t.row(vec![
+        "paper avg".to_string(),
+        "3.22".to_string(),
+        "4.22".to_string(),
+        "10.60".to_string(),
+        "8.99".to_string(),
+        "151.00".to_string(),
+        "178.03".to_string(),
+    ]);
+    t.row(vec![
+        "paper stdev".to_string(),
+        "0.10".to_string(),
+        "0.10".to_string(),
+        "0.23".to_string(),
+        "1.22".to_string(),
+        "2.43".to_string(),
+        "".to_string(),
+    ]);
+    println!("{}", t.render());
+
+    println!("\ncandidates measured: {total_candidates}");
+    println!(
+        "bitgen share of constant overhead: measured {:.0}% (paper: 85%)",
+        100.0 * bitgen.mean() / sum_mean
+    );
+    println!(
+        "EAPR partial bitgen {:.0} s vs regular full-bitstream flow {:.0} s (paper: 151 s vs 41 s)",
+        bitgen.mean(),
+        bitgen_full.mean()
+    );
+}

@@ -1,0 +1,216 @@
+//! FPGA fabric model.
+//!
+//! A scaled-down Virtex-4-style fabric: a rectangular grid of tiles, most
+//! of them CLBs (each holding several LUT/FF/carry sites), with dedicated
+//! DSP columns. A rectangular *partial-reconfiguration region* hosts the
+//! custom instructions; the placer and router operate inside it, and the
+//! bitstream generator emits one configuration frame per column — matching
+//! the column-oriented frame addressing of the real device.
+
+/// Cell-site classes a tile can provide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// LUT/FF/carry sites (CLB tiles).
+    Logic,
+    /// DSP48 sites.
+    Dsp,
+}
+
+/// The fabric: grid dimensions, DSP columns, and site capacities.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// Tiles in X (columns).
+    pub width: u32,
+    /// Tiles in Y (rows).
+    pub height: u32,
+    /// Which columns are DSP columns.
+    pub dsp_columns: Vec<u32>,
+    /// Logic sites per CLB tile (V4 slice pairs: 4 slices × 2 LUTs).
+    pub logic_sites_per_tile: u32,
+    /// DSP sites per DSP tile.
+    pub dsp_sites_per_tile: u32,
+    /// Routing channel capacity per tile edge (wires).
+    pub channel_width: u32,
+}
+
+impl Fabric {
+    /// The partial-reconfiguration region Woolcano reserves: enough for a
+    /// handful of arithmetic cores. 28×20 tiles ≈ 4.2k LUT sites + 2 DSP
+    /// columns, with V4-class channel capacity.
+    pub fn pr_region() -> Fabric {
+        Fabric {
+            width: 28,
+            height: 20,
+            dsp_columns: vec![9, 18],
+            logic_sites_per_tile: 8,
+            dsp_sites_per_tile: 1,
+            channel_width: 72,
+        }
+    }
+
+    /// A tiny fabric for unit tests.
+    pub fn tiny() -> Fabric {
+        Fabric {
+            width: 4,
+            height: 4,
+            dsp_columns: vec![2],
+            logic_sites_per_tile: 4,
+            dsp_sites_per_tile: 1,
+            channel_width: 8,
+        }
+    }
+
+    /// Total tile count.
+    pub fn num_tiles(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Tile id for `(x, y)`.
+    pub fn tile_at(&self, x: u32, y: u32) -> u32 {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// `(x, y)` of a tile id.
+    pub fn xy(&self, tile: u32) -> (u32, u32) {
+        (tile % self.width, tile / self.width)
+    }
+
+    /// Site kind a tile provides.
+    pub fn site_kind(&self, tile: u32) -> SiteKind {
+        let (x, _) = self.xy(tile);
+        if self.dsp_columns.contains(&x) {
+            SiteKind::Dsp
+        } else {
+            SiteKind::Logic
+        }
+    }
+
+    /// Cell capacity of a tile.
+    pub fn capacity(&self, tile: u32) -> u32 {
+        match self.site_kind(tile) {
+            SiteKind::Logic => self.logic_sites_per_tile,
+            SiteKind::Dsp => self.dsp_sites_per_tile,
+        }
+    }
+
+    /// Total logic-site capacity of the fabric.
+    pub fn total_logic_sites(&self) -> u32 {
+        (0..self.num_tiles())
+            .filter(|&t| self.site_kind(t) == SiteKind::Logic)
+            .map(|t| self.capacity(t))
+            .sum()
+    }
+
+    /// Total DSP sites.
+    pub fn total_dsp_sites(&self) -> u32 {
+        (0..self.num_tiles())
+            .filter(|&t| self.site_kind(t) == SiteKind::Dsp)
+            .map(|t| self.capacity(t))
+            .sum()
+    }
+
+    /// Manhattan distance between two tiles (routing-cost unit).
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay) = self.xy(a);
+        let (bx, by) = self.xy(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Orthogonal neighbors of a tile.
+    pub fn neighbors(&self, tile: u32) -> Vec<u32> {
+        let (x, y) = self.xy(tile);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(self.tile_at(x - 1, y));
+        }
+        if x + 1 < self.width {
+            out.push(self.tile_at(x + 1, y));
+        }
+        if y > 0 {
+            out.push(self.tile_at(x, y - 1));
+        }
+        if y + 1 < self.height {
+            out.push(self.tile_at(x, y + 1));
+        }
+        out
+    }
+
+    /// Undirected edge id between adjacent tiles (for channel occupancy).
+    /// Edges are numbered: horizontal edges first, then vertical.
+    pub fn edge_id(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay) = self.xy(a);
+        let (bx, by) = self.xy(b);
+        debug_assert_eq!(self.distance(a, b), 1, "edge requires adjacency");
+        if ay == by {
+            // Horizontal edge at (min_x, y).
+            let x = ax.min(bx);
+            ay * (self.width - 1) + x
+        } else {
+            let h_edges = self.height * (self.width - 1);
+            let y = ay.min(by);
+            h_edges + y * self.width + ax
+        }
+    }
+
+    /// Total number of routing edges.
+    pub fn num_edges(&self) -> u32 {
+        self.height * (self.width - 1) + (self.height - 1) * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let f = Fabric::tiny();
+        assert_eq!(f.num_tiles(), 16);
+        assert_eq!(f.tile_at(3, 2), 11);
+        assert_eq!(f.xy(11), (3, 2));
+        assert_eq!(f.distance(f.tile_at(0, 0), f.tile_at(3, 3)), 6);
+    }
+
+    #[test]
+    fn site_kinds_and_capacity() {
+        let f = Fabric::tiny();
+        assert_eq!(f.site_kind(f.tile_at(2, 0)), SiteKind::Dsp);
+        assert_eq!(f.site_kind(f.tile_at(1, 0)), SiteKind::Logic);
+        assert_eq!(f.capacity(f.tile_at(1, 0)), 4);
+        assert_eq!(f.capacity(f.tile_at(2, 0)), 1);
+        // 12 logic tiles x 4 + 4 dsp tiles x 1.
+        assert_eq!(f.total_logic_sites(), 48);
+        assert_eq!(f.total_dsp_sites(), 4);
+    }
+
+    #[test]
+    fn neighbors_edge_cases() {
+        let f = Fabric::tiny();
+        assert_eq!(f.neighbors(f.tile_at(0, 0)).len(), 2);
+        assert_eq!(f.neighbors(f.tile_at(1, 1)).len(), 4);
+        assert_eq!(f.neighbors(f.tile_at(3, 3)).len(), 2);
+    }
+
+    #[test]
+    fn edge_ids_unique_and_symmetric() {
+        let f = Fabric::tiny();
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..f.num_tiles() {
+            for n in f.neighbors(t) {
+                let e = f.edge_id(t, n);
+                assert_eq!(e, f.edge_id(n, t), "edge id must be symmetric");
+                assert!(e < f.num_edges());
+                seen.insert(e);
+            }
+        }
+        assert_eq!(seen.len() as u32, f.num_edges());
+    }
+
+    #[test]
+    fn pr_region_sizing() {
+        let f = Fabric::pr_region();
+        assert!(f.total_logic_sites() >= 2_500);
+        assert!(f.total_dsp_sites() >= 16);
+    }
+}

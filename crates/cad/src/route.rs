@@ -1,0 +1,350 @@
+//! Routing (the PAR stage's second half).
+//!
+//! A negotiated-congestion maze router in the PathFinder tradition: each
+//! net is routed as a BFS tree over the tile grid; edges (routing channels)
+//! have a capacity, and overuse raises an edge's cost on the next
+//! iteration until every channel is legal or the iteration budget runs
+//! out.
+
+use crate::fabric::Fabric;
+use crate::place::Placement;
+use jitise_base::{Error, Result};
+use jitise_pivpav::Netlist;
+use std::collections::VecDeque;
+
+/// One routed net: the set of edges its tree occupies.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedNet {
+    /// Edge ids of the routing tree.
+    pub edges: Vec<u32>,
+    /// Tiles spanned (terminals + Steiner points).
+    pub tiles: Vec<u32>,
+}
+
+/// The routing result.
+#[derive(Debug, Clone)]
+pub struct RoutedDesign {
+    /// One route per net (index = net id; unused nets empty).
+    pub nets: Vec<RoutedNet>,
+    /// Total wirelength in edges.
+    pub wirelength: u64,
+    /// Channels still over capacity after the final iteration (0 = legal).
+    pub overflow: u32,
+    /// Negotiation iterations used.
+    pub iterations: u32,
+    /// Peak channel occupancy.
+    pub max_occupancy: u32,
+}
+
+/// Router effort.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteEffort {
+    /// Maximum negotiation iterations.
+    pub max_iterations: u32,
+}
+
+impl RouteEffort {
+    /// Default effort.
+    pub fn normal() -> Self {
+        RouteEffort { max_iterations: 8 }
+    }
+
+    /// Bulk-experiment effort.
+    pub fn fast() -> Self {
+        RouteEffort { max_iterations: 3 }
+    }
+}
+
+/// Terminal tiles of every net (driver + sinks + fixed port pins).
+fn net_terminals(fabric: &Fabric, nl: &Netlist, placement: &Placement) -> Vec<Vec<u32>> {
+    let mut terminals = vec![Vec::new(); nl.num_nets as usize];
+    for (i, c) in nl.cells.iter().enumerate() {
+        let t = placement.cell_tile[i];
+        terminals[c.output as usize].push(t);
+        for &inp in &c.inputs {
+            terminals[inp as usize].push(t);
+        }
+    }
+    let mut in_row = 0u32;
+    let mut out_row = 0u32;
+    for p in &nl.ports {
+        for &net in &p.nets {
+            match p.dir {
+                jitise_pivpav::PortDir::In => {
+                    terminals[net as usize].push(fabric.tile_at(0, in_row % fabric.height));
+                    in_row += 1;
+                }
+                jitise_pivpav::PortDir::Out => {
+                    terminals[net as usize]
+                        .push(fabric.tile_at(fabric.width - 1, out_row % fabric.height));
+                    out_row += 1;
+                }
+            }
+        }
+    }
+    for t in terminals.iter_mut() {
+        t.sort_unstable();
+        t.dedup();
+    }
+    terminals
+}
+
+/// Routes one net as a BFS-grown Steiner tree under the given edge costs.
+fn route_net(fabric: &Fabric, terminals: &[u32], cost: &[f64]) -> RoutedNet {
+    let mut out = RoutedNet::default();
+    if terminals.len() < 2 {
+        out.tiles = terminals.to_vec();
+        return out;
+    }
+    // Grow a tree: start from the first terminal; repeatedly run a BFS
+    // (uniform-cost search) from the current tree to the nearest
+    // unconnected terminal.
+    let mut in_tree = vec![false; fabric.num_tiles() as usize];
+    in_tree[terminals[0] as usize] = true;
+    out.tiles.push(terminals[0]);
+    let mut remaining: Vec<u32> = terminals[1..].to_vec();
+
+    while !remaining.is_empty() {
+        // Dijkstra from all tree tiles simultaneously.
+        let n = fabric.num_tiles() as usize;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+            Default::default();
+        for t in 0..n {
+            if in_tree[t] {
+                dist[t] = 0.0;
+                heap.push(std::cmp::Reverse((0, t as u32)));
+            }
+        }
+        let key = |d: f64| (d * 1024.0) as u64;
+        let mut reached: Option<u32> = None;
+        while let Some(std::cmp::Reverse((dk, tile))) = heap.pop() {
+            if dk > key(dist[tile as usize]) {
+                continue;
+            }
+            if remaining.contains(&tile) {
+                reached = Some(tile);
+                break;
+            }
+            for nb in fabric.neighbors(tile) {
+                let e = fabric.edge_id(tile, nb);
+                let nd = dist[tile as usize] + cost[e as usize];
+                if nd < dist[nb as usize] {
+                    dist[nb as usize] = nd;
+                    prev[nb as usize] = tile;
+                    heap.push(std::cmp::Reverse((key(nd), nb)));
+                }
+            }
+        }
+        let target = match reached {
+            Some(t) => t,
+            None => break, // disconnected (cannot happen on a grid)
+        };
+        // Trace back into the tree.
+        let mut cur = target;
+        while !in_tree[cur as usize] {
+            in_tree[cur as usize] = true;
+            out.tiles.push(cur);
+            let p = prev[cur as usize];
+            if p == u32::MAX {
+                break;
+            }
+            out.edges.push(fabric.edge_id(cur, p));
+            cur = p;
+        }
+        remaining.retain(|&t| t != target);
+    }
+    out
+}
+
+/// Routes every net of a placed design.
+pub fn route(
+    fabric: &Fabric,
+    nl: &Netlist,
+    placement: &Placement,
+    effort: RouteEffort,
+) -> Result<RoutedDesign> {
+    if placement.cell_tile.len() != nl.cells.len() {
+        return Err(Error::Cad("placement does not match netlist".into()));
+    }
+    let terminals = net_terminals(fabric, nl, placement);
+    let num_edges = fabric.num_edges() as usize;
+    let mut history = vec![0.0f64; num_edges];
+    let mut result_nets: Vec<RoutedNet> = vec![RoutedNet::default(); nl.num_nets as usize];
+    let mut iterations = 0;
+    let mut overflow = 0;
+    let mut max_occ = 0;
+
+    for iter in 0..effort.max_iterations {
+        iterations = iter + 1;
+        let mut occupancy = vec![0u32; num_edges];
+        // Edge cost: base 1 + congestion history + current-use pressure.
+        for (net, terms) in terminals.iter().enumerate() {
+            if terms.len() < 2 {
+                result_nets[net] = RoutedNet {
+                    edges: vec![],
+                    tiles: terms.clone(),
+                };
+                continue;
+            }
+            let cost: Vec<f64> = (0..num_edges)
+                .map(|e| {
+                    let over = occupancy[e].saturating_sub(fabric.channel_width) as f64;
+                    1.0 + history[e] + 4.0 * over
+                })
+                .collect();
+            let routed = route_net(fabric, terms, &cost);
+            for &e in &routed.edges {
+                occupancy[e as usize] += 1;
+            }
+            result_nets[net] = routed;
+        }
+        overflow = occupancy
+            .iter()
+            .filter(|&&o| o > fabric.channel_width)
+            .count() as u32;
+        max_occ = occupancy.iter().copied().max().unwrap_or(0);
+        if overflow == 0 {
+            break;
+        }
+        // Penalize congested edges for the next iteration.
+        for (e, &o) in occupancy.iter().enumerate() {
+            if o > fabric.channel_width {
+                history[e] += (o - fabric.channel_width) as f64 * 0.8;
+            }
+        }
+    }
+
+    let wirelength = result_nets.iter().map(|n| n.edges.len() as u64).sum();
+    Ok(RoutedDesign {
+        nets: result_nets,
+        wirelength,
+        overflow,
+        iterations,
+        max_occupancy: max_occ,
+    })
+}
+
+/// Verifies that every multi-terminal net's tree actually connects all its
+/// terminals (used by tests and the flow's assertions).
+pub fn check_connected(
+    fabric: &Fabric,
+    nl: &Netlist,
+    placement: &Placement,
+    routed: &RoutedDesign,
+) -> Result<()> {
+    let terminals = net_terminals(fabric, nl, placement);
+    for (net, terms) in terminals.iter().enumerate() {
+        if terms.len() < 2 {
+            continue;
+        }
+        let tree = &routed.nets[net];
+        for t in terms {
+            if !tree.tiles.contains(t) {
+                return Err(Error::Cad(format!(
+                    "net {net}: terminal tile {t} not in routing tree"
+                )));
+            }
+        }
+        // Tree connectivity: edges + tiles must form a connected graph
+        // over the tile set.
+        let tiles = &tree.tiles;
+        if tiles.is_empty() {
+            continue;
+        }
+        let mut adj: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+        for &t in tiles {
+            adj.entry(t).or_default();
+        }
+        for &t in tiles {
+            for nb in fabric.neighbors(t) {
+                if tiles.contains(&nb) && tree.edges.contains(&fabric.edge_id(t, nb)) {
+                    adj.entry(t).or_default().push(nb);
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut q = VecDeque::new();
+        q.push_back(tiles[0]);
+        seen.insert(tiles[0]);
+        while let Some(t) = q.pop_front() {
+            for &nb in adj.get(&t).into_iter().flatten() {
+                if seen.insert(nb) {
+                    q.push_back(nb);
+                }
+            }
+        }
+        for t in terms {
+            if !seen.contains(t) {
+                return Err(Error::Cad(format!(
+                    "net {net}: terminal {t} disconnected from tree root"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlaceEffort};
+    use jitise_pivpav::netlist::synthesize_core;
+
+    fn routed_fixture(luts: u32) -> (Fabric, Netlist, Placement, RoutedDesign) {
+        let fabric = Fabric::pr_region();
+        let nl = synthesize_core("r", 8, luts, 8, 2, 17);
+        let p = place(&fabric, &nl, PlaceEffort::fast(), 3).unwrap();
+        let r = route(&fabric, &nl, &p, RouteEffort::normal()).unwrap();
+        (fabric, nl, p, r)
+    }
+
+    #[test]
+    fn routes_connect_all_terminals() {
+        let (fabric, nl, p, r) = routed_fixture(60);
+        check_connected(&fabric, &nl, &p, &r).unwrap();
+        assert!(r.wirelength > 0);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn no_overflow_on_comfortable_design() {
+        let (_, _, _, r) = routed_fixture(40);
+        assert_eq!(r.overflow, 0, "small design must route legally");
+    }
+
+    #[test]
+    fn wirelength_grows_with_design_size() {
+        let (_, _, _, small) = routed_fixture(30);
+        let (_, _, _, big) = routed_fixture(200);
+        assert!(
+            big.wirelength > small.wirelength,
+            "bigger design, more wire: {} vs {}",
+            big.wirelength,
+            small.wirelength
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (fabric, nl, p, r1) = routed_fixture(50);
+        let r2 = route(&fabric, &nl, &p, RouteEffort::normal()).unwrap();
+        assert_eq!(r1.wirelength, r2.wirelength);
+        assert_eq!(r1.overflow, r2.overflow);
+    }
+
+    #[test]
+    fn single_terminal_nets_trivial() {
+        let fabric = Fabric::tiny();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 1);
+        // One cell consuming a; its output goes nowhere.
+        nl.add_cell(jitise_pivpav::CellKind::Lut4 { mask: 3 }, vec![a[0]]);
+        let p = place(&fabric, &nl, PlaceEffort::fast(), 1).unwrap();
+        let r = route(&fabric, &nl, &p, RouteEffort::fast()).unwrap();
+        check_connected(&fabric, &nl, &p, &r).unwrap();
+        // Output net has a single terminal -> no edges.
+        assert!(r.nets[1].edges.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Static timing analysis over the placed-and-routed design.
+//!
+//! Computes the worst-case combinational path delay: cell intrinsic delays
+//! plus per-edge routing delays along each net's tree. Reports the design's
+//! achievable clock frequency — the number Woolcano uses to clock a loaded
+//! custom instruction.
+
+use crate::fabric::Fabric;
+use crate::place::Placement;
+use crate::route::RoutedDesign;
+use jitise_pivpav::{CellKind, Netlist};
+
+/// Per-primitive intrinsic delays (ns), Virtex-4 -10 speed-grade class.
+pub fn cell_delay_ns(kind: CellKind) -> f64 {
+    match kind {
+        CellKind::Lut4 { .. } => 0.40,
+        CellKind::Carry => 0.06,
+        CellKind::Ff => 0.45, // clk-to-q
+        CellKind::Dsp48 => 2.30,
+        CellKind::IBuf | CellKind::OBuf => 0.80,
+    }
+}
+
+/// Routing delay per tile-to-tile hop (ns).
+pub const HOP_DELAY_NS: f64 = 0.30;
+
+/// Timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst combinational path (ns).
+    pub critical_path_ns: f64,
+    /// Achievable clock (MHz), assuming registered boundaries.
+    pub fmax_mhz: f64,
+    /// Number of cells on the critical path.
+    pub critical_cells: u32,
+    /// Whether the design meets the Woolcano CI clock (300 MHz ⇒ the CI
+    /// executes single-cycle; otherwise the interface inserts wait states).
+    pub meets_300mhz: bool,
+}
+
+/// Runs STA.
+///
+/// The traversal processes cells in topological order of the net graph; a
+/// cyclic alias (possible in degenerate netlists) is broken by bounding the
+/// relaxation passes.
+pub fn analyze(
+    fabric: &Fabric,
+    nl: &Netlist,
+    placement: &Placement,
+    routed: &RoutedDesign,
+) -> TimingReport {
+    // Wire delay of a net = hops in its tree (shared-tree approximation).
+    let net_delay: Vec<f64> = routed
+        .nets
+        .iter()
+        .map(|n| n.edges.len() as f64 * HOP_DELAY_NS)
+        .collect();
+    let _ = (fabric, placement);
+
+    // arrival[net] = worst arrival at that net's driver output.
+    let mut arrival = vec![0.0f64; nl.num_nets as usize];
+    let mut depth = vec![0u32; nl.num_nets as usize];
+
+    // Bounded relaxation (2 passes suffice for DAGs in emission order; a
+    // few more make the result stable even for odd orders).
+    let mut worst = 0.0f64;
+    let mut worst_depth = 0u32;
+    for _ in 0..4 {
+        let mut changed = false;
+        for c in &nl.cells {
+            // FFs are sequential: they start a new path.
+            let (input_at, input_depth) = if c.kind == CellKind::Ff {
+                (0.0, 0)
+            } else {
+                let mut at = 0.0f64;
+                let mut d = 0u32;
+                for &i in &c.inputs {
+                    let wire = net_delay.get(i as usize).copied().unwrap_or(0.0);
+                    if arrival[i as usize] + wire > at {
+                        at = arrival[i as usize] + wire;
+                        d = depth[i as usize];
+                    }
+                }
+                (at, d)
+            };
+            let out_at = input_at + cell_delay_ns(c.kind);
+            let out_depth = input_depth + 1;
+            if out_at > arrival[c.output as usize] + 1e-12 {
+                arrival[c.output as usize] = out_at;
+                depth[c.output as usize] = out_depth;
+                changed = true;
+            }
+            if out_at > worst {
+                worst = out_at;
+                worst_depth = out_depth;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let critical = worst.max(cell_delay_ns(CellKind::Lut4 { mask: 0 }));
+    let fmax = 1_000.0 / critical;
+    TimingReport {
+        critical_path_ns: critical,
+        fmax_mhz: fmax,
+        critical_cells: worst_depth,
+        meets_300mhz: fmax >= 300.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlaceEffort};
+    use crate::route::{route, RouteEffort};
+    use jitise_pivpav::netlist::synthesize_core;
+
+    fn timing_for(luts: u32, ffs: u32, dsps: u32) -> TimingReport {
+        let fabric = Fabric::pr_region();
+        let nl = synthesize_core("t", 8, luts, ffs, dsps, 23);
+        let p = place(&fabric, &nl, PlaceEffort::fast(), 3).unwrap();
+        let r = route(&fabric, &nl, &p, RouteEffort::fast()).unwrap();
+        analyze(&fabric, &nl, &p, &r)
+    }
+
+    #[test]
+    fn reports_positive_critical_path() {
+        let t = timing_for(60, 8, 2);
+        assert!(t.critical_path_ns > 0.0);
+        assert!(t.fmax_mhz > 0.0);
+        assert!(t.critical_cells >= 1);
+        assert!((t.fmax_mhz - 1_000.0 / t.critical_path_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_designs_are_slower() {
+        let small = timing_for(20, 0, 0);
+        let big = timing_for(250, 0, 4);
+        assert!(
+            big.critical_path_ns > small.critical_path_ns,
+            "{} vs {}",
+            big.critical_path_ns,
+            small.critical_path_ns
+        );
+    }
+
+    #[test]
+    fn dsp_delay_dominates_luts() {
+        assert!(cell_delay_ns(CellKind::Dsp48) > 5.0 * cell_delay_ns(CellKind::Lut4 { mask: 0 }));
+    }
+
+    #[test]
+    fn ff_breaks_combinational_paths() {
+        // A pure-FF netlist has minimal critical path (single clk-q + wire).
+        let fabric = Fabric::pr_region();
+        let mut nl = jitise_pivpav::Netlist::new("ffchain");
+        let a = nl.add_input("a", 1);
+        let mut prev = a[0];
+        for _ in 0..10 {
+            prev = nl.add_cell(CellKind::Ff, vec![prev]);
+        }
+        nl.add_output("y", vec![prev]);
+        let p = place(&fabric, &nl, PlaceEffort::fast(), 1).unwrap();
+        let r = route(&fabric, &nl, &p, RouteEffort::fast()).unwrap();
+        let t = analyze(&fabric, &nl, &p, &r);
+        assert!(
+            t.critical_path_ns < 2.0,
+            "FF chain must not accumulate: {}",
+            t.critical_path_ns
+        );
+    }
+}

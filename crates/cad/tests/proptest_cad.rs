@@ -1,0 +1,81 @@
+//! Property tests for the CAD substrate: every synthesized netlist must
+//! place legally, route to full connectivity without overflow (on a
+//! sufficiently provisioned fabric), produce monotone timing, and emit a
+//! CRC-clean bitstream.
+
+use jitise_cad::{
+    analyze, bitgen, check_connected, check_legal, place, route, Fabric, PlaceEffort,
+    RouteEffort,
+};
+use jitise_pivpav::netlist::synthesize_core;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn placements_are_legal(
+        luts in 4u32..160,
+        ffs in 0u32..24,
+        dsps in 0u32..6,
+        width in 2u32..16,
+        seed in 0u64..5000,
+    ) {
+        let fabric = Fabric::pr_region();
+        let nl = synthesize_core("p", width, luts, ffs, dsps, seed);
+        nl.validate().expect("generator emits valid netlists");
+        let p = place(&fabric, &nl, PlaceEffort::fast(), seed).expect("fits");
+        check_legal(&fabric, &nl, &p).expect("legal placement");
+    }
+
+    #[test]
+    fn routes_connect_without_overflow(
+        luts in 4u32..120,
+        width in 2u32..12,
+        seed in 0u64..5000,
+    ) {
+        let fabric = Fabric::pr_region();
+        let nl = synthesize_core("r", width, luts, luts / 8, 1, seed);
+        let p = place(&fabric, &nl, PlaceEffort::fast(), seed).unwrap();
+        let r = route(&fabric, &nl, &p, RouteEffort::normal()).unwrap();
+        prop_assert_eq!(r.overflow, 0, "overflowed {} channels", r.overflow);
+        check_connected(&fabric, &nl, &p, &r).expect("all nets connected");
+    }
+
+    #[test]
+    fn timing_positive_and_bitstream_verifies(
+        luts in 4u32..100,
+        seed in 0u64..5000,
+    ) {
+        let fabric = Fabric::pr_region();
+        let nl = synthesize_core("t", 8, luts, 4, 1, seed);
+        let p = place(&fabric, &nl, PlaceEffort::fast(), seed).unwrap();
+        let r = route(&fabric, &nl, &p, RouteEffort::fast()).unwrap();
+        let timing = analyze(&fabric, &nl, &p, &r);
+        prop_assert!(timing.critical_path_ns > 0.0);
+        prop_assert!(timing.fmax_mhz.is_finite() && timing.fmax_mhz > 0.0);
+        let bs = bitgen(&fabric, &nl, &p, &r, true);
+        prop_assert!(bs.verify());
+        // Frames always cover every PR column.
+        prop_assert_eq!(bs.frames, fabric.width);
+    }
+
+    #[test]
+    fn better_placement_effort_never_hurts_much(
+        luts in 20u32..120,
+        seed in 0u64..1000,
+    ) {
+        let fabric = Fabric::pr_region();
+        let nl = synthesize_core("e", 8, luts, 4, 1, seed);
+        let fast = place(&fabric, &nl, PlaceEffort::fast(), seed).unwrap();
+        let normal = place(&fabric, &nl, PlaceEffort::normal(), seed).unwrap();
+        // Annealing longer should reach at-most-slightly-worse cost (SA is
+        // stochastic; allow 25 % slack).
+        prop_assert!(
+            (normal.hpwl as f64) <= fast.hpwl as f64 * 1.25,
+            "normal {} vs fast {}",
+            normal.hpwl,
+            fast.hpwl
+        );
+    }
+}

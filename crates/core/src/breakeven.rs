@@ -1,0 +1,185 @@
+//! Break-even analysis (§V-D).
+//!
+//! Two models, as in the paper:
+//!
+//! * **Simplistic** — "divide the total runtime overhead by the time saved
+//!   during one execution of the application": fixed input, repeated
+//!   executions.
+//! * **Frequency-scaled** (the paper's reported numbers) — "more input
+//!   data is processed instead of multiple execution of the same
+//!   application. Hence, the additional runtime is spent only in the parts
+//!   of the code which are live": constant-code savings accrue once, live
+//!   savings scale with the input; solve for the input scale at which
+//!   accumulated savings equal the specialization overhead and report the
+//!   corresponding execution time.
+
+use jitise_base::SimTime;
+
+/// Inputs of the frequency-scaled model, all per one train-set execution.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakEvenInputs {
+    /// Time spent in constant-frequency code.
+    pub const_time: SimTime,
+    /// Time spent in live (input-scaled) code.
+    pub live_time: SimTime,
+    /// Time saved per execution in constant code (candidates living in
+    /// const blocks).
+    pub const_saved: SimTime,
+    /// Time saved per execution in live code.
+    pub live_saved: SimTime,
+    /// Total ASIP specialization overhead to amortize (Table II `sum`).
+    pub overhead: SimTime,
+}
+
+/// Simplistic model: repeated executions of a fixed input.
+///
+/// One execution takes `exec_time` and saves `saved_per_exec`; break-even
+/// is reached after `ceil(overhead / saved)` executions. Returns the total
+/// execution time until then, or `None` if nothing is saved.
+pub fn break_even_simplistic(
+    exec_time: SimTime,
+    saved_per_exec: SimTime,
+    overhead: SimTime,
+) -> Option<SimTime> {
+    if saved_per_exec == SimTime::ZERO {
+        return None;
+    }
+    let execs = overhead.as_nanos().div_ceil(saved_per_exec.as_nanos());
+    Some(exec_time * execs)
+}
+
+/// Frequency-scaled model (the paper's Table II column).
+///
+/// Returns the minimal execution time after which savings cover the
+/// overhead, or `None` if live code saves nothing (the overhead is then
+/// never amortized by larger inputs).
+pub fn break_even_scaled(inp: BreakEvenInputs) -> Option<SimTime> {
+    let overhead = inp.overhead.as_nanos() as f64;
+    let const_saved = inp.const_saved.as_nanos() as f64;
+    let live_saved = inp.live_saved.as_nanos() as f64;
+    let const_time = inp.const_time.as_nanos() as f64;
+    let live_time = inp.live_time.as_nanos() as f64;
+
+    if const_saved >= overhead {
+        // Amortized within the constant part of the very first run.
+        let frac = if const_saved > 0.0 {
+            overhead / const_saved
+        } else {
+            0.0
+        };
+        return Some(SimTime::from_nanos((const_time * frac) as u64));
+    }
+    if live_saved <= 0.0 {
+        return None;
+    }
+    // Scale alpha at which const_saved + alpha * live_saved == overhead.
+    let alpha = (overhead - const_saved) / live_saved;
+    let total = const_time + alpha * live_time;
+    Some(SimTime::from_nanos(total as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn simplistic_basic() {
+        // Each run takes 10 s and saves 2 s; overhead 60 s -> 30 runs.
+        let t = break_even_simplistic(s(10), s(2), s(60)).unwrap();
+        assert_eq!(t, s(300));
+        // Rounds up: overhead 61 s -> 31 runs.
+        let t = break_even_simplistic(s(10), s(2), s(61)).unwrap();
+        assert_eq!(t, s(310));
+        assert!(break_even_simplistic(s(10), SimTime::ZERO, s(60)).is_none());
+    }
+
+    #[test]
+    fn scaled_basic() {
+        // 5 s const (saving 1 s), 20 s live (saving 4 s per run).
+        // Overhead 41 s: alpha = (41-1)/4 = 10 -> time = 5 + 10*20 = 205 s.
+        let t = break_even_scaled(BreakEvenInputs {
+            const_time: s(5),
+            live_time: s(20),
+            const_saved: s(1),
+            live_saved: s(4),
+            overhead: s(41),
+        })
+        .unwrap();
+        assert_eq!(t, s(205));
+    }
+
+    #[test]
+    fn scaled_monotone_in_overhead_and_speedup() {
+        let base = BreakEvenInputs {
+            const_time: s(5),
+            live_time: s(20),
+            const_saved: s(1),
+            live_saved: s(4),
+            overhead: s(41),
+        };
+        let t0 = break_even_scaled(base).unwrap();
+        let t_more_overhead = break_even_scaled(BreakEvenInputs {
+            overhead: s(80),
+            ..base
+        })
+        .unwrap();
+        assert!(t_more_overhead > t0, "more overhead, later break-even");
+        let t_more_savings = break_even_scaled(BreakEvenInputs {
+            live_saved: s(8),
+            ..base
+        })
+        .unwrap();
+        assert!(t_more_savings < t0, "more savings, earlier break-even");
+    }
+
+    #[test]
+    fn scaled_const_only_amortization() {
+        // Savings in constant code alone cover the overhead.
+        let t = break_even_scaled(BreakEvenInputs {
+            const_time: s(10),
+            live_time: s(100),
+            const_saved: s(50),
+            live_saved: SimTime::ZERO,
+            overhead: s(25),
+        })
+        .unwrap();
+        assert_eq!(t, s(5), "half the const section pays it off");
+    }
+
+    #[test]
+    fn scaled_never_amortizes_without_live_savings() {
+        assert!(break_even_scaled(BreakEvenInputs {
+            const_time: s(10),
+            live_time: s(100),
+            const_saved: s(1),
+            live_saved: SimTime::ZERO,
+            overhead: s(25),
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn paper_scale_example() {
+        // Embedded-style numbers: ~50 min overhead, ~23 s VM run with 5x
+        // speedup concentrated in live code -> break-even in hours.
+        let run = s(23);
+        let saved = SimTime::from_secs_f64(23.0 * (1.0 - 1.0 / 4.98));
+        let t = break_even_scaled(BreakEvenInputs {
+            const_time: SimTime::from_secs_f64(0.5),
+            live_time: run,
+            const_saved: SimTime::ZERO,
+            live_saved: saved,
+            overhead: SimTime::from_mins(50),
+        })
+        .unwrap();
+        let hours = t.as_hours_f64();
+        assert!(
+            (0.25..6.0).contains(&hours),
+            "embedded break-even should be order-hours, got {hours}"
+        );
+    }
+}

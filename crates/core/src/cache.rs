@@ -1,0 +1,229 @@
+//! The partial-reconfiguration bitstream cache (§VI-A).
+//!
+//! "Much like virtual machines cache the binary code that was generated
+//! on-the-fly for further use, we can cache the generated partial
+//! bitstreams for each custom instruction. To this end, each candidate
+//! needs to have a unique identifier that is used as a key for reading and
+//! writing the cache. We can, for example, compute a signature of the LLVM
+//! bitcode that describes the candidate."
+//!
+//! The key is [`jitise_ise::Candidate::signature`]; the value carries the
+//! bitstream plus the implementation results needed to reuse it (timing,
+//! stage costs), so a hit skips the *entire* generation pipeline. An
+//! optional on-disk image uses the `jitise-base` codec.
+
+use jitise_base::codec::{Decoder, Encoder};
+use jitise_base::{Error, Result, SimTime};
+use jitise_cad::{Bitstream, TimingReport};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A cached implementation of one custom instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCi {
+    /// Candidate signature.
+    pub signature: u64,
+    /// The partial bitstream.
+    pub bitstream: Bitstream,
+    /// Implemented timing.
+    pub timing: TimingReport,
+    /// Total generation time this entry saves on a hit (C2V + full flow).
+    pub generation_time: SimTime,
+}
+
+/// Thread-safe signature-keyed bitstream cache.
+#[derive(Debug, Default)]
+pub struct BitstreamCache {
+    map: RwLock<HashMap<u64, CachedCi>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl BitstreamCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a signature, counting hit/miss.
+    pub fn get(&self, signature: u64) -> Option<CachedCi> {
+        let out = self.map.read().get(&signature).cloned();
+        match out {
+            Some(v) => {
+                *self.hits.write() += 1;
+                Some(v)
+            }
+            None => {
+                *self.misses.write() += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an implementation.
+    pub fn put(&self, entry: CachedCi) {
+        self.map.write().insert(entry.signature, entry);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Number of cached bitstreams.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Clears contents and counters.
+    pub fn clear(&self) {
+        self.map.write().clear();
+        *self.hits.write() = 0;
+        *self.misses.write() = 0;
+    }
+
+    /// Serializes the whole cache to bytes (the on-disk database of
+    /// §VI-A).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let map = self.map.read();
+        let mut enc = Encoder::new();
+        enc.put_str("JITISE-BSCACHE-1");
+        enc.put_varu64(map.len() as u64);
+        let mut keys: Vec<u64> = map.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let e = &map[&k];
+            enc.put_u64(e.signature);
+            enc.put_bytes(&e.bitstream.bytes);
+            enc.put_varu32(e.bitstream.frames);
+            enc.put_u64(e.bitstream.crc as u64);
+            enc.put_varu32(e.bitstream.partial as u32);
+            enc.put_u64(e.timing.critical_path_ns.to_bits());
+            enc.put_u64(e.timing.fmax_mhz.to_bits());
+            enc.put_varu32(e.timing.critical_cells);
+            enc.put_varu32(e.timing.meets_300mhz as u32);
+            enc.put_u64(e.generation_time.as_nanos());
+        }
+        enc.finish()
+    }
+
+    /// Restores a cache image produced by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<BitstreamCache> {
+        let mut dec = Decoder::new(data);
+        let magic = dec.get_str()?;
+        if magic != "JITISE-BSCACHE-1" {
+            return Err(Error::Codec(format!("bad cache magic {magic:?}")));
+        }
+        let n = dec.get_varu64()?;
+        let cache = BitstreamCache::new();
+        for _ in 0..n {
+            let signature = dec.get_u64()?;
+            let bytes = dec.get_bytes()?.to_vec();
+            let frames = dec.get_varu32()?;
+            let crc = dec.get_u64()? as u32;
+            let partial = dec.get_varu32()? != 0;
+            let critical_path_ns = f64::from_bits(dec.get_u64()?);
+            let fmax_mhz = f64::from_bits(dec.get_u64()?);
+            let critical_cells = dec.get_varu32()?;
+            let meets_300mhz = dec.get_varu32()? != 0;
+            let generation_time = SimTime::from_nanos(dec.get_u64()?);
+            let bitstream = Bitstream {
+                bytes,
+                frames,
+                crc,
+                partial,
+            };
+            if !bitstream.verify() {
+                return Err(Error::Codec(format!(
+                    "cache entry {signature:#018x} failed CRC"
+                )));
+            }
+            cache.put(CachedCi {
+                signature,
+                bitstream,
+                timing: TimingReport {
+                    critical_path_ns,
+                    fmax_mhz,
+                    critical_cells,
+                    meets_300mhz,
+                },
+                generation_time,
+            });
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(sig: u64) -> CachedCi {
+        let fabric = jitise_cad::Fabric::tiny();
+        let nl = jitise_pivpav::netlist::synthesize_core("x", 4, 8, 2, 0, sig);
+        let p = jitise_cad::place(&fabric, &nl, jitise_cad::PlaceEffort::fast(), 1).unwrap();
+        let r = jitise_cad::route(&fabric, &nl, &p, jitise_cad::RouteEffort::fast()).unwrap();
+        let bitstream = jitise_cad::bitgen(&fabric, &nl, &p, &r, true);
+        let timing = jitise_cad::analyze(&fabric, &nl, &p, &r);
+        CachedCi {
+            signature: sig,
+            bitstream,
+            timing,
+            generation_time: SimTime::from_secs(220),
+        }
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let c = BitstreamCache::new();
+        assert!(c.get(42).is_none());
+        c.put(sample_entry(42));
+        let hit = c.get(42).unwrap();
+        assert_eq!(hit.signature, 42);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(1));
+        c.put(sample_entry(2));
+        let bytes = c.to_bytes();
+        let c2 = BitstreamCache::from_bytes(&bytes).unwrap();
+        assert_eq!(c2.len(), 2);
+        let e = c2.get(1).unwrap();
+        assert_eq!(e, c.get(1).unwrap());
+        assert!(e.bitstream.verify());
+    }
+
+    #[test]
+    fn corrupt_image_rejected() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(9));
+        let mut bytes = c.to_bytes();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xff;
+        assert!(BitstreamCache::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(BitstreamCache::from_bytes(b"NOT-A-CACHE").is_err());
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(5));
+        c.get(5);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0));
+    }
+}

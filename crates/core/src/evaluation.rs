@@ -1,0 +1,221 @@
+//! Per-application evaluation driver.
+//!
+//! Runs the complete measurement protocol of §IV–§V for one benchmark:
+//! profile on every dataset, coverage classification, kernel analysis,
+//! VM/native execution times, the unpruned upper-bound ASIP ratio, the
+//! pruned specialization run with per-phase overheads, and both break-even
+//! models. The table-reproduction binaries and integration tests consume
+//! the resulting [`AppEvaluation`].
+
+use crate::breakeven::{break_even_scaled, BreakEvenInputs};
+use crate::cache::BitstreamCache;
+use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
+use jitise_apps::App;
+use jitise_base::SimTime;
+use jitise_ise::{candidate_search, PruneFilter, SearchConfig};
+use jitise_pivpav::{CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_vm::coverage::{classify, CoverageClass, CoverageReport};
+use jitise_vm::exec_model::ExecTimes;
+use jitise_vm::kernel::{kernel, KernelReport, KERNEL_THRESHOLD};
+use jitise_vm::{CostModel, Profile};
+use jitise_woolcano::Woolcano;
+
+/// Shared evaluation context (databases and caches reused across apps).
+pub struct EvalContext {
+    /// The PivPav circuit database.
+    pub db: CircuitDb,
+    /// Netlist cache.
+    pub netlists: NetlistCache,
+    /// Bitstream cache.
+    pub bitstreams: BitstreamCache,
+    /// Estimator.
+    pub estimator: PivPavEstimator,
+    /// CPU model.
+    pub cost: CostModel,
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalContext {
+    /// Builds the context (database construction is the expensive part).
+    pub fn new() -> EvalContext {
+        EvalContext {
+            db: CircuitDb::build(),
+            netlists: NetlistCache::new(),
+            bitstreams: BitstreamCache::new(),
+            estimator: PivPavEstimator::new(),
+            cost: CostModel::ppc405(),
+        }
+    }
+}
+
+/// Everything measured about one application.
+pub struct AppEvaluation {
+    /// The application name.
+    pub name: &'static str,
+    /// Static counts.
+    pub blocks: usize,
+    /// Static instruction count.
+    pub insts: usize,
+    /// Modeled compile-to-bitcode time.
+    pub compile_time: SimTime,
+    /// VM / native execution times and ratio.
+    pub exec: ExecTimes,
+    /// Coverage classification.
+    pub coverage: CoverageReport,
+    /// Kernel analysis.
+    pub kernel: KernelReport,
+    /// Upper-bound ASIP ratio (no pruning, every candidate implemented).
+    pub asip_ratio_max: f64,
+    /// The specialization report (pruned, Table II).
+    pub report: SpecializeReport,
+    /// Pruned ASIP ratio (Table II `ratio`).
+    pub asip_ratio_pruned: f64,
+    /// Break-even time, frequency-scaled model (`None` = never).
+    pub break_even: Option<SimTime>,
+    /// The scaled train profile used throughout.
+    pub profile: Profile,
+}
+
+/// Break-even inputs extracted for reuse by the Table IV extrapolation.
+pub struct BreakEvenBasis {
+    /// Per-candidate generation times.
+    pub candidate_times: Vec<SimTime>,
+    /// Model inputs with `overhead` left at the full (no-cache) value.
+    pub inputs: BreakEvenInputs,
+}
+
+/// Evaluates one application end to end.
+pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
+    // ---- profiling on all datasets ----
+    let raw_profiles = app.profile_all_datasets();
+    let scale = app.time_scale(&raw_profiles[0]);
+    let profile = raw_profiles[0].scaled(scale);
+
+    // ---- static + dynamic characterization ----
+    let coverage = classify(&app.module, &raw_profiles);
+    let kern = kernel(&app.module, &raw_profiles[0], KERNEL_THRESHOLD);
+    let exec = app.exec_model.times(&app.module, &profile, &ctx.cost);
+
+    // ---- upper bound: no pruning, min size 2, generous budget ----
+    let unpruned_cfg = SearchConfig {
+        filter: PruneFilter::none(),
+        ..SearchConfig::default()
+    };
+    let unpruned = candidate_search(&app.module, &profile, &ctx.estimator, &unpruned_cfg);
+
+    // ---- pruned specialization (the paper's JIT configuration) ----
+    let mut specialized = app.module.clone();
+    let machine = Woolcano::new(512);
+    let report = specialize(
+        &mut specialized,
+        &profile,
+        &machine,
+        &ctx.estimator,
+        &ctx.db,
+        &ctx.netlists,
+        &ctx.bitstreams,
+        &SpecializeConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: specialization failed: {e}", app.name));
+    let asip_ratio_pruned = report.search.asip_ratio;
+
+    // ---- break-even ----
+    let basis = break_even_basis(ctx, &coverage, &profile, &report);
+    let break_even = break_even_scaled(basis.inputs);
+
+    AppEvaluation {
+        name: app.name,
+        blocks: app.module.num_blocks(),
+        insts: app.module.num_insts(),
+        compile_time: app.compile_time_model(),
+        exec,
+        coverage,
+        kernel: kern,
+        asip_ratio_max: unpruned.asip_ratio,
+        report,
+        asip_ratio_pruned,
+        break_even,
+        profile,
+    }
+}
+
+/// Extracts the frequency-scaled break-even inputs from a specialization
+/// report (shared with the Table IV extrapolation, which re-evaluates the
+/// same basis under varying cache rates and tool speedups).
+pub fn break_even_basis(
+    ctx: &EvalContext,
+    coverage: &CoverageReport,
+    profile: &Profile,
+    report: &SpecializeReport,
+) -> BreakEvenBasis {
+    // Split execution time into live / const by block class.
+    let mut live_cycles: u64 = 0;
+    let mut const_cycles: u64 = 0;
+    for key in profile.keys() {
+        match coverage.class_of(key) {
+            CoverageClass::Live => live_cycles += profile.block_cycles(key),
+            CoverageClass::Const => const_cycles += profile.block_cycles(key),
+            CoverageClass::Dead => {}
+        }
+    }
+    // Savings by class of the candidate's home block.
+    let mut live_saved: u64 = 0;
+    let mut const_saved: u64 = 0;
+    for c in &report.candidates {
+        let saved = c.saved_per_exec * profile.count(c.key);
+        match coverage.class_of(c.key) {
+            CoverageClass::Live => live_saved += saved,
+            CoverageClass::Const => const_saved += saved,
+            CoverageClass::Dead => {}
+        }
+    }
+    let candidate_times: Vec<SimTime> = report.candidates.iter().map(|c| c.total()).collect();
+    BreakEvenBasis {
+        inputs: BreakEvenInputs {
+            const_time: ctx.cost.cycles_to_time(const_cycles),
+            live_time: ctx.cost.cycles_to_time(live_cycles),
+            const_saved: ctx.cost.cycles_to_time(const_saved),
+            live_saved: ctx.cost.cycles_to_time(live_saved),
+            overhead: report.sum_time,
+        },
+        candidate_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_sor_end_to_end() {
+        let ctx = EvalContext::new();
+        let app = App::build("sor").unwrap();
+        let ev = evaluate_app(&ctx, &app);
+        assert!(ev.asip_ratio_max >= ev.asip_ratio_pruned * 0.95);
+        assert!(ev.asip_ratio_pruned > 1.0, "sor must accelerate");
+        assert!(ev.exec.ratio > 0.9 && ev.exec.ratio < 1.6);
+        assert!(ev.kernel.time_frac >= 0.9);
+        let be = ev.break_even.expect("sor amortizes");
+        // Paper: 24 minutes. Same order of magnitude: minutes-to-hours.
+        assert!(
+            be.as_hours_f64() < 24.0,
+            "sor break-even {be} should be far under a day"
+        );
+        assert!(ev.report.sum_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn coverage_classes_present_in_synthetic_app() {
+        let ctx = EvalContext::new();
+        let app = App::build("429.mcf").unwrap();
+        let ev = evaluate_app(&ctx, &app);
+        assert!(ev.coverage.dead_frac > 0.0, "dead section must exist");
+        assert!(ev.coverage.live_frac > 0.0);
+        assert!(ev.coverage.const_frac > 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Table IV extrapolation (§VI-C).
+//!
+//! "we varied the assumed cache hit rate between 0 %–90 %. That is, for
+//! simulating a cache with 20 % hit rate, we have populated the cache with
+//! 20 % of the required bitstreams for a particular application, whereas
+//! the selection which bitstreams are stored in the cache is random.
+//! Whenever there is a hit … the whole runtime associated with the
+//! generation of the candidate is subtracted from the total runtime. The
+//! values in the Faster FPGA CAD tool flow columns are decreasing linearly
+//! with the assumed speedup."
+
+use crate::breakeven::{break_even_scaled, BreakEvenInputs};
+use crate::evaluation::BreakEvenBasis;
+use jitise_base::rng::SplitMix64;
+use jitise_base::SimTime;
+
+/// The cache-hit rates of Table IV's rows.
+pub const CACHE_RATES: [f64; 10] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The tool-flow speedups of Table IV's columns.
+pub const TOOL_SPEEDUPS: [f64; 4] = [0.0, 0.3, 0.6, 0.9];
+
+/// One Table IV cell: the average break-even time over the supplied apps.
+pub fn average_break_even(
+    bases: &[BreakEvenBasis],
+    cache_rate: f64,
+    tool_speedup: f64,
+    trials: u32,
+    seed: u64,
+) -> SimTime {
+    assert!((0.0..=1.0).contains(&cache_rate));
+    assert!((0.0..=1.0).contains(&tool_speedup));
+    let mut rng = SplitMix64::new(seed);
+    let mut total_ns: u128 = 0;
+    let mut samples: u128 = 0;
+    for basis in bases {
+        let n = basis.candidate_times.len();
+        let hits = ((n as f64) * cache_rate).round() as usize;
+        for _ in 0..trials.max(1) {
+            // Random hit subset; its generation time is subtracted.
+            let hit_idx = rng.sample_indices(n, hits.min(n));
+            let saved: SimTime = hit_idx
+                .iter()
+                .map(|&i| basis.candidate_times[i])
+                .sum();
+            let overhead = basis
+                .inputs
+                .overhead
+                .saturating_sub(saved)
+                .scale(1.0 - tool_speedup);
+            let be = break_even_scaled(BreakEvenInputs {
+                overhead,
+                ..basis.inputs
+            });
+            if let Some(t) = be {
+                total_ns += t.as_nanos() as u128;
+                samples += 1;
+            }
+        }
+    }
+    if samples == 0 {
+        return SimTime::ZERO;
+    }
+    SimTime::from_nanos((total_ns / samples) as u64)
+}
+
+/// Computes the full Table IV grid: `grid[row][col]` for
+/// `CACHE_RATES[row]` × `TOOL_SPEEDUPS[col]`.
+pub fn table_iv(bases: &[BreakEvenBasis], trials: u32, seed: u64) -> Vec<Vec<SimTime>> {
+    CACHE_RATES
+        .iter()
+        .map(|&r| {
+            TOOL_SPEEDUPS
+                .iter()
+                .map(|&s| average_break_even(bases, r, s, trials, seed))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(n_cands: usize, overhead_s: u64) -> BreakEvenBasis {
+        BreakEvenBasis {
+            candidate_times: (0..n_cands)
+                .map(|i| SimTime::from_secs(overhead_s / n_cands as u64 + i as u64))
+                .collect(),
+            inputs: BreakEvenInputs {
+                const_time: SimTime::from_secs(1),
+                live_time: SimTime::from_secs(20),
+                const_saved: SimTime::ZERO,
+                live_saved: SimTime::from_secs(16),
+                overhead: SimTime::from_secs(overhead_s),
+            },
+        }
+    }
+
+    #[test]
+    fn zero_cache_zero_speedup_is_baseline() {
+        let b = [basis(8, 2_993)];
+        let cell = average_break_even(&b, 0.0, 0.0, 4, 1);
+        let direct = break_even_scaled(b[0].inputs).unwrap();
+        assert_eq!(cell, direct);
+    }
+
+    #[test]
+    fn monotone_in_both_axes() {
+        let b = [basis(8, 2_993), basis(14, 4_452)];
+        let grid = table_iv(&b, 6, 7);
+        // Down a column: higher hit rate, lower break-even.
+        for col in 0..TOOL_SPEEDUPS.len() {
+            for row in 1..CACHE_RATES.len() {
+                assert!(
+                    grid[row][col] <= grid[row - 1][col],
+                    "row {row} col {col}: {} > {}",
+                    grid[row][col],
+                    grid[row - 1][col]
+                );
+            }
+        }
+        // Across a row: faster tools, lower break-even.
+        for row in 0..CACHE_RATES.len() {
+            for col in 1..TOOL_SPEEDUPS.len() {
+                assert!(grid[row][col] <= grid[row][col - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_halving() {
+        // §VI-C: 30 % cache hits + 30 % faster tools cuts the embedded
+        // average "almost by a half (1.94x)". Check the same shape.
+        let b = [basis(8, 2_418), basis(14, 4_452), basis(2, 1_256), basis(9, 3_848)];
+        let base = average_break_even(&b, 0.0, 0.0, 8, 3);
+        let improved = average_break_even(&b, 0.3, 0.3, 8, 3);
+        let factor = base.as_secs_f64() / improved.as_secs_f64().max(1e-9);
+        assert!(
+            (1.4..2.6).contains(&factor),
+            "improvement factor {factor} out of band"
+        );
+    }
+
+    #[test]
+    fn full_cache_full_speedup_near_zero_overhead() {
+        let b = [basis(10, 1_000)];
+        let cell = average_break_even(&b, 0.9, 0.9, 4, 5);
+        let base = average_break_even(&b, 0.0, 0.0, 4, 5);
+        assert!(cell < base / 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let b = [basis(9, 2_000)];
+        assert_eq!(
+            average_break_even(&b, 0.5, 0.3, 8, 11),
+            average_break_even(&b, 0.5, 0.3, 8, 11)
+        );
+    }
+}

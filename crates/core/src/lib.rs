@@ -1,0 +1,29 @@
+//! # jitise-core — the just-in-time ASIP specialization process
+//!
+//! The paper's primary contribution: the tool flow that moves instruction
+//! set customization to runtime (Figs. 1 and 2).
+//!
+//! * [`pipeline`] — the three-phase ASIP-SP (Candidate Search → Netlist
+//!   Generation → Instruction Implementation) plus the adaptation phase
+//!   (reconfigure + binary patch).
+//! * [`cache`] — the partial-reconfiguration bitstream cache of §VI-A.
+//! * [`breakeven`] — both break-even models of §V-D.
+//! * [`extrapolate`] — the Table IV cache/tool-speedup extrapolation.
+//! * [`evaluation`] — the per-application measurement protocol driving
+//!   the table reproductions.
+//! * [`runtime`] — the concurrent JIT runtime: the application executes
+//!   while a background worker specializes, then hot-swaps.
+
+pub mod breakeven;
+pub mod cache;
+pub mod evaluation;
+pub mod extrapolate;
+pub mod pipeline;
+pub mod runtime;
+
+pub use breakeven::{break_even_scaled, break_even_simplistic, BreakEvenInputs};
+pub use cache::{BitstreamCache, CachedCi};
+pub use evaluation::{break_even_basis, evaluate_app, AppEvaluation, BreakEvenBasis, EvalContext};
+pub use extrapolate::{average_break_even, table_iv, CACHE_RATES, TOOL_SPEEDUPS};
+pub use pipeline::{specialize, CandidateOutcome, SpecializeConfig, SpecializeReport};
+pub use runtime::{run_adaptive, AdaptiveOutcome};

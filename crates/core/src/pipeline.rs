@@ -1,0 +1,343 @@
+//! The ASIP specialization process (ASIP-SP, paper Fig. 2).
+//!
+//! Orchestrates the three phases over one profiled application:
+//!
+//! 1. **Candidate Search** — pruning, MAXMISO identification, PivPav
+//!    estimation, selection (`jitise-ise` + `jitise-pivpav`);
+//! 2. **Netlist Generation** — datapath VHDL, netlist extraction, CAD
+//!    project creation (`jitise-pivpav`);
+//! 3. **Instruction Implementation** — the FPGA CAD flow down to a partial
+//!    bitstream (`jitise-cad`);
+//!
+//! followed by the **adaptation phase**: bitstreams are loaded into the
+//! Woolcano slot file and the binary is patched to use the new custom
+//! instructions (`jitise-woolcano`).
+//!
+//! The bitstream cache short-circuits phases 2–3 per candidate (§VI-A).
+
+use crate::cache::{BitstreamCache, CachedCi};
+use jitise_base::{Result, SimTime};
+use jitise_cad::{run_flow, Fabric, FlowOptions};
+use jitise_ir::{Dfg, Module};
+use jitise_ise::{candidate_search, Candidate, SearchConfig, SearchOutcome};
+use jitise_pivpav::{create_project, CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_vm::{BlockKey, Profile};
+use jitise_woolcano::{patch_candidate, Woolcano};
+
+/// Configuration of the whole specialization process.
+pub struct SpecializeConfig {
+    /// Candidate-search configuration (filter, algorithm, budget).
+    pub search: SearchConfig,
+    /// CAD flow options.
+    pub flow: FlowOptions,
+    /// The PR-region fabric.
+    pub fabric: Fabric,
+    /// Use the bitstream cache.
+    pub use_cache: bool,
+}
+
+impl Default for SpecializeConfig {
+    fn default() -> Self {
+        SpecializeConfig {
+            search: SearchConfig::default(),
+            flow: FlowOptions::fast(),
+            fabric: Fabric::pr_region(),
+            use_cache: true,
+        }
+    }
+}
+
+/// Per-candidate implementation record.
+#[derive(Debug, Clone)]
+pub struct CandidateOutcome {
+    /// The candidate's block.
+    pub key: BlockKey,
+    /// Instructions covered.
+    pub size: usize,
+    /// Candidate signature.
+    pub signature: u64,
+    /// True if served from the bitstream cache.
+    pub cache_hit: bool,
+    /// Netlist-generation (C2V) time — zero on a cache hit.
+    pub c2v: SimTime,
+    /// Constant flow stages (Syn + Xst + Tra + Bitgen) — zero on a hit.
+    pub const_stages: SimTime,
+    /// Map time.
+    pub map: SimTime,
+    /// PAR time.
+    pub par: SimTime,
+    /// CI slot assigned.
+    pub slot: u32,
+    /// Estimated cycles saved per block execution.
+    pub saved_per_exec: u64,
+    /// Block executions in the profile.
+    pub exec_count: u64,
+}
+
+impl CandidateOutcome {
+    /// Total generation time for this candidate (what a cache hit saves).
+    pub fn total(&self) -> SimTime {
+        self.c2v + self.const_stages + self.map + self.par
+    }
+}
+
+/// Result of one specialization run.
+pub struct SpecializeReport {
+    /// Candidate-search phase outcome (Table II left half).
+    pub search: SearchOutcome,
+    /// Per-candidate implementation outcomes.
+    pub candidates: Vec<CandidateOutcome>,
+    /// Aggregate constant-stage time (Table II `const` column = C2V +
+    /// Syn + Xst + Tra + Bitgen over all candidates).
+    pub const_time: SimTime,
+    /// Aggregate map time (Table II `map`).
+    pub map_time: SimTime,
+    /// Aggregate PAR time (Table II `par`).
+    pub par_time: SimTime,
+    /// Total overhead (Table II `sum`).
+    pub sum_time: SimTime,
+    /// Total ICAP reconfiguration time (adaptation phase).
+    pub reconfig_time: SimTime,
+    /// Cache hits during this run.
+    pub cache_hits: usize,
+}
+
+/// Runs the complete ASIP specialization process on `module` (profiled by
+/// `profile`), patching the module in place and loading the machine.
+///
+/// Returns the report; the specialized module and loaded `machine` are the
+/// adaptation-phase outputs.
+pub fn specialize(
+    module: &mut Module,
+    profile: &Profile,
+    machine: &Woolcano,
+    estimator: &PivPavEstimator,
+    db: &CircuitDb,
+    netlist_cache: &NetlistCache,
+    bitstream_cache: &BitstreamCache,
+    config: &SpecializeConfig,
+) -> Result<SpecializeReport> {
+    // ---- Phase 1: Candidate Search ----
+    let search = candidate_search(module, profile, estimator, &config.search);
+
+    // Snapshot the pristine functions: semantics freezing and signatures
+    // must see the unpatched IR even while we patch candidate by candidate.
+    let pristine = module.clone();
+
+    let mut outcomes = Vec::with_capacity(search.selection.selected.len());
+    let mut const_time = SimTime::ZERO;
+    let mut map_time = SimTime::ZERO;
+    let mut par_time = SimTime::ZERO;
+    let mut cache_hits = 0usize;
+
+    // Group candidates by block so each block's DFG is built once.
+    let selected: Vec<(Candidate, u64, u64, u64)> = search
+        .selection
+        .selected
+        .iter()
+        .map(|s| {
+            (
+                s.candidate.clone(),
+                s.estimate.saved_per_exec(),
+                s.estimate.exec_count,
+                s.estimate.hw_cycles,
+            )
+        })
+        .collect();
+
+    for (cand, saved_per_exec, exec_count, hw_cycles) in selected {
+        let pf = pristine.func(cand.key.func);
+        let dfg = Dfg::build(pf, cand.key.block);
+        let signature = cand.signature(pf, &dfg);
+
+        let (cached_entry, c2v_t, const_stages, map_t, par_t) = match (
+            config.use_cache,
+            bitstream_cache.get(signature),
+        ) {
+            (true, Some(hit)) => {
+                cache_hits += 1;
+                (hit, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO)
+            }
+            _ => {
+                // Phase 2: Netlist Generation.
+                let (project, c2v) = create_project(db, netlist_cache, pf, &dfg, &cand)?;
+                // Phase 3: Instruction Implementation.
+                let flow = run_flow(&config.fabric, &project, &config.flow)?;
+                let entry = CachedCi {
+                    signature,
+                    bitstream: flow.bitstream.clone(),
+                    timing: flow.timing.clone(),
+                    generation_time: c2v.total() + flow.total(),
+                };
+                bitstream_cache.put(entry.clone());
+                (
+                    entry,
+                    c2v.total(),
+                    flow.constant_share(),
+                    flow.map,
+                    flow.par,
+                )
+            }
+        };
+
+        const_time += c2v_t + const_stages;
+        map_time += map_t;
+        par_time += par_t;
+
+        // Adaptation: load the CI (at the estimator-calibrated latency)
+        // and patch the binary.
+        let slot = machine.install(pf, &dfg, &cand, hw_cycles, cached_entry.bitstream)?;
+        patch_candidate(module.func_mut(cand.key.func), &cand, slot)?;
+
+        outcomes.push(CandidateOutcome {
+            key: cand.key,
+            size: cand.len(),
+            signature,
+            cache_hit: c2v_t == SimTime::ZERO,
+            c2v: c2v_t,
+            const_stages,
+            map: map_t,
+            par: par_t,
+            slot,
+            saved_per_exec,
+            exec_count,
+        });
+    }
+
+    let sum_time = const_time + map_time + par_time;
+    Ok(SpecializeReport {
+        search,
+        candidates: outcomes,
+        const_time,
+        map_time,
+        par_time,
+        sum_time,
+        reconfig_time: machine.total_reconfig_time(),
+        cache_hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{FunctionBuilder, Operand as Op, Type};
+    use jitise_vm::{Interpreter, Value};
+
+    fn hot_module() -> Module {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let cell = b.alloca(4);
+        b.store(Op::ci32(1), cell);
+        b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
+            let acc = b.load(Type::I32, cell);
+            let x = b.mul(acc, i);
+            let y = b.mul(x, Op::ci32(3));
+            let z = b.add(y, i);
+            let w = b.xor(z, Op::ci32(0x5a));
+            b.store(w, cell);
+        });
+        let out = b.load(Type::I32, cell);
+        b.ret(out);
+        let mut m = Module::new("hot");
+        m.add_func(b.finish());
+        m
+    }
+
+    fn run_profile(m: &Module, n: i64) -> Profile {
+        let mut vm = Interpreter::new(m);
+        vm.run("main", &[Value::I(n)]).unwrap();
+        vm.take_profile()
+    }
+
+    struct Ctx {
+        db: CircuitDb,
+        netlists: NetlistCache,
+        bitstreams: BitstreamCache,
+        estimator: PivPavEstimator,
+    }
+
+    impl Ctx {
+        fn new() -> Ctx {
+            Ctx {
+                db: CircuitDb::build(),
+                netlists: NetlistCache::new(),
+                bitstreams: BitstreamCache::new(),
+                estimator: PivPavEstimator::new(),
+            }
+        }
+
+        fn specialize(&self, m: &mut Module, p: &Profile, machine: &Woolcano) -> SpecializeReport {
+            specialize(
+                m,
+                p,
+                machine,
+                &self.estimator,
+                &self.db,
+                &self.netlists,
+                &self.bitstreams,
+                &SpecializeConfig::default(),
+            )
+            .unwrap()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_speeds_up_and_preserves_semantics() {
+        let ctx = Ctx::new();
+        let base = hot_module();
+        let mut m = base.clone();
+        let profile = run_profile(&m, 5_000);
+        let machine = Woolcano::new(16);
+        let report = ctx.specialize(&mut m, &profile, &machine);
+        assert!(!report.candidates.is_empty());
+        assert!(report.sum_time > SimTime::ZERO);
+        assert_eq!(report.cache_hits, 0);
+        // Constant stages dominated by bitgen (paper: 85 %).
+        assert!(report.const_time.as_secs_f64() > 150.0);
+
+        let meas =
+            jitise_woolcano::measure_speedup(&base, &m, &machine, "main", &[Value::I(5_000)])
+                .unwrap();
+        assert!(meas.speedup > 1.0, "speedup {}", meas.speedup);
+    }
+
+    #[test]
+    fn cache_hit_skips_generation() {
+        let ctx = Ctx::new();
+        // First app run populates the cache.
+        let mut m1 = hot_module();
+        let p1 = run_profile(&m1, 2_000);
+        let machine1 = Woolcano::new(16);
+        let r1 = ctx.specialize(&mut m1, &p1, &machine1);
+        assert_eq!(r1.cache_hits, 0);
+        let first_sum = r1.sum_time;
+
+        // Same program again: every candidate hits.
+        let mut m2 = hot_module();
+        let p2 = run_profile(&m2, 2_000);
+        let machine2 = Woolcano::new(16);
+        let r2 = ctx.specialize(&mut m2, &p2, &machine2);
+        assert_eq!(r2.cache_hits, r2.candidates.len());
+        assert_eq!(r2.sum_time, SimTime::ZERO, "all generation skipped");
+        assert!(first_sum > SimTime::ZERO);
+
+        // And the cached-bitstream machine still computes correctly.
+        let base = hot_module();
+        let meas =
+            jitise_woolcano::measure_speedup(&base, &m2, &machine2, "main", &[Value::I(999)])
+                .unwrap();
+        assert!(meas.speedup > 1.0);
+    }
+
+    #[test]
+    fn report_times_are_consistent() {
+        let ctx = Ctx::new();
+        let mut m = hot_module();
+        let p = run_profile(&m, 2_000);
+        let machine = Woolcano::new(16);
+        let r = ctx.specialize(&mut m, &p, &machine);
+        let per_cand: SimTime = r.candidates.iter().map(|c| c.total()).sum();
+        assert_eq!(per_cand, r.sum_time);
+        assert_eq!(r.sum_time, r.const_time + r.map_time + r.par_time);
+        assert!(r.reconfig_time > SimTime::ZERO);
+    }
+}

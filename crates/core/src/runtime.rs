@@ -1,0 +1,215 @@
+//! The concurrent JIT runtime.
+//!
+//! Fig. 1's right half: the application executes on the VM while the ASIP
+//! specialization process runs *concurrently* ("this process is performed
+//! concurrently with the execution of the application. As soon as it is
+//! completed … the adaptation phase occurs where [the] ASIP architecture
+//! is reconfigured and the application binary is modified").
+//!
+//! [`run_adaptive`] models exactly that: the main thread keeps executing
+//! the workload run after run; a background worker profiles-and-
+//! specializes; on completion the main loop hot-swaps to the specialized
+//! binary and the loaded Woolcano machine. §VI-B's observation that one
+//! can "run the FPGA tool concurrently" is realized by the worker pool.
+
+use crate::cache::BitstreamCache;
+use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
+use crate::evaluation::EvalContext;
+use crossbeam::channel::bounded;
+use jitise_base::{Result, SimTime};
+use jitise_ir::Module;
+use jitise_vm::{Interpreter, Profile, Value};
+use jitise_woolcano::Woolcano;
+
+/// Outcome of an adaptive execution session.
+pub struct AdaptiveOutcome {
+    /// Workload runs executed before the specialized binary was ready.
+    pub runs_before: u32,
+    /// Runs executed after adaptation.
+    pub runs_after: u32,
+    /// Average cycles per run before adaptation.
+    pub cycles_before: u64,
+    /// Average cycles per run after adaptation.
+    pub cycles_after: u64,
+    /// Observed speedup (before / after).
+    pub observed_speedup: f64,
+    /// The specialization report from the worker.
+    pub report: SpecializeReport,
+    /// Simulated specialization overhead (what a real deployment would
+    /// wait for; the worker's wall time is irrelevant here).
+    pub overhead: SimTime,
+}
+
+/// Runs `total_runs` executions of `entry(args)`, specializing in the
+/// background after the first (profiling) run and hot-swapping when ready.
+///
+/// `ready_after_runs` models the tool-flow latency in units of workload
+/// runs: the swap happens once specialization has finished *and* at least
+/// that many runs have completed (deterministic tests set it explicitly).
+pub fn run_adaptive(
+    ctx: &EvalContext,
+    cache: &BitstreamCache,
+    module: &Module,
+    entry: &str,
+    args: &[Value],
+    total_runs: u32,
+    ready_after_runs: u32,
+) -> Result<AdaptiveOutcome> {
+    assert!(total_runs >= 2, "need at least profiling + one more run");
+
+    // Profiling run.
+    let mut vm = Interpreter::new(module);
+    vm.run(entry, args)?;
+    let profile: Profile = vm.take_profile();
+    let first_cycles = profile.total_cycles();
+
+    let (tx, rx) = bounded::<Result<(Module, Woolcano, SpecializeReport)>>(1);
+
+    let outcome = std::thread::scope(|scope| -> Result<AdaptiveOutcome> {
+        // Background specialization worker.
+        let worker_module = module.clone();
+        let worker_profile = profile;
+        scope.spawn(move || {
+            let mut m = worker_module;
+            let machine = Woolcano::new(512);
+            let result = specialize(
+                &mut m,
+                &worker_profile,
+                &machine,
+                &ctx.estimator,
+                &ctx.db,
+                &ctx.netlists,
+                cache,
+                &SpecializeConfig::default(),
+            )
+            .map(|report| (m, machine, report));
+            let _ = tx.send(result);
+        });
+
+        // Main loop: keep running the workload; swap when the worker is
+        // done and the latency gate has passed.
+        let mut specialized: Option<(Module, Woolcano, SpecializeReport)> = None;
+        let mut runs_before = 1u32; // the profiling run
+        let mut runs_after = 0u32;
+        let mut cycles_before = first_cycles;
+        let mut cycles_after = 0u64;
+
+        for run in 1..total_runs {
+            if specialized.is_none() && run >= ready_after_runs {
+                // Block for the worker the first time we are allowed to
+                // swap; afterwards the specialized binary is in place.
+                specialized = Some(rx.recv().expect("worker alive")?);
+            }
+            match &specialized {
+                Some((m, machine, _)) => {
+                    let mut vm = Interpreter::new(m);
+                    vm.set_custom_handler(machine);
+                    let out = vm.run(entry, args)?;
+                    cycles_after += out.cycles;
+                    runs_after += 1;
+                }
+                None => {
+                    let mut vm = Interpreter::new(module);
+                    let out = vm.run(entry, args)?;
+                    cycles_before += out.cycles;
+                    runs_before += 1;
+                }
+            }
+        }
+        // If the gate never opened (all runs before readiness), join now so
+        // the report is still returned.
+        let (_, _, report) = match specialized {
+            Some(t) => t,
+            None => rx.recv().expect("worker alive")?,
+        };
+
+        let avg_before = cycles_before / runs_before.max(1) as u64;
+        let avg_after = if runs_after > 0 {
+            cycles_after / runs_after as u64
+        } else {
+            avg_before
+        };
+        Ok(AdaptiveOutcome {
+            runs_before,
+            runs_after,
+            cycles_before: avg_before,
+            cycles_after: avg_after,
+            observed_speedup: avg_before as f64 / avg_after.max(1) as f64,
+            overhead: report.sum_time,
+            report,
+        })
+    })?;
+
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{FunctionBuilder, Operand as Op, Type};
+
+    fn hot_module() -> Module {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let cell = b.alloca(4);
+        b.store(Op::ci32(1), cell);
+        b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
+            let acc = b.load(Type::I32, cell);
+            let x = b.mul(acc, i);
+            let y = b.mul(x, Op::ci32(3));
+            let z = b.add(y, i);
+            let w = b.xor(z, Op::ci32(0x5a));
+            b.store(w, cell);
+        });
+        let out = b.load(Type::I32, cell);
+        b.ret(out);
+        let mut m = Module::new("hot");
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn adapts_and_speeds_up() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        let out = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(3_000)], 6, 2).unwrap();
+        assert!(out.runs_after >= 1, "must run specialized at least once");
+        assert!(
+            out.observed_speedup > 1.0,
+            "specialized runs must be faster: {}",
+            out.observed_speedup
+        );
+        assert!(out.overhead > SimTime::ZERO);
+        assert!(!out.report.candidates.is_empty());
+    }
+
+    #[test]
+    fn late_gate_still_returns_report() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        // Gate beyond total runs: everything executes unspecialized, but
+        // the report must still arrive.
+        let out = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(500)], 3, 99).unwrap();
+        assert_eq!(out.runs_after, 0);
+        assert_eq!(out.runs_before, 3);
+        assert!((out.observed_speedup - 1.0).abs() < 1e-9);
+        assert!(!out.report.candidates.is_empty());
+    }
+
+    #[test]
+    fn second_session_hits_cache() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        let first = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2).unwrap();
+        assert_eq!(first.report.cache_hits, 0);
+        let second = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2).unwrap();
+        assert_eq!(
+            second.report.cache_hits,
+            second.report.candidates.len(),
+            "second session must be served from the bitstream cache"
+        );
+        assert_eq!(second.overhead, SimTime::ZERO);
+    }
+}

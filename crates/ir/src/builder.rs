@@ -1,0 +1,435 @@
+//! Function construction API.
+//!
+//! [`FunctionBuilder`] is how the benchmark applications (and tests) write
+//! IR. It tracks a current insertion block, infers result types from
+//! operands, and supports two-phase phi construction for loops.
+
+use crate::function::{Block, BlockId, Function, InstId};
+use crate::inst::{BinOp, CmpOp, ExtFunc, Inst, InstKind, Operand, Terminator, UnOp};
+use crate::module::{FuncId, GlobalId};
+use crate::types::Type;
+
+/// Builder over a [`Function`] under construction.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function. The insertion point is the entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Type) -> Self {
+        let func = Function::new(name, params, ret);
+        FunctionBuilder {
+            func,
+            cur: BlockId(0),
+        }
+    }
+
+    /// The type of an operand in the context of this function.
+    pub fn ty_of(&self, op: Operand) -> Type {
+        match op {
+            Operand::Inst(id) => self.func.inst(id).ty,
+            Operand::Arg(i) => self.func.params[i as usize],
+            Operand::Const(imm) => imm.ty,
+        }
+    }
+
+    /// Creates a new (unterminated) block and returns its id without moving
+    /// the insertion point.
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: None,
+        });
+        id
+    }
+
+    /// Moves the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// Current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Pushes a raw instruction at the insertion point.
+    pub fn push(&mut self, kind: InstKind, ty: Type) -> InstId {
+        debug_assert!(
+            self.func.block(self.cur).term.is_none(),
+            "appending to a terminated block {:?}",
+            self.cur
+        );
+        self.func.push_inst(self.cur, Inst { kind, ty })
+    }
+
+    // ---- arithmetic -----------------------------------------------------
+
+    /// Generic binary operation; the result type is taken from `a`.
+    pub fn bin(&mut self, op: BinOp, a: Operand, b: Operand) -> Operand {
+        let ty = self.ty_of(a);
+        Operand::Inst(self.push(InstKind::Bin(op, a, b), ty))
+    }
+
+    /// Integer add.
+    pub fn add(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Integer subtract.
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Integer multiply.
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Signed divide.
+    pub fn sdiv(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::SDiv, a, b)
+    }
+
+    /// Signed remainder.
+    pub fn srem(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::SRem, a, b)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// Shift left.
+    pub fn shl(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// Logical shift right.
+    pub fn lshr(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::LShr, a, b)
+    }
+
+    /// Arithmetic shift right.
+    pub fn ashr(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::AShr, a, b)
+    }
+
+    /// Float add.
+    pub fn fadd(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FAdd, a, b)
+    }
+
+    /// Float subtract.
+    pub fn fsub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FSub, a, b)
+    }
+
+    /// Float multiply.
+    pub fn fmul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FMul, a, b)
+    }
+
+    /// Float divide.
+    pub fn fdiv(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::FDiv, a, b)
+    }
+
+    /// Unary operation with explicit result type (casts change type).
+    pub fn un(&mut self, op: UnOp, a: Operand, ty: Type) -> Operand {
+        Operand::Inst(self.push(InstKind::Un(op, a), ty))
+    }
+
+    /// Integer negation.
+    pub fn neg(&mut self, a: Operand) -> Operand {
+        let ty = self.ty_of(a);
+        self.un(UnOp::Neg, a, ty)
+    }
+
+    /// Sign extension.
+    pub fn sext(&mut self, a: Operand, ty: Type) -> Operand {
+        self.un(UnOp::SExt, a, ty)
+    }
+
+    /// Zero extension.
+    pub fn zext(&mut self, a: Operand, ty: Type) -> Operand {
+        self.un(UnOp::ZExt, a, ty)
+    }
+
+    /// Truncation.
+    pub fn trunc(&mut self, a: Operand, ty: Type) -> Operand {
+        self.un(UnOp::Trunc, a, ty)
+    }
+
+    /// Signed int → float.
+    pub fn sitofp(&mut self, a: Operand, ty: Type) -> Operand {
+        self.un(UnOp::SiToFp, a, ty)
+    }
+
+    /// Float → signed int.
+    pub fn fptosi(&mut self, a: Operand, ty: Type) -> Operand {
+        self.un(UnOp::FpToSi, a, ty)
+    }
+
+    /// Comparison (result `i1`).
+    pub fn cmp(&mut self, op: CmpOp, a: Operand, b: Operand) -> Operand {
+        Operand::Inst(self.push(InstKind::Cmp(op, a, b), Type::I1))
+    }
+
+    /// Select `cond ? a : b`.
+    pub fn select(&mut self, cond: Operand, a: Operand, b: Operand) -> Operand {
+        let ty = self.ty_of(a);
+        Operand::Inst(self.push(InstKind::Select(cond, a, b), ty))
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// Load a value of type `ty` from `addr`.
+    pub fn load(&mut self, ty: Type, addr: Operand) -> Operand {
+        Operand::Inst(self.push(InstKind::Load(addr), ty))
+    }
+
+    /// Store `value` to `addr`.
+    pub fn store(&mut self, value: Operand, addr: Operand) {
+        self.push(InstKind::Store(value, addr), Type::Void);
+    }
+
+    /// Address arithmetic: `base + index * elem_bytes`.
+    pub fn gep(&mut self, base: Operand, index: Operand, elem_bytes: u32) -> Operand {
+        Operand::Inst(self.push(
+            InstKind::Gep {
+                base,
+                index,
+                elem_bytes,
+            },
+            Type::Ptr,
+        ))
+    }
+
+    /// Stack allocation.
+    pub fn alloca(&mut self, bytes: u32) -> Operand {
+        Operand::Inst(self.push(InstKind::Alloca(bytes), Type::Ptr))
+    }
+
+    /// Address of a module global.
+    pub fn global_addr(&mut self, g: GlobalId) -> Operand {
+        Operand::Inst(self.push(InstKind::GlobalAddr(g), Type::Ptr))
+    }
+
+    // ---- calls ----------------------------------------------------------
+
+    /// Call a module function; `ret` must match the callee signature.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>, ret: Type) -> Operand {
+        Operand::Inst(self.push(InstKind::Call(callee, args), ret))
+    }
+
+    /// Call an external math function (always returns `f64`).
+    pub fn call_ext(&mut self, f: ExtFunc, args: Vec<Operand>) -> Operand {
+        Operand::Inst(self.push(InstKind::CallExt(f, args), Type::F64))
+    }
+
+    // ---- phi ------------------------------------------------------------
+
+    /// Creates an empty phi of type `ty`; incoming edges are added later
+    /// with [`Self::add_incoming`]. Phis must precede non-phi instructions
+    /// in their block (the verifier enforces this), so create them first.
+    pub fn phi(&mut self, ty: Type) -> Operand {
+        Operand::Inst(self.push(InstKind::Phi(Vec::new()), ty))
+    }
+
+    /// Adds an incoming `(block, value)` edge to a phi created earlier.
+    pub fn add_incoming(&mut self, phi: Operand, from: BlockId, value: Operand) {
+        let id = phi.as_inst().expect("add_incoming on non-instruction");
+        match &mut self.func.inst_mut(id).kind {
+            InstKind::Phi(incoming) => incoming.push((from, value)),
+            other => panic!("add_incoming on non-phi {other:?}"),
+        }
+    }
+
+    // ---- terminators ----------------------------------------------------
+
+    fn terminate(&mut self, term: Terminator) {
+        let block = self.func.block_mut(self.cur);
+        debug_assert!(
+            block.term.is_none(),
+            "block {:?} already terminated",
+            self.cur
+        );
+        block.term = Some(term);
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br(target));
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_b: BlockId, else_b: BlockId) {
+        self.terminate(Terminator::CondBr(cond, then_b, else_b));
+    }
+
+    /// Switch dispatch.
+    pub fn switch(&mut self, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId) {
+        self.terminate(Terminator::Switch(value, cases, default));
+    }
+
+    /// Return a value.
+    pub fn ret(&mut self, value: Operand) {
+        self.terminate(Terminator::Ret(Some(value)));
+    }
+
+    /// Return void.
+    pub fn ret_void(&mut self) {
+        self.terminate(Terminator::Ret(None));
+    }
+
+    // ---- loop sugar -----------------------------------------------------
+
+    /// Builds a canonical counted loop:
+    ///
+    /// * creates `header`, `body`, and `exit` blocks,
+    /// * a phi `i` running from `start` (exclusive of `end`) stepping by 1,
+    /// * invokes `body_fn(builder, i)` to emit the body,
+    /// * leaves the insertion point in `exit`,
+    /// * returns the induction-variable operand.
+    ///
+    /// The current block falls through into the header.
+    pub fn counted_loop(
+        &mut self,
+        name: &str,
+        start: Operand,
+        end: Operand,
+        body_fn: impl FnOnce(&mut Self, Operand),
+    ) -> Operand {
+        let header = self.new_block(format!("{name}.header"));
+        let body = self.new_block(format!("{name}.body"));
+        let exit = self.new_block(format!("{name}.exit"));
+        let preheader = self.current();
+        self.br(header);
+
+        self.switch_to(header);
+        let ty = self.ty_of(start);
+        let i = self.phi(ty);
+        self.add_incoming(i, preheader, start);
+        let done = self.cmp(CmpOp::Slt, i, end);
+        self.cond_br(done, body, exit);
+
+        self.switch_to(body);
+        body_fn(self, i);
+        // The body callback may have moved the insertion point (nested
+        // loops); the latch is wherever it ended up.
+        let latch = self.current();
+        let next = self.add(i, Operand::Const(crate::inst::Imm::int(ty, 1)));
+        self.add_incoming(i, latch, next);
+        self.br(header);
+
+        self.switch_to(exit);
+        i
+    }
+
+    /// Finishes construction and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Read-only view of the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Operand as Op;
+
+    #[test]
+    fn builds_straight_line() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32, Type::I32], Type::I32);
+        let x = b.add(Op::Arg(0), Op::Arg(1));
+        let y = b.mul(x, Op::ci32(3));
+        b.ret(y);
+        let f = b.finish();
+        assert_eq!(f.num_insts(), 2);
+        assert_eq!(f.num_blocks(), 1);
+        assert!(matches!(
+            f.block(BlockId(0)).terminator(),
+            Terminator::Ret(Some(_))
+        ));
+    }
+
+    #[test]
+    fn type_inference_from_lhs() {
+        let mut b = FunctionBuilder::new("f", vec![Type::F64], Type::F64);
+        let x = b.fadd(Op::Arg(0), Op::cf64(1.0));
+        assert_eq!(b.ty_of(x), Type::F64);
+        let c = b.cmp(CmpOp::FOlt, x, Op::cf64(10.0));
+        assert_eq!(b.ty_of(c), Type::I1);
+        b.ret(x);
+    }
+
+    #[test]
+    fn counted_loop_structure() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let acc_cell = b.alloca(4);
+        b.store(Op::ci32(0), acc_cell);
+        b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
+            let acc = b.load(Type::I32, acc_cell);
+            let acc2 = b.add(acc, i);
+            b.store(acc2, acc_cell);
+        });
+        let out = b.load(Type::I32, acc_cell);
+        b.ret(out);
+        let f = b.finish();
+        // entry + header + body + exit
+        assert_eq!(f.num_blocks(), 4);
+        // Every block except maybe the unterminated current must have terms.
+        assert!(f.blocks.iter().all(|blk| blk.term.is_some()));
+        // The header must contain a phi with two incomings.
+        let header = f.block(BlockId(1));
+        let phi = f.inst(header.insts[0]);
+        match &phi.kind {
+            InstKind::Phi(inc) => assert_eq!(inc.len(), 2),
+            other => panic!("expected phi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-phi")]
+    fn add_incoming_rejects_non_phi() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let x = b.add(Op::ci32(1), Op::ci32(2));
+        b.add_incoming(x, BlockId(0), Op::ci32(0));
+    }
+
+    #[test]
+    fn memory_ops() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], Type::I32);
+        let p = b.gep(Op::Arg(0), Op::ci32(4), 4);
+        let v = b.load(Type::I32, p);
+        b.store(v, Op::Arg(0));
+        b.ret(v);
+        let f = b.finish();
+        assert_eq!(f.num_insts(), 3);
+        assert_eq!(b_ty(&f, 0), Type::Ptr);
+
+        fn b_ty(f: &Function, i: u32) -> Type {
+            f.inst(InstId(i)).ty
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Dominator analysis.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative dominance algorithm over
+//! the reverse post-order of the CFG. The verifier uses the dominator tree
+//! to check SSA def-dominates-use; the passes use it to reason about code
+//! motion safety.
+
+use crate::function::{BlockId, Function};
+
+/// Immediate-dominator tree for the reachable blocks of a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of block b; `None` for the entry and
+    /// for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order used for iteration (reachable blocks only).
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` for unreachable.
+    rpo_pos: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let nblocks = f.blocks.len();
+        let rpo = f.rpo();
+        let mut rpo_pos = vec![usize::MAX; nblocks];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.idx()] = i;
+        }
+        let preds = f.predecessors();
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; nblocks];
+        if rpo.is_empty() {
+            return DomTree { idom, rpo, rpo_pos };
+        }
+        let entry = rpo[0];
+        idom[entry.idx()] = Some(entry); // sentinel: entry dominated by itself
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor (one with an idom already set).
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.idx()] {
+                    if rpo_pos[p.idx()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.idx()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.idx()] != Some(ni) {
+                        idom[b.idx()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Convert the entry's self-loop sentinel into None for a cleaner API.
+        idom[entry.idx()] = None;
+        DomTree { idom, rpo, rpo_pos }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_pos: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_pos[a.idx()] > rpo_pos[b.idx()] {
+                a = idom[a.idx()].expect("intersect walked past entry");
+            }
+            while rpo_pos[b.idx()] > rpo_pos[a.idx()] {
+                b = idom[b.idx()].expect("intersect walked past entry");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.idx()]
+    }
+
+    /// True iff `a` dominates `b` (reflexive: every block dominates itself).
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[a.idx()] == usize::MAX || self.rpo_pos[b.idx()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.idx()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// True if the block is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.idx()] != usize::MAX
+    }
+
+    /// The reverse post-order this tree was computed over.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand as Op;
+    use crate::types::Type;
+
+    /// Diamond: entry -> {a, b} -> join.
+    fn diamond() -> Function {
+        let mut bld = FunctionBuilder::new("d", vec![Type::I1], Type::Void);
+        let a = bld.new_block("a");
+        let b = bld.new_block("b");
+        let join = bld.new_block("join");
+        bld.cond_br(Op::Arg(0), a, b);
+        bld.switch_to(a);
+        bld.br(join);
+        bld.switch_to(b);
+        bld.br(join);
+        bld.switch_to(join);
+        bld.ret_void();
+        bld.finish()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let (entry, a, b, join) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dt.idom(entry), None);
+        assert_eq!(dt.idom(a), Some(entry));
+        assert_eq!(dt.idom(b), Some(entry));
+        // join's idom is the entry, not a or b.
+        assert_eq!(dt.idom(join), Some(entry));
+        assert!(dt.dominates(entry, join));
+        assert!(!dt.dominates(a, join));
+        assert!(dt.dominates(join, join));
+        assert!(!dt.dominates(join, a));
+    }
+
+    #[test]
+    fn loop_idoms() {
+        let mut bld = FunctionBuilder::new("l", vec![Type::I32], Type::I32);
+        bld.counted_loop("i", Op::ci32(0), Op::Arg(0), |_, _| {});
+        bld.ret(Op::ci32(0));
+        let f = bld.finish();
+        let dt = DomTree::compute(&f);
+        // entry(0) -> header(1) <-> body(2); header -> exit(3).
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dt.dominates(BlockId(1), BlockId(3)));
+        assert!(!dt.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut bld = FunctionBuilder::new("u", vec![], Type::Void);
+        let dead = bld.new_block("dead");
+        bld.ret_void();
+        bld.switch_to(dead);
+        bld.ret_void();
+        let f = bld.finish();
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(BlockId(0), dead));
+        assert!(!dt.dominates(dead, BlockId(0)));
+    }
+}

@@ -1,0 +1,690 @@
+//! Instructions, operands, and terminators.
+
+use crate::function::{BlockId, InstId};
+use crate::module::{FuncId, GlobalId};
+use crate::types::Type;
+
+/// An immediate constant with an explicit type.
+///
+/// Bits are stored raw in a `u64`; integer immediates are interpreted
+/// through [`Type::sext`], floats through their IEEE bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imm {
+    /// Value type.
+    pub ty: Type,
+    /// Raw bit pattern (low `ty.bits()` bits are significant).
+    pub bits: u64,
+}
+
+impl Imm {
+    /// Integer immediate of the given type (truncated to the type width).
+    pub fn int(ty: Type, v: i64) -> Imm {
+        debug_assert!(ty.is_int(), "Imm::int with non-integer type {ty}");
+        Imm {
+            ty,
+            bits: ty.trunc(v),
+        }
+    }
+
+    /// `i32` immediate.
+    pub fn i32(v: i32) -> Imm {
+        Imm::int(Type::I32, v as i64)
+    }
+
+    /// `i64` immediate.
+    pub fn i64(v: i64) -> Imm {
+        Imm::int(Type::I64, v)
+    }
+
+    /// `i1` (boolean) immediate.
+    pub fn bool(v: bool) -> Imm {
+        Imm::int(Type::I1, v as i64)
+    }
+
+    /// `f32` immediate.
+    pub fn f32(v: f32) -> Imm {
+        Imm {
+            ty: Type::F32,
+            bits: v.to_bits() as u64,
+        }
+    }
+
+    /// `f64` immediate.
+    pub fn f64(v: f64) -> Imm {
+        Imm {
+            ty: Type::F64,
+            bits: v.to_bits(),
+        }
+    }
+
+    /// Signed integer interpretation.
+    pub fn as_i64(self) -> i64 {
+        self.ty.sext(self.bits)
+    }
+
+    /// Float interpretation (valid only for float types).
+    pub fn as_f64(self) -> f64 {
+        match self.ty {
+            Type::F32 => f32::from_bits(self.bits as u32) as f64,
+            Type::F64 => f64::from_bits(self.bits),
+            _ => panic!("as_f64 on non-float immediate {self:?}"),
+        }
+    }
+}
+
+/// An operand of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// The result of another instruction in the same function.
+    Inst(InstId),
+    /// A function parameter (by index).
+    Arg(u32),
+    /// An immediate constant.
+    Const(Imm),
+}
+
+impl Operand {
+    /// Shorthand for an `i32` constant operand.
+    pub fn ci32(v: i32) -> Operand {
+        Operand::Const(Imm::i32(v))
+    }
+
+    /// Shorthand for an `i64` constant operand.
+    pub fn ci64(v: i64) -> Operand {
+        Operand::Const(Imm::i64(v))
+    }
+
+    /// Shorthand for an `f64` constant operand.
+    pub fn cf64(v: f64) -> Operand {
+        Operand::Const(Imm::f64(v))
+    }
+
+    /// Returns the instruction id if this is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Operand::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns the immediate if this is a constant.
+    pub fn as_const(self) -> Option<Imm> {
+        match self {
+            Operand::Const(imm) => Some(imm),
+            _ => None,
+        }
+    }
+
+    /// True if this is a constant operand.
+    pub fn is_const(self) -> bool {
+        matches!(self, Operand::Const(_))
+    }
+}
+
+impl From<InstId> for Operand {
+    fn from(id: InstId) -> Operand {
+        Operand::Inst(id)
+    }
+}
+
+/// Binary operators (LLVM's arithmetic/logic instruction set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Signed division.
+    SDiv,
+    /// Unsigned division.
+    UDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+}
+
+impl BinOp {
+    /// True for the float family.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// True if `a op b == b op a`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
+        )
+    }
+
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Unary operators: negation and the cast family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Float negation.
+    FNeg,
+    /// Integer truncation to a narrower type.
+    Trunc,
+    /// Zero extension to a wider type.
+    ZExt,
+    /// Sign extension to a wider type.
+    SExt,
+    /// Float → signed integer.
+    FpToSi,
+    /// Signed integer → float.
+    SiToFp,
+    /// f32 → f64.
+    FpExt,
+    /// f64 → f32.
+    FpTrunc,
+}
+
+impl UnOp {
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::FNeg => "fneg",
+            UnOp::Trunc => "trunc",
+            UnOp::ZExt => "zext",
+            UnOp::SExt => "sext",
+            UnOp::FpToSi => "fptosi",
+            UnOp::SiToFp => "sitofp",
+            UnOp::FpExt => "fpext",
+            UnOp::FpTrunc => "fptrunc",
+        }
+    }
+}
+
+/// Comparison predicates (result type `i1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Integer equal.
+    Eq,
+    /// Integer not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+    /// Float ordered equal.
+    FOeq,
+    /// Float ordered not-equal.
+    FOne,
+    /// Float ordered less-than.
+    FOlt,
+    /// Float ordered less-or-equal.
+    FOle,
+    /// Float ordered greater-than.
+    FOgt,
+    /// Float ordered greater-or-equal.
+    FOge,
+}
+
+impl CmpOp {
+    /// True for float predicates.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            CmpOp::FOeq | CmpOp::FOne | CmpOp::FOlt | CmpOp::FOle | CmpOp::FOgt | CmpOp::FOge
+        )
+    }
+
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "icmp.eq",
+            CmpOp::Ne => "icmp.ne",
+            CmpOp::Slt => "icmp.slt",
+            CmpOp::Sle => "icmp.sle",
+            CmpOp::Sgt => "icmp.sgt",
+            CmpOp::Sge => "icmp.sge",
+            CmpOp::Ult => "icmp.ult",
+            CmpOp::Ule => "icmp.ule",
+            CmpOp::Ugt => "icmp.ugt",
+            CmpOp::Uge => "icmp.uge",
+            CmpOp::FOeq => "fcmp.oeq",
+            CmpOp::FOne => "fcmp.one",
+            CmpOp::FOlt => "fcmp.olt",
+            CmpOp::FOle => "fcmp.ole",
+            CmpOp::FOgt => "fcmp.ogt",
+            CmpOp::FOge => "fcmp.oge",
+        }
+    }
+}
+
+/// External functions the VM provides (libm subset).
+///
+/// These model calls that LLVM bitcode makes into the C math library; they
+/// are *hardware-infeasible* from the ISE perspective, like any call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtFunc {
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Arc tangent.
+    Atan,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Power.
+    Pow,
+    /// Absolute value (float).
+    Fabs,
+    /// Floor.
+    Floor,
+}
+
+impl ExtFunc {
+    /// Printer mnemonic / linkage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtFunc::Sqrt => "sqrt",
+            ExtFunc::Sin => "sin",
+            ExtFunc::Cos => "cos",
+            ExtFunc::Atan => "atan",
+            ExtFunc::Exp => "exp",
+            ExtFunc::Log => "log",
+            ExtFunc::Pow => "pow",
+            ExtFunc::Fabs => "fabs",
+            ExtFunc::Floor => "floor",
+        }
+    }
+}
+
+/// The operation performed by an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// Two-operand arithmetic/logic.
+    Bin(BinOp, Operand, Operand),
+    /// One-operand arithmetic or cast (result type is `Inst::ty`).
+    Un(UnOp, Operand),
+    /// Comparison producing `i1`.
+    Cmp(CmpOp, Operand, Operand),
+    /// `cond ? a : b`.
+    Select(Operand, Operand, Operand),
+    /// Memory load from an address.
+    Load(Operand),
+    /// Memory store `(value, address)`; produces no result.
+    Store(Operand, Operand),
+    /// Address arithmetic: `base + index * elem_bytes` (a flattened GEP).
+    Gep {
+        /// Base pointer.
+        base: Operand,
+        /// Element index.
+        index: Operand,
+        /// Element size in bytes.
+        elem_bytes: u32,
+    },
+    /// Stack allocation of `bytes` bytes; produces a pointer.
+    Alloca(u32),
+    /// Address of a module global; produces a pointer.
+    GlobalAddr(GlobalId),
+    /// Call to another function in the module.
+    Call(FuncId, Vec<Operand>),
+    /// Call to an external math function.
+    CallExt(ExtFunc, Vec<Operand>),
+    /// SSA phi node: one incoming operand per predecessor block.
+    Phi(Vec<(BlockId, Operand)>),
+    /// Invocation of a loaded Woolcano custom instruction. The `u32` is the
+    /// CI slot handle assigned by the reconfiguration controller.
+    Custom(u32, Vec<Operand>),
+}
+
+/// An instruction: an operation plus its result type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// Result type (`Void` for stores).
+    pub ty: Type,
+}
+
+/// Flat opcode classification used by the ISE algorithms and the PivPav
+/// database (which keys IP cores by opcode × width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// A binary ALU operation.
+    Bin(BinOp),
+    /// A unary/cast operation.
+    Un(UnOp),
+    /// A comparison.
+    Cmp(CmpOp),
+    /// A select (2:1 mux in hardware).
+    Select,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Address arithmetic.
+    Gep,
+    /// Stack allocation.
+    Alloca,
+    /// Global address materialization.
+    GlobalAddr,
+    /// Intra-module call.
+    Call,
+    /// External (libm) call.
+    CallExt,
+    /// Phi node.
+    Phi,
+    /// Custom instruction invocation.
+    Custom,
+}
+
+impl Inst {
+    /// Flat opcode of this instruction.
+    pub fn opcode(&self) -> Opcode {
+        match &self.kind {
+            InstKind::Bin(op, ..) => Opcode::Bin(*op),
+            InstKind::Un(op, ..) => Opcode::Un(*op),
+            InstKind::Cmp(op, ..) => Opcode::Cmp(*op),
+            InstKind::Select(..) => Opcode::Select,
+            InstKind::Load(..) => Opcode::Load,
+            InstKind::Store(..) => Opcode::Store,
+            InstKind::Gep { .. } => Opcode::Gep,
+            InstKind::Alloca(..) => Opcode::Alloca,
+            InstKind::GlobalAddr(..) => Opcode::GlobalAddr,
+            InstKind::Call(..) => Opcode::Call,
+            InstKind::CallExt(..) => Opcode::CallExt,
+            InstKind::Phi(..) => Opcode::Phi,
+            InstKind::Custom(..) => Opcode::Custom,
+        }
+    }
+
+    /// All operands, in order.
+    pub fn operands(&self) -> Vec<Operand> {
+        match &self.kind {
+            InstKind::Bin(_, a, b) | InstKind::Cmp(_, a, b) => vec![*a, *b],
+            InstKind::Un(_, a) | InstKind::Load(a) => vec![*a],
+            InstKind::Select(c, a, b) => vec![*c, *a, *b],
+            InstKind::Store(v, p) => vec![*v, *p],
+            InstKind::Gep { base, index, .. } => vec![*base, *index],
+            InstKind::Alloca(_) | InstKind::GlobalAddr(_) => vec![],
+            InstKind::Call(_, args) | InstKind::CallExt(_, args) | InstKind::Custom(_, args) => {
+                args.clone()
+            }
+            InstKind::Phi(incoming) => incoming.iter().map(|(_, op)| *op).collect(),
+        }
+    }
+
+    /// Rewrites every operand through `f` (used by optimization passes and
+    /// the Woolcano binary patcher).
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match &mut self.kind {
+            InstKind::Bin(_, a, b) | InstKind::Cmp(_, a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            InstKind::Un(_, a) | InstKind::Load(a) => *a = f(*a),
+            InstKind::Select(c, a, b) => {
+                *c = f(*c);
+                *a = f(*a);
+                *b = f(*b);
+            }
+            InstKind::Store(v, p) => {
+                *v = f(*v);
+                *p = f(*p);
+            }
+            InstKind::Gep { base, index, .. } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            InstKind::Alloca(_) | InstKind::GlobalAddr(_) => {}
+            InstKind::Call(_, args) | InstKind::CallExt(_, args) | InstKind::Custom(_, args) => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            InstKind::Phi(incoming) => {
+                for (_, op) in incoming {
+                    *op = f(*op);
+                }
+            }
+        }
+    }
+
+    /// True if the instruction has a side effect or touches memory and thus
+    /// must not be removed by DCE even when its result is unused.
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Store(..)
+                | InstKind::Call(..)
+                | InstKind::CallExt(..)
+                | InstKind::Load(..)
+                | InstKind::Alloca(..)
+                | InstKind::Custom(..)
+        )
+    }
+
+    /// True if the instruction produces a value.
+    pub fn has_result(&self) -> bool {
+        self.ty.is_value()
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br(BlockId),
+    /// Two-way conditional branch on an `i1` operand.
+    CondBr(Operand, BlockId, BlockId),
+    /// Multi-way dispatch: `(value, cases, default)`.
+    Switch(Operand, Vec<(i64, BlockId)>, BlockId),
+    /// Function return (operand present iff the function returns a value).
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks, in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(t) => vec![*t],
+            Terminator::CondBr(_, a, b) => vec![*a, *b],
+            Terminator::Switch(_, cases, default) => {
+                let mut out: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
+                out.push(*default);
+                out
+            }
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Value operands read by the terminator.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Terminator::Br(_) => vec![],
+            Terminator::CondBr(c, ..) => vec![*c],
+            Terminator::Switch(v, ..) => vec![*v],
+            Terminator::Ret(v) => v.iter().copied().collect(),
+        }
+    }
+
+    /// Rewrites terminator operands through `f`.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Terminator::Br(_) => {}
+            Terminator::CondBr(c, ..) => *c = f(*c),
+            Terminator::Switch(v, ..) => *v = f(*v),
+            Terminator::Ret(Some(v)) => *v = f(*v),
+            Terminator::Ret(None) => {}
+        }
+    }
+
+    /// Rewrites successor block ids through `f` (CFG simplification).
+    pub fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Br(t) => *t = f(*t),
+            Terminator::CondBr(_, a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Terminator::Switch(_, cases, default) => {
+                for (_, b) in cases {
+                    *b = f(*b);
+                }
+                *default = f(*default);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_int_respects_width() {
+        let imm = Imm::int(Type::I8, 300);
+        assert_eq!(imm.bits, 300 & 0xff);
+        assert_eq!(imm.as_i64(), Type::I8.sext(300 & 0xff));
+        assert_eq!(Imm::i32(-1).as_i64(), -1);
+        assert_eq!(Imm::bool(true).as_i64(), -1); // i1 sext
+    }
+
+    #[test]
+    fn imm_float_roundtrip() {
+        assert_eq!(Imm::f64(3.5).as_f64(), 3.5);
+        assert_eq!(Imm::f32(1.25).as_f64(), 1.25);
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(BinOp::Xor.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Shl.is_commutative());
+        assert!(BinOp::FMul.is_commutative());
+        assert!(!BinOp::FDiv.is_commutative());
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let op = Operand::ci32(7);
+        assert!(op.is_const());
+        assert_eq!(op.as_const().unwrap().as_i64(), 7);
+        assert!(op.as_inst().is_none());
+        let op: Operand = InstId(3).into();
+        assert_eq!(op.as_inst(), Some(InstId(3)));
+    }
+
+    #[test]
+    fn inst_operand_enumeration() {
+        let i = Inst {
+            kind: InstKind::Select(Operand::ci32(1), Operand::ci32(2), Operand::ci32(3)),
+            ty: Type::I32,
+        };
+        assert_eq!(i.operands().len(), 3);
+        assert_eq!(i.opcode(), Opcode::Select);
+        let s = Inst {
+            kind: InstKind::Store(Operand::ci32(0), Operand::Arg(0)),
+            ty: Type::Void,
+        };
+        assert!(s.has_side_effect());
+        assert!(!s.has_result());
+    }
+
+    #[test]
+    fn map_operands_rewrites_all() {
+        let mut i = Inst {
+            kind: InstKind::Bin(BinOp::Add, Operand::Inst(InstId(1)), Operand::Inst(InstId(2))),
+            ty: Type::I32,
+        };
+        i.map_operands(|_| Operand::ci32(9));
+        assert!(i.operands().iter().all(|o| o.is_const()));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Switch(
+            Operand::ci32(0),
+            vec![(1, BlockId(1)), (2, BlockId(2))],
+            BlockId(3),
+        );
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2), BlockId(3)]);
+        assert_eq!(Terminator::Ret(None).successors(), vec![]);
+    }
+
+    #[test]
+    fn terminator_map_targets() {
+        let mut t = Terminator::CondBr(Operand::ci32(1), BlockId(0), BlockId(1));
+        t.map_targets(|b| BlockId(b.0 + 10));
+        assert_eq!(t.successors(), vec![BlockId(10), BlockId(11)]);
+    }
+}

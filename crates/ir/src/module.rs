@@ -1,0 +1,208 @@
+//! Modules and globals.
+
+use crate::function::Function;
+use crate::types::Type;
+
+/// Index of a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a global within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+impl FuncId {
+    /// Index as usize.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GlobalId {
+    /// Index as usize.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A module-level global: a named, statically sized memory region.
+///
+/// Accesses to globals are one of the "hardware-infeasible" instruction
+/// classes the paper identifies as limiting candidate size (§V-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// Element type hint (for pretty-printing and typed initializers).
+    pub elem_ty: Type,
+    /// Optional initializer: raw little-endian bytes, zero-padded to
+    /// `size` when shorter.
+    pub init: Vec<u8>,
+}
+
+impl Global {
+    /// A zero-initialized global of `count` elements of `elem_ty`.
+    pub fn zeroed(name: impl Into<String>, elem_ty: Type, count: u32) -> Global {
+        Global {
+            name: name.into(),
+            size: elem_ty.byte_size() * count,
+            elem_ty,
+            init: Vec::new(),
+        }
+    }
+
+    /// A global initialized with the given f64 values.
+    pub fn of_f64(name: impl Into<String>, values: &[f64]) -> Global {
+        let mut init = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            init.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Global {
+            name: name.into(),
+            size: (values.len() * 8) as u32,
+            elem_ty: Type::F64,
+            init,
+        }
+    }
+
+    /// A global initialized with the given i32 values.
+    pub fn of_i32(name: impl Into<String>, values: &[i32]) -> Global {
+        let mut init = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            init.extend_from_slice(&v.to_le_bytes());
+        }
+        Global {
+            name: name.into(),
+            size: (values.len() * 4) as u32,
+            elem_ty: Type::I32,
+            init,
+        }
+    }
+
+    /// Number of elements of `elem_ty` the global holds.
+    pub fn elem_count(&self) -> u32 {
+        let es = self.elem_ty.byte_size().max(1);
+        self.size / es
+    }
+}
+
+/// A compilation unit: functions plus globals. The VM executes one module;
+/// the ASIP specialization process analyzes and patches one module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name (the application name in the evaluation).
+    pub name: String,
+    /// Functions. `FuncId` indexes into this vector.
+    pub funcs: Vec<Function>,
+    /// Globals. `GlobalId` indexes into this vector.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Adds a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Immutable function access.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.idx()]
+    }
+
+    /// Mutable function access.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.idx()]
+    }
+
+    /// Immutable global access.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.idx()]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Ids of all functions.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Total basic blocks across all functions (Table I `blk` column).
+    pub fn num_blocks(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_blocks()).sum()
+    }
+
+    /// Total instructions across all functions (Table I `ins` column).
+    pub fn num_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_constructors() {
+        let g = Global::zeroed("buf", Type::I32, 10);
+        assert_eq!(g.size, 40);
+        assert_eq!(g.elem_count(), 10);
+        assert!(g.init.is_empty());
+
+        let g = Global::of_f64("tbl", &[1.0, 2.0]);
+        assert_eq!(g.size, 16);
+        assert_eq!(g.init.len(), 16);
+        assert_eq!(g.elem_count(), 2);
+
+        let g = Global::of_i32("xs", &[7, -1, 3]);
+        assert_eq!(g.size, 12);
+        assert_eq!(&g.init[0..4], &7i32.to_le_bytes());
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("test");
+        let f1 = m.add_func(Function::new("alpha", vec![], Type::Void));
+        let f2 = m.add_func(Function::new("beta", vec![Type::I32], Type::I32));
+        assert_eq!(m.func_by_name("alpha"), Some(f1));
+        assert_eq!(m.func_by_name("beta"), Some(f2));
+        assert_eq!(m.func_by_name("gamma"), None);
+        assert_eq!(m.func(f2).params.len(), 1);
+        assert_eq!(m.func_ids().count(), 2);
+    }
+
+    #[test]
+    fn module_counts_aggregate() {
+        let mut m = Module::new("agg");
+        m.add_func(Function::new("a", vec![], Type::Void));
+        m.add_func(Function::new("b", vec![], Type::Void));
+        // Each new function starts with exactly one (empty) entry block.
+        assert_eq!(m.num_blocks(), 2);
+        assert_eq!(m.num_insts(), 0);
+    }
+}

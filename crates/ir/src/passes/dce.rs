@@ -1,0 +1,93 @@
+//! Dead-code elimination.
+//!
+//! Detaches side-effect-free instructions whose results have no uses,
+//! iterating until no more can be removed (removing one use can expose its
+//! operands as dead).
+
+use super::Pass;
+use crate::function::Function;
+
+/// The DCE pass.
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, f: &mut Function) -> bool {
+        let mut changed_any = false;
+        loop {
+            let uses = f.use_counts();
+            let mut changed = false;
+            for block in &mut f.blocks {
+                block.insts.retain(|iid| {
+                    let inst = &f.insts[iid.idx()];
+                    let dead = !inst.has_side_effect() && uses[iid.idx()] == 0;
+                    if dead {
+                        changed = true;
+                    }
+                    !dead
+                });
+            }
+            changed_any |= changed;
+            if !changed {
+                return changed_any;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand as Op;
+    use crate::types::Type;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn removes_unused_chains() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let x = b.add(Op::Arg(0), Op::ci32(1));
+        let _dead1 = b.mul(x, Op::ci32(2)); // feeds dead2 only
+        let _dead2 = b.add(_dead1, Op::ci32(3)); // unused
+        b.ret(x);
+        let mut f = b.finish();
+        assert!(Dce.run(&mut f));
+        assert_eq!(f.num_insts(), 1);
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], Type::Void);
+        let v = b.load(Type::I32, Op::Arg(0)); // load result unused but kept
+        let _ = v;
+        b.store(Op::ci32(1), Op::Arg(0));
+        b.ret_void();
+        let mut f = b.finish();
+        assert!(!Dce.run(&mut f));
+        assert_eq!(f.num_insts(), 2);
+    }
+
+    #[test]
+    fn keeps_used_values() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let x = b.add(Op::Arg(0), Op::ci32(1));
+        b.ret(x);
+        let mut f = b.finish();
+        assert!(!Dce.run(&mut f));
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let _dead = b.add(Op::Arg(0), Op::ci32(1));
+        b.ret(Op::ci32(0));
+        let mut f = b.finish();
+        assert!(Dce.run(&mut f));
+        assert!(!Dce.run(&mut f));
+    }
+}

@@ -1,0 +1,233 @@
+//! Optimization passes.
+//!
+//! Models the "-O3" optimization step that the paper's compile-to-bitcode
+//! stage performs ("These values cover also the runtime of the standard
+//! (-O3) optimizations", §IV-A). The pipeline is a classic scalar set:
+//!
+//! * [`constfold`] — constant folding of arithmetic/compare/select,
+//! * [`instcombine`] — algebraic identities and strength reduction,
+//! * [`cse`] — local (per-block) common-subexpression elimination,
+//! * [`dce`] — dead code elimination,
+//! * [`simplifycfg`] — unreachable-block removal and linear block merging.
+//!
+//! All passes preserve observable behaviour (the proptest suite checks this
+//! by co-executing optimized and unoptimized modules in the VM).
+
+pub mod constfold;
+pub mod cse;
+pub mod dce;
+pub mod instcombine;
+pub mod simplifycfg;
+
+use crate::function::Function;
+use crate::inst::Operand;
+use crate::module::Module;
+
+/// A function-level transformation.
+pub trait Pass {
+    /// Short name for reporting.
+    fn name(&self) -> &'static str;
+    /// Runs the pass; returns true if anything changed.
+    fn run(&self, f: &mut Function) -> bool;
+}
+
+/// Optimization level, mirroring the compiler flags in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// No optimization.
+    O0,
+    /// Folding and DCE only.
+    O1,
+    /// The full pipeline, iterated to a fixpoint.
+    O3,
+}
+
+/// Per-pass change counters from one [`optimize_function`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassReport {
+    /// `(pass name, number of iterations in which it made a change)`.
+    pub changes: Vec<(&'static str, u32)>,
+    /// Total fixpoint iterations executed.
+    pub iterations: u32,
+}
+
+impl PassReport {
+    /// Total number of pass executions that changed something.
+    pub fn total_changes(&self) -> u32 {
+        self.changes.iter().map(|(_, n)| n).sum()
+    }
+}
+
+fn pipeline(level: OptLevel) -> Vec<Box<dyn Pass>> {
+    match level {
+        OptLevel::O0 => vec![],
+        OptLevel::O1 => vec![
+            Box::new(constfold::ConstFold),
+            Box::new(dce::Dce),
+        ],
+        OptLevel::O3 => vec![
+            Box::new(constfold::ConstFold),
+            Box::new(instcombine::InstCombine),
+            Box::new(cse::LocalCse),
+            Box::new(dce::Dce),
+            Box::new(simplifycfg::SimplifyCfg),
+        ],
+    }
+}
+
+/// Maximum fixpoint iterations; the pipeline converges in 2–3 on real code,
+/// the cap only guards against pathological ping-ponging.
+const MAX_ITERS: u32 = 32;
+
+/// Optimizes one function at the given level.
+pub fn optimize_function(f: &mut Function, level: OptLevel) -> PassReport {
+    let passes = pipeline(level);
+    let mut report = PassReport::default();
+    let mut counters = vec![0u32; passes.len()];
+    for _ in 0..MAX_ITERS {
+        report.iterations += 1;
+        let mut any = false;
+        for (i, pass) in passes.iter().enumerate() {
+            if pass.run(f) {
+                counters[i] += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    report.changes = passes
+        .iter()
+        .zip(counters)
+        .map(|(p, c)| (p.name(), c))
+        .collect();
+    report
+}
+
+/// Optimizes every function of a module.
+pub fn optimize_module(m: &mut Module, level: OptLevel) -> Vec<PassReport> {
+    m.funcs
+        .iter_mut()
+        .map(|f| optimize_function(f, level))
+        .collect()
+}
+
+/// Applies replacements: substitutes every use, then detaches the replaced
+/// instructions from their blocks (they are dead by construction — every
+/// use was rewritten — unless they have side effects). Passes use this so
+/// that `run()` returning `true` always corresponds to real IR change;
+/// otherwise a fold that leaves its source attached would report "changed"
+/// on every invocation and fixpoint drivers would never terminate.
+pub(crate) fn apply_replacements(
+    f: &mut Function,
+    map: &std::collections::HashMap<crate::function::InstId, Operand>,
+) {
+    substitute_operands(f, map);
+    if map.is_empty() {
+        return;
+    }
+    let removable: Vec<bool> = f
+        .insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            map.contains_key(&crate::function::InstId(i as u32)) && !inst.has_side_effect()
+        })
+        .collect();
+    for block in &mut f.blocks {
+        block.insts.retain(|iid| !removable[iid.idx()]);
+    }
+}
+
+/// Applies a substitution map over every operand of a function, resolving
+/// chains (a→b, b→c ⇒ a→c). Used by constfold/cse/instcombine and by the
+/// Woolcano binary patcher.
+pub fn substitute_operands(
+    f: &mut Function,
+    map: &std::collections::HashMap<crate::function::InstId, Operand>,
+) {
+    if map.is_empty() {
+        return;
+    }
+    let resolve = |mut op: Operand| -> Operand {
+        // Chains are short; guard against accidental cycles anyway.
+        for _ in 0..map.len() + 1 {
+            match op {
+                Operand::Inst(id) => match map.get(&id) {
+                    Some(&next) => op = next,
+                    None => return op,
+                },
+                other => return other,
+            }
+        }
+        op
+    };
+    for inst in &mut f.insts {
+        inst.map_operands(resolve);
+    }
+    for block in &mut f.blocks {
+        if let Some(term) = &mut block.term {
+            term.map_operands(resolve);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand as Op;
+    use crate::types::Type;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn o3_converges_and_verifies() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        // (arg0 + 0) * 1 + (2 + 3)  -- lots of foldable material.
+        let x = b.add(Op::Arg(0), Op::ci32(0));
+        let y = b.mul(x, Op::ci32(1));
+        let z = b.add(Op::ci32(2), Op::ci32(3));
+        let w = b.add(y, z);
+        b.ret(w);
+        let mut f = b.finish();
+        let before = f.num_insts();
+        let report = optimize_function(&mut f, OptLevel::O3);
+        assert!(verify_function(&f).is_ok());
+        assert!(f.num_insts() < before);
+        assert!(report.total_changes() > 0);
+        assert!(report.iterations <= MAX_ITERS);
+    }
+
+    #[test]
+    fn o0_is_identity() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I32);
+        let x = b.add(Op::ci32(1), Op::ci32(2));
+        b.ret(x);
+        let mut f = b.finish();
+        let snapshot = f.clone();
+        optimize_function(&mut f, OptLevel::O0);
+        assert_eq!(f, snapshot);
+    }
+
+    #[test]
+    fn substitution_resolves_chains() {
+        use crate::function::InstId;
+        let mut b = FunctionBuilder::new("f", vec![], Type::I32);
+        let a = b.add(Op::ci32(1), Op::ci32(1)); // %0
+        let c = b.add(a, Op::ci32(0)); // %1
+        let d = b.add(c, Op::ci32(0)); // %2
+        let _ = d;
+        b.ret(Op::Inst(InstId(2)));
+        let mut f = b.finish();
+        let mut map = std::collections::HashMap::new();
+        map.insert(InstId(2), Op::Inst(InstId(1)));
+        map.insert(InstId(1), Op::Inst(InstId(0)));
+        substitute_operands(&mut f, &map);
+        // ret should now reference %0 directly.
+        match f.blocks[0].term.as_ref().unwrap() {
+            crate::inst::Terminator::Ret(Some(Op::Inst(id))) => assert_eq!(id.0, 0),
+            other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Textual IR printer.
+//!
+//! Produces a human-readable listing in an LLVM-flavored syntax. Used for
+//! debugging, golden tests, and the examples' `--dump-ir` flags.
+
+use crate::function::{BlockId, Function};
+use crate::inst::{InstKind, Operand, Terminator};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Renders one operand.
+fn fmt_operand(f: &Function, op: Operand) -> String {
+    match op {
+        Operand::Inst(id) => format!("%{}", id.0),
+        Operand::Arg(i) => format!("%arg{i}"),
+        Operand::Const(imm) => {
+            if imm.ty.is_float() {
+                format!("{} {:?}", imm.ty, imm.as_f64())
+            } else {
+                format!("{} {}", imm.ty, imm.as_i64())
+            }
+        }
+    }
+    .replace("%arg", {
+        // Keep arg formatting stable even if params are missing (printer
+        // must never panic on malformed IR).
+        let _ = f;
+        "%arg"
+    })
+}
+
+fn fmt_block_ref(f: &Function, b: BlockId) -> String {
+    format!("@{}", f.block(b).name)
+}
+
+/// Renders one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
+    let _ = writeln!(out, "func {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    for bid in f.block_ids() {
+        let block = f.block(bid);
+        let _ = writeln!(out, "{}:", block.name);
+        for &iid in &block.insts {
+            let inst = f.inst(iid);
+            let lhs = if inst.has_result() {
+                format!("  %{} = ", iid.0)
+            } else {
+                "  ".to_string()
+            };
+            let body = match &inst.kind {
+                InstKind::Bin(op, a, b) => format!(
+                    "{} {} {}, {}",
+                    op.mnemonic(),
+                    inst.ty,
+                    fmt_operand(f, *a),
+                    fmt_operand(f, *b)
+                ),
+                InstKind::Un(op, a) => {
+                    format!("{} {} {}", op.mnemonic(), inst.ty, fmt_operand(f, *a))
+                }
+                InstKind::Cmp(op, a, b) => format!(
+                    "{} {}, {}",
+                    op.mnemonic(),
+                    fmt_operand(f, *a),
+                    fmt_operand(f, *b)
+                ),
+                InstKind::Select(c, a, b) => format!(
+                    "select {}, {}, {}",
+                    fmt_operand(f, *c),
+                    fmt_operand(f, *a),
+                    fmt_operand(f, *b)
+                ),
+                InstKind::Load(p) => format!("load {} {}", inst.ty, fmt_operand(f, *p)),
+                InstKind::Store(v, p) => {
+                    format!("store {}, {}", fmt_operand(f, *v), fmt_operand(f, *p))
+                }
+                InstKind::Gep {
+                    base,
+                    index,
+                    elem_bytes,
+                } => format!(
+                    "gep {}, {}, x{}",
+                    fmt_operand(f, *base),
+                    fmt_operand(f, *index),
+                    elem_bytes
+                ),
+                InstKind::Alloca(bytes) => format!("alloca {bytes}"),
+                InstKind::GlobalAddr(g) => format!("global_addr g{}", g.0),
+                InstKind::Call(fid, args) => format!(
+                    "call f{}({})",
+                    fid.0,
+                    args.iter()
+                        .map(|a| fmt_operand(f, *a))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                InstKind::CallExt(ef, args) => format!(
+                    "call.ext {}({})",
+                    ef.name(),
+                    args.iter()
+                        .map(|a| fmt_operand(f, *a))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                InstKind::Phi(incoming) => format!(
+                    "phi {} {}",
+                    inst.ty,
+                    incoming
+                        .iter()
+                        .map(|(b, v)| format!("[{} <- {}]", fmt_operand(f, *v), fmt_block_ref(f, *b)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                InstKind::Custom(slot, args) => format!(
+                    "ci.{}({})",
+                    slot,
+                    args.iter()
+                        .map(|a| fmt_operand(f, *a))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            };
+            let _ = writeln!(out, "{lhs}{body}");
+        }
+        match &block.term {
+            Some(Terminator::Br(t)) => {
+                let _ = writeln!(out, "  br {}", fmt_block_ref(f, *t));
+            }
+            Some(Terminator::CondBr(c, a, b)) => {
+                let _ = writeln!(
+                    out,
+                    "  cond_br {}, {}, {}",
+                    fmt_operand(f, *c),
+                    fmt_block_ref(f, *a),
+                    fmt_block_ref(f, *b)
+                );
+            }
+            Some(Terminator::Switch(v, cases, default)) => {
+                let cs = cases
+                    .iter()
+                    .map(|(k, b)| format!("{k} -> {}", fmt_block_ref(f, *b)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "  switch {} [{}] default {}",
+                    fmt_operand(f, *v),
+                    cs,
+                    fmt_block_ref(f, *default)
+                );
+            }
+            Some(Terminator::Ret(Some(v))) => {
+                let _ = writeln!(out, "  ret {}", fmt_operand(f, *v));
+            }
+            Some(Terminator::Ret(None)) => {
+                let _ = writeln!(out, "  ret");
+            }
+            None => {
+                let _ = writeln!(out, "  <unterminated>");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {} {{", m.name);
+    for g in &m.globals {
+        let _ = writeln!(
+            out,
+            "  global {} : {} x {} ({} bytes)",
+            g.name,
+            g.elem_ty,
+            g.elem_count(),
+            g.size
+        );
+    }
+    for f in &m.funcs {
+        for line in print_function(f).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpOp, Operand as Op};
+    use crate::module::Global;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_arithmetic() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let x = b.add(Op::Arg(0), Op::ci32(1));
+        let y = b.mul(x, x);
+        b.ret(y);
+        let s = print_function(&b.finish());
+        assert!(s.contains("func f(i32 %arg0) -> i32"));
+        assert!(s.contains("%0 = add i32 %arg0, i32 1"));
+        assert!(s.contains("%1 = mul i32 %0, %0"));
+        assert!(s.contains("ret %1"));
+    }
+
+    #[test]
+    fn prints_control_flow() {
+        let mut b = FunctionBuilder::new("g", vec![Type::I32], Type::I32);
+        let t = b.new_block("then");
+        let e = b.new_block("else");
+        let c = b.cmp(CmpOp::Slt, Op::Arg(0), Op::ci32(10));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.ret(Op::ci32(1));
+        b.switch_to(e);
+        b.ret(Op::ci32(0));
+        let s = print_function(&b.finish());
+        assert!(s.contains("icmp.slt"));
+        assert!(s.contains("cond_br %0, @then, @else"));
+    }
+
+    #[test]
+    fn prints_phi_and_memory() {
+        let mut b = FunctionBuilder::new("h", vec![Type::I32], Type::I32);
+        b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
+            let p = b.alloca(4);
+            b.store(i, p);
+        });
+        b.ret(Op::ci32(0));
+        let s = print_function(&b.finish());
+        assert!(s.contains("phi i32"));
+        assert!(s.contains("alloca 4"));
+        assert!(s.contains("store"));
+    }
+
+    #[test]
+    fn prints_module_with_globals() {
+        let mut m = Module::new("demo");
+        m.add_global(Global::zeroed("buf", Type::F64, 8));
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        b.ret_void();
+        m.add_func(b.finish());
+        let s = print_module(&m);
+        assert!(s.contains("module demo"));
+        assert!(s.contains("global buf : f64 x 8 (64 bytes)"));
+        assert!(s.contains("func main()"));
+    }
+
+    #[test]
+    fn never_panics_on_unterminated() {
+        let b = FunctionBuilder::new("open", vec![], Type::Void);
+        let s = print_function(b.func());
+        assert!(s.contains("<unterminated>"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Module statistics.
+//!
+//! Table I of the paper characterizes each application by basic-block and
+//! instruction counts and notes derived quantities (e.g. "the average basic
+//! block has only 7.64 LLVM instructions"). These helpers compute the same
+//! aggregates over our IR.
+
+use crate::function::Function;
+use crate::inst::{InstKind, Opcode};
+use crate::module::Module;
+
+/// Aggregate size statistics of a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleStats {
+    /// Number of functions.
+    pub funcs: usize,
+    /// Total basic blocks (paper column `blk`).
+    pub blocks: usize,
+    /// Total instructions (paper column `ins`).
+    pub insts: usize,
+    /// Mean instructions per block.
+    pub avg_block_size: f64,
+    /// Largest block size.
+    pub max_block_size: usize,
+    /// Number of memory-access instructions (load/store/gep/alloca).
+    pub mem_insts: usize,
+    /// Number of global-address materializations.
+    pub global_insts: usize,
+    /// Number of calls (module + external).
+    pub call_insts: usize,
+    /// Number of float-typed instructions.
+    pub float_insts: usize,
+    /// Number of phi nodes.
+    pub phi_insts: usize,
+    /// Fraction of instructions that are hardware-infeasible for ISE
+    /// (memory, globals, calls, phis) — §V-D discusses how these limit
+    /// candidate sizes.
+    pub infeasible_frac: f64,
+}
+
+/// Computes statistics over a whole module.
+pub fn module_stats(m: &Module) -> ModuleStats {
+    let mut blocks = 0usize;
+    let mut insts = 0usize;
+    let mut max_block = 0usize;
+    let mut mem = 0usize;
+    let mut globals = 0usize;
+    let mut calls = 0usize;
+    let mut floats = 0usize;
+    let mut phis = 0usize;
+
+    for f in &m.funcs {
+        blocks += f.num_blocks();
+        for bid in f.block_ids() {
+            let blk = f.block(bid);
+            insts += blk.len();
+            max_block = max_block.max(blk.len());
+            for &iid in &blk.insts {
+                let inst = f.inst(iid);
+                match inst.opcode() {
+                    Opcode::Load | Opcode::Store | Opcode::Gep | Opcode::Alloca => mem += 1,
+                    Opcode::GlobalAddr => globals += 1,
+                    Opcode::Call | Opcode::CallExt => calls += 1,
+                    Opcode::Phi => phis += 1,
+                    _ => {}
+                }
+                if inst.ty.is_float() {
+                    floats += 1;
+                }
+            }
+        }
+    }
+    let infeasible = mem + globals + calls + phis;
+    ModuleStats {
+        funcs: m.funcs.len(),
+        blocks,
+        insts,
+        avg_block_size: if blocks == 0 {
+            0.0
+        } else {
+            insts as f64 / blocks as f64
+        },
+        max_block_size: max_block,
+        mem_insts: mem,
+        global_insts: globals,
+        call_insts: calls,
+        float_insts: floats,
+        phi_insts: phis,
+        infeasible_frac: if insts == 0 {
+            0.0
+        } else {
+            infeasible as f64 / insts as f64
+        },
+    }
+}
+
+/// Per-function opcode histogram, keyed by the flat opcode.
+pub fn opcode_histogram(f: &Function) -> std::collections::BTreeMap<String, usize> {
+    let mut map = std::collections::BTreeMap::new();
+    for bid in f.block_ids() {
+        for &iid in &f.block(bid).insts {
+            let name = match &f.inst(iid).kind {
+                InstKind::Bin(op, ..) => op.mnemonic().to_string(),
+                InstKind::Un(op, ..) => op.mnemonic().to_string(),
+                InstKind::Cmp(op, ..) => op.mnemonic().to_string(),
+                InstKind::Select(..) => "select".into(),
+                InstKind::Load(..) => "load".into(),
+                InstKind::Store(..) => "store".into(),
+                InstKind::Gep { .. } => "gep".into(),
+                InstKind::Alloca(..) => "alloca".into(),
+                InstKind::GlobalAddr(..) => "global_addr".into(),
+                InstKind::Call(..) => "call".into(),
+                InstKind::CallExt(ef, ..) => format!("call.{}", ef.name()),
+                InstKind::Phi(..) => "phi".into(),
+                InstKind::Custom(..) => "custom".into(),
+            };
+            *map.entry(name).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand as Op;
+    use crate::types::Type;
+
+    #[test]
+    fn counts_basic_quantities() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.alloca(4);
+        b.store(Op::Arg(0), p);
+        let v = b.load(Type::I32, p);
+        let w = b.add(v, Op::ci32(1));
+        b.ret(w);
+        m.add_func(b.finish());
+        let s = module_stats(&m);
+        assert_eq!(s.funcs, 1);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.insts, 4);
+        assert_eq!(s.mem_insts, 3);
+        assert_eq!(s.max_block_size, 4);
+        assert!((s.infeasible_frac - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_names() {
+        let mut b = FunctionBuilder::new("f", vec![Type::F64], Type::F64);
+        let x = b.fmul(Op::Arg(0), Op::Arg(0));
+        let y = b.fadd(x, Op::cf64(1.0));
+        b.ret(y);
+        let f = b.finish();
+        let h = opcode_histogram(&f);
+        assert_eq!(h.get("fmul"), Some(&1));
+        assert_eq!(h.get("fadd"), Some(&1));
+        assert_eq!(h.get("add"), None);
+    }
+
+    #[test]
+    fn empty_module() {
+        let s = module_stats(&Module::new("empty"));
+        assert_eq!(s.insts, 0);
+        assert_eq!(s.avg_block_size, 0.0);
+        assert_eq!(s.infeasible_frac, 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Value types.
+//!
+//! The IR is typed at LLVM granularity: scalar integers of the widths that
+//! matter for hardware cost modeling (the PivPav database keys its IP cores
+//! by operator × bit width), IEEE floats, and an opaque pointer type.
+
+/// Scalar value type of an SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// 1-bit integer (comparison results, select conditions).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Opaque pointer (modeled as a 32-bit address on the PPC405 target).
+    Ptr,
+    /// No value (functions returning nothing, store instructions).
+    Void,
+}
+
+impl Type {
+    /// Bit width of the type as implemented in a datapath.
+    ///
+    /// Pointers are 32-bit on the PowerPC-405 target. `Void` has width 0.
+    pub fn bits(self) -> u32 {
+        match self {
+            Type::I1 => 1,
+            Type::I8 => 8,
+            Type::I16 => 16,
+            Type::I32 => 32,
+            Type::I64 => 64,
+            Type::F32 => 32,
+            Type::F64 => 64,
+            Type::Ptr => 32,
+            Type::Void => 0,
+        }
+    }
+
+    /// True for the integer family (including `I1` and `Ptr`).
+    pub fn is_int(self) -> bool {
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::Ptr
+        )
+    }
+
+    /// True for `F32`/`F64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// True if a value of this type exists at runtime.
+    pub fn is_value(self) -> bool {
+        self != Type::Void
+    }
+
+    /// Size in bytes when stored to memory (minimum 1 for `I1`).
+    pub fn byte_size(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::I1 => 1,
+            t => t.bits() / 8,
+        }
+    }
+
+    /// The integer type of a given bit width, if one exists.
+    pub fn int_of_bits(bits: u32) -> Option<Type> {
+        match bits {
+            1 => Some(Type::I1),
+            8 => Some(Type::I8),
+            16 => Some(Type::I16),
+            32 => Some(Type::I32),
+            64 => Some(Type::I64),
+            _ => None,
+        }
+    }
+
+    /// Sign-extends `raw` (stored in the low `bits()` of a u64) to i64.
+    pub fn sext(self, raw: u64) -> i64 {
+        let b = self.bits();
+        if b == 0 || b >= 64 {
+            return raw as i64;
+        }
+        let shift = 64 - b;
+        ((raw << shift) as i64) >> shift
+    }
+
+    /// Truncates an i64 to this type's width, returning the raw bits
+    /// (zero-extended into the u64).
+    pub fn trunc(self, v: i64) -> u64 {
+        let b = self.bits();
+        if b == 0 || b >= 64 {
+            return v as u64;
+        }
+        (v as u64) & ((1u64 << b) - 1)
+    }
+
+    /// Short mnemonic used by the printer (`i32`, `f64`, `ptr`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Type::I1 => "i1",
+            Type::I8 => "i8",
+            Type::I16 => "i16",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F32 => "f32",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Type::I1.bits(), 1);
+        assert_eq!(Type::I32.bits(), 32);
+        assert_eq!(Type::F64.bits(), 64);
+        assert_eq!(Type::Ptr.bits(), 32);
+        assert_eq!(Type::Void.bits(), 0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I8.is_int());
+        assert!(Type::Ptr.is_int());
+        assert!(!Type::F32.is_int());
+        assert!(Type::F32.is_float());
+        assert!(!Type::Void.is_value());
+        assert!(Type::I1.is_value());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Type::I1.byte_size(), 1);
+        assert_eq!(Type::I16.byte_size(), 2);
+        assert_eq!(Type::F64.byte_size(), 8);
+        assert_eq!(Type::Ptr.byte_size(), 4);
+    }
+
+    #[test]
+    fn sext_trunc_roundtrip() {
+        // -1 in i8 is 0xff raw.
+        assert_eq!(Type::I8.trunc(-1), 0xff);
+        assert_eq!(Type::I8.sext(0xff), -1);
+        assert_eq!(Type::I16.sext(0x8000), i16::MIN as i64);
+        assert_eq!(Type::I32.trunc(0x1_2345_6789), 0x2345_6789);
+        assert_eq!(Type::I64.trunc(-5), (-5i64) as u64);
+        assert_eq!(Type::I64.sext((-5i64) as u64), -5);
+        assert_eq!(Type::I1.trunc(3), 1);
+        assert_eq!(Type::I1.sext(1), -1); // i1 sign extension: 1 -> -1
+    }
+
+    #[test]
+    fn int_of_bits_lookup() {
+        assert_eq!(Type::int_of_bits(16), Some(Type::I16));
+        assert_eq!(Type::int_of_bits(7), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+}

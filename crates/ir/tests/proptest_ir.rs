@@ -1,0 +1,145 @@
+//! Property tests for the IR crate: random programs through the verifier,
+//! printer, passes, and DFG construction.
+
+use jitise_ir::passes::{optimize_function, OptLevel};
+use jitise_ir::printer::print_function;
+use jitise_ir::verify::verify_function;
+use jitise_ir::{BlockId, CmpOp, Dfg, Function, FunctionBuilder, Operand as Op, Type};
+use proptest::prelude::*;
+
+/// Random straight-line expression DAG inside one block, with optional
+/// branching tail.
+#[derive(Debug, Clone)]
+struct Spec {
+    ops: Vec<(u8, u8, u8, i32)>, // (opcode selector, operand a idx, operand b idx, constant)
+    branch: bool,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec((0u8..10, any::<u8>(), any::<u8>(), -100i32..100), 1..40),
+        any::<bool>(),
+    )
+        .prop_map(|(ops, branch)| Spec { ops, branch })
+}
+
+fn build(spec: &Spec) -> Function {
+    let mut b = FunctionBuilder::new("p", vec![Type::I32, Type::I32], Type::I32);
+    let mut vals = vec![Op::Arg(0), Op::Arg(1)];
+    for &(sel, ai, bi, k) in &spec.ops {
+        let a = vals[ai as usize % vals.len()];
+        let c = vals[bi as usize % vals.len()];
+        let v = match sel {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, Op::ci32(k)),
+            3 => b.xor(a, c),
+            4 => b.and(a, c),
+            5 => b.or(a, c),
+            6 => b.shl(a, Op::ci32(k & 31)),
+            7 => {
+                let cond = b.cmp(CmpOp::Slt, a, c);
+                b.select(cond, a, c)
+            }
+            8 => b.add(a, Op::ci32(0)), // fodder for instcombine
+            _ => b.mul(a, Op::ci32(1)),
+        };
+        vals.push(v);
+    }
+    let last = *vals.last().unwrap();
+    if spec.branch {
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let cond = b.cmp(CmpOp::Sgt, last, Op::ci32(0));
+        b.cond_br(cond, t, e);
+        b.switch_to(t);
+        b.ret(last);
+        b.switch_to(e);
+        b.ret(Op::ci32(0));
+    } else {
+        b.ret(last);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_functions_verify(s in spec()) {
+        let f = build(&s);
+        verify_function(&f).expect("builder output verifies");
+    }
+
+    #[test]
+    fn printer_never_panics_and_mentions_every_inst(s in spec()) {
+        let f = build(&s);
+        let text = print_function(&f);
+        prop_assert!(text.contains("func p"));
+        // Every attached instruction id appears in the listing.
+        for bid in f.block_ids() {
+            for &iid in &f.block(bid).insts {
+                if f.inst(iid).has_result() {
+                    prop_assert!(
+                        text.contains(&format!("%{} = ", iid.0)),
+                        "missing %{}", iid.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn o3_output_verifies_and_shrinks(s in spec()) {
+        let mut f = build(&s);
+        let before = f.num_insts();
+        optimize_function(&mut f, OptLevel::O3);
+        verify_function(&f).expect("optimized verifies");
+        prop_assert!(f.num_insts() <= before);
+    }
+
+    #[test]
+    fn dfg_edges_are_consistent(s in spec()) {
+        let f = build(&s);
+        let dfg = Dfg::build(&f, BlockId(0));
+        for (i, node) in dfg.nodes.iter().enumerate() {
+            for &p in &node.preds {
+                prop_assert!((p as usize) < i, "topological order violated");
+                prop_assert!(
+                    dfg.nodes[p as usize].succs.contains(&(i as u32)),
+                    "succ/pred mismatch"
+                );
+            }
+        }
+        // Full set always convex; depth bounded by size.
+        let all = vec![true; dfg.len()];
+        prop_assert!(dfg.is_convex(&all));
+        if !dfg.is_empty() {
+            prop_assert!(dfg.depth() <= dfg.len());
+        }
+    }
+
+    #[test]
+    fn use_counts_match_manual_count(s in spec()) {
+        let f = build(&s);
+        let counts = f.use_counts();
+        let mut manual = vec![0u32; f.insts.len()];
+        for bid in f.block_ids() {
+            for &iid in &f.block(bid).insts {
+                for op in f.inst(iid).operands() {
+                    if let Op::Inst(d) = op {
+                        manual[d.idx()] += 1;
+                    }
+                }
+            }
+            if let Some(t) = &f.block(bid).term {
+                for op in t.operands() {
+                    if let Op::Inst(d) = op {
+                        manual[d.idx()] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(counts, manual);
+    }
+}

@@ -1,0 +1,302 @@
+//! Custom-instruction candidates.
+//!
+//! A candidate is a set of data-flow-graph nodes of one basic block,
+//! destined to become a single atomic hardware instruction. Candidates must
+//! be *convex* (no data-flow path leaves and re-enters the set) and contain
+//! no forbidden nodes; the identification algorithms guarantee both.
+
+use jitise_base::hash::SigHasher;
+use jitise_ir::{Dfg, Function, InstId, Operand};
+use jitise_vm::BlockKey;
+
+/// A custom-instruction candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The block the candidate was cut from.
+    pub key: BlockKey,
+    /// Member node indices into the block's [`Dfg`], sorted ascending
+    /// (i.e. topological order).
+    pub nodes: Vec<u32>,
+    /// Instruction ids of the members, in the same order.
+    pub insts: Vec<InstId>,
+    /// Number of distinct non-constant value inputs.
+    pub inputs: u32,
+    /// Number of member values consumed outside the candidate.
+    pub outputs: u32,
+    /// Number of distinct constant inputs (baked into the datapath).
+    pub const_inputs: u32,
+}
+
+impl Candidate {
+    /// Builds a candidate from a member set, computing its I/O counts.
+    /// Panics (debug) if the set is empty.
+    pub fn from_nodes(f: &Function, dfg: &Dfg, key: BlockKey, mut nodes: Vec<u32>) -> Candidate {
+        debug_assert!(!nodes.is_empty(), "empty candidate");
+        nodes.sort_unstable();
+        nodes.dedup();
+        let member = member_mask(dfg, &nodes);
+
+        // Distinct external value inputs: operands of member instructions
+        // that are (a) results of non-member nodes in the block, (b) values
+        // from other blocks, or (c) function arguments. Distinctness is by
+        // operand identity.
+        let mut ext_values: Vec<OperandKey> = Vec::new();
+        let mut consts = 0u32;
+        for &n in &nodes {
+            let inst = f.inst(dfg.nodes[n as usize].inst);
+            for op in inst.operands() {
+                match op {
+                    Operand::Const(_) => consts += 1,
+                    other => {
+                        // Is it produced by a member?
+                        let from_member = other.as_inst().is_some_and(|def| {
+                            dfg.nodes
+                                .iter()
+                                .position(|dn| dn.inst == def)
+                                .is_some_and(|idx| member[idx])
+                        });
+                        if !from_member {
+                            let k = OperandKey::of(other);
+                            if !ext_values.contains(&k) {
+                                ext_values.push(k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Outputs: member nodes whose value escapes the block or feeds a
+        // non-member node.
+        let mut outputs = 0u32;
+        for &n in &nodes {
+            let node = &dfg.nodes[n as usize];
+            let feeds_outside = node.succs.iter().any(|&s| !member[s as usize]);
+            if node.escapes || feeds_outside {
+                outputs += 1;
+            }
+        }
+
+        let insts = nodes
+            .iter()
+            .map(|&n| dfg.nodes[n as usize].inst)
+            .collect();
+        Candidate {
+            key,
+            nodes,
+            insts,
+            inputs: ext_values.len() as u32,
+            outputs,
+            const_inputs: consts,
+        }
+    }
+
+    /// Number of member instructions (paper: "custom instructions … cover
+    /// only 6.9 LLVM instructions on average").
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the candidate has no members (never produced by the
+    /// identification algorithms; exists for container hygiene).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Membership mask over the DFG.
+    pub fn mask(&self, dfg: &Dfg) -> Vec<bool> {
+        member_mask(dfg, &self.nodes)
+    }
+
+    /// True if the candidate is convex in its DFG.
+    pub fn is_convex(&self, dfg: &Dfg) -> bool {
+        dfg.is_convex(&self.mask(dfg))
+    }
+
+    /// Structural signature of the candidate, used as the bitstream-cache
+    /// key (§VI-A: "compute a signature of the LLVM bitcode that describes
+    /// the candidate"). Two candidates with the same operation structure,
+    /// types, internal wiring, and constant inputs collide — which is
+    /// exactly what the cache wants: their hardware is identical.
+    pub fn signature(&self, f: &Function, dfg: &Dfg) -> u64 {
+        let mut h = SigHasher::new();
+        h.write_usize(self.nodes.len());
+        // Local renumbering: member index within the candidate.
+        let local_of = |def: InstId| -> Option<usize> {
+            self.insts.iter().position(|&i| i == def)
+        };
+        for &n in &self.nodes {
+            let node = &dfg.nodes[n as usize];
+            let inst = f.inst(node.inst);
+            h.write_str(opcode_tag(node.opcode));
+            h.write_u32(inst.ty.bits());
+            for op in inst.operands() {
+                match op {
+                    Operand::Const(imm) => {
+                        h.write_str("c");
+                        h.write_u32(imm.ty.bits());
+                        h.write_u64(imm.bits);
+                    }
+                    Operand::Inst(def) => match local_of(def) {
+                        Some(local) => {
+                            h.write_str("m");
+                            h.write_usize(local);
+                        }
+                            None => {
+                            h.write_str("x"); // external input port
+                        }
+                    },
+                    Operand::Arg(_) => {
+                        h.write_str("x");
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Stable identity of an operand for distinct-input counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OperandKey {
+    Inst(u32),
+    Arg(u32),
+}
+
+impl OperandKey {
+    fn of(op: Operand) -> OperandKey {
+        match op {
+            Operand::Inst(id) => OperandKey::Inst(id.0),
+            Operand::Arg(i) => OperandKey::Arg(i),
+            Operand::Const(_) => unreachable!("constants are not input ports"),
+        }
+    }
+}
+
+fn member_mask(dfg: &Dfg, nodes: &[u32]) -> Vec<bool> {
+    let mut mask = vec![false; dfg.len()];
+    for &n in nodes {
+        mask[n as usize] = true;
+    }
+    mask
+}
+
+fn opcode_tag(op: jitise_ir::Opcode) -> &'static str {
+    use jitise_ir::Opcode::*;
+    match op {
+        Bin(b) => b.mnemonic(),
+        Un(u) => u.mnemonic(),
+        Cmp(c) => c.mnemonic(),
+        Select => "select",
+        Load => "load",
+        Store => "store",
+        Gep => "gep",
+        Alloca => "alloca",
+        GlobalAddr => "global",
+        Call => "call",
+        CallExt => "callext",
+        Phi => "phi",
+        Custom => "custom",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{BlockId, FuncId, FunctionBuilder, Operand as Op, Type};
+
+    fn key() -> BlockKey {
+        BlockKey::new(FuncId(0), BlockId(0))
+    }
+
+    /// a = arg0+arg1; b = a*3; c = a^b; ret c
+    fn sample() -> (Function, Dfg) {
+        let mut bld = FunctionBuilder::new("f", vec![Type::I32, Type::I32], Type::I32);
+        let a = bld.add(Op::Arg(0), Op::Arg(1));
+        let b = bld.mul(a, Op::ci32(3));
+        let c = bld.xor(a, b);
+        bld.ret(c);
+        let f = bld.finish();
+        let dfg = Dfg::build(&f, BlockId(0));
+        (f, dfg)
+    }
+
+    #[test]
+    fn io_counting_full_set() {
+        let (f, dfg) = sample();
+        let c = Candidate::from_nodes(&f, &dfg, key(), vec![0, 1, 2]);
+        assert_eq!(c.len(), 3);
+        // Inputs: arg0, arg1 (distinct). Constant 3 is not an input port.
+        assert_eq!(c.inputs, 2);
+        assert_eq!(c.const_inputs, 1);
+        // Only c escapes.
+        assert_eq!(c.outputs, 1);
+        assert!(c.is_convex(&dfg));
+    }
+
+    #[test]
+    fn io_counting_partial_set() {
+        let (f, dfg) = sample();
+        // {b, c}: inputs = a (used by both, distinct -> 1); outputs = c.
+        let c = Candidate::from_nodes(&f, &dfg, key(), vec![1, 2]);
+        assert_eq!(c.inputs, 1);
+        assert_eq!(c.outputs, 1);
+        // {a}: output feeds b and c outside -> 1 output (a itself).
+        let c = Candidate::from_nodes(&f, &dfg, key(), vec![0]);
+        assert_eq!(c.inputs, 2);
+        assert_eq!(c.outputs, 1);
+    }
+
+    #[test]
+    fn duplicate_nodes_deduped() {
+        let (f, dfg) = sample();
+        let c = Candidate::from_nodes(&f, &dfg, key(), vec![1, 1, 2, 2]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn signature_is_structural() {
+        let (f, dfg) = sample();
+        let full = Candidate::from_nodes(&f, &dfg, key(), vec![0, 1, 2]);
+        let again = Candidate::from_nodes(&f, &dfg, key(), vec![2, 0, 1]);
+        assert_eq!(full.signature(&f, &dfg), again.signature(&f, &dfg));
+
+        // A structurally identical function elsewhere hashes identically.
+        let mut bld = FunctionBuilder::new("other", vec![Type::I32, Type::I32], Type::I32);
+        let a = bld.add(Op::Arg(0), Op::Arg(1));
+        let b = bld.mul(a, Op::ci32(3));
+        let cc = bld.xor(a, b);
+        bld.ret(cc);
+        let f2 = bld.finish();
+        let dfg2 = Dfg::build(&f2, BlockId(0));
+        let c2 = Candidate::from_nodes(&f2, &dfg2, key(), vec![0, 1, 2]);
+        assert_eq!(full.signature(&f, &dfg), c2.signature(&f2, &dfg2));
+
+        // Changing a constant changes the hardware, hence the signature.
+        let mut bld = FunctionBuilder::new("other2", vec![Type::I32, Type::I32], Type::I32);
+        let a = bld.add(Op::Arg(0), Op::Arg(1));
+        let b = bld.mul(a, Op::ci32(4));
+        let cc = bld.xor(a, b);
+        bld.ret(cc);
+        let f3 = bld.finish();
+        let dfg3 = Dfg::build(&f3, BlockId(0));
+        let c3 = Candidate::from_nodes(&f3, &dfg3, key(), vec![0, 1, 2]);
+        assert_ne!(full.signature(&f, &dfg), c3.signature(&f3, &dfg3));
+    }
+
+    #[test]
+    fn subset_signature_differs() {
+        let (f, dfg) = sample();
+        let full = Candidate::from_nodes(&f, &dfg, key(), vec![0, 1, 2]);
+        let part = Candidate::from_nodes(&f, &dfg, key(), vec![0, 1]);
+        assert_ne!(full.signature(&f, &dfg), part.signature(&f, &dfg));
+    }
+
+    #[test]
+    fn non_convex_detected() {
+        let (f, dfg) = sample();
+        // {a, c}: a -> b (outside) -> c re-enters.
+        let c = Candidate::from_nodes(&f, &dfg, key(), vec![0, 2]);
+        assert!(!c.is_convex(&dfg));
+    }
+}

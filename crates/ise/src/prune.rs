@@ -1,0 +1,266 @@
+//! Search-space pruning filters.
+//!
+//! "we are using our pruning mechanisms [9] to reduce the search space for
+//! instruction candidates … In this paper, we use the @50pS3L pruning
+//! filter" (§III, §V-A). The filter family `@{p}pS{k}L` selects, from the
+//! profiled basic blocks of an application:
+//!
+//! * blocks in decreasing order of **profiled execution time**,
+//! * until **p %** of total execution time is covered,
+//! * capped at **k** blocks,
+//! * tie-breaking toward **L**arger blocks (more instructions → more
+//!   candidate material).
+//!
+//! Table II shows the effect for `@50pS3L`: at most 3 blocks survive per
+//! application, shrinking the bitcode that identification must analyze by
+//! 36.5× (scientific) / 4.9× (embedded).
+
+use jitise_ir::Module;
+use jitise_vm::{BlockKey, Profile};
+
+/// A `@{p}pS{k}L` pruning filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneFilter {
+    /// Fraction of total execution time to cover (0.50 for `@50p`).
+    pub coverage: f64,
+    /// Maximum number of blocks to keep (3 for `S3`).
+    pub max_blocks: usize,
+}
+
+impl PruneFilter {
+    /// The paper's filter: 50 % coverage, at most 3 blocks.
+    pub fn paper_default() -> Self {
+        PruneFilter {
+            coverage: 0.50,
+            max_blocks: 3,
+        }
+    }
+
+    /// A pass-through filter (no pruning): 100 % coverage, unbounded.
+    pub fn none() -> Self {
+        PruneFilter {
+            coverage: 1.0,
+            max_blocks: usize::MAX,
+        }
+    }
+}
+
+impl std::fmt::Display for PruneFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.max_blocks == usize::MAX {
+            write!(f, "@nofilter")
+        } else {
+            write!(
+                f,
+                "@{}pS{}L",
+                (self.coverage * 100.0).round() as u32,
+                self.max_blocks
+            )
+        }
+    }
+}
+
+/// Outcome of pruning: the surviving blocks plus reduction statistics.
+#[derive(Debug, Clone)]
+pub struct PruneResult {
+    /// Surviving blocks, hottest first (Table II `blk` column counts these).
+    pub blocks: Vec<BlockKey>,
+    /// Blocks before pruning.
+    pub blocks_before: usize,
+    /// Instructions before pruning.
+    pub insts_before: usize,
+    /// Instructions inside the surviving blocks (Table II `ins` column).
+    pub insts_after: usize,
+    /// Fraction of execution time the surviving blocks cover.
+    pub time_covered: f64,
+}
+
+impl PruneResult {
+    /// Bitcode-size reduction factor achieved by pruning (paper: "reduced
+    /// the size of the bitcode … by a factor of 36.49× and 4.9×").
+    pub fn reduction_factor(&self) -> f64 {
+        if self.insts_after == 0 {
+            return f64::INFINITY;
+        }
+        self.insts_before as f64 / self.insts_after as f64
+    }
+}
+
+/// Applies a pruning filter to a profiled module.
+pub fn prune(module: &Module, profile: &Profile, filter: PruneFilter) -> PruneResult {
+    let total_cycles = profile.total_cycles();
+    let blocks_before = module.num_blocks();
+    let insts_before = module.num_insts();
+
+    // Order: execution time desc, then block size desc (the "L" rule), then
+    // key for determinism.
+    let mut ranked: Vec<(BlockKey, u64, usize)> = profile
+        .hottest_blocks()
+        .into_iter()
+        .map(|(k, cycles)| {
+            let size = module.func(k.func).block(k.block).len();
+            (k, cycles, size)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+
+    let mut blocks = Vec::new();
+    let mut covered: u64 = 0;
+    let mut insts_after = 0usize;
+    // Selection rule: take the hottest blocks until the coverage target p
+    // is reached; past the target, keep adding a block only while it still
+    // contributes a large share — at least (1-p)/2 of total time — up to
+    // the block cap. This matches the paper's observed behaviour of
+    // @50pS3L: sor keeps a single dominant block, whetstone keeps its two
+    // big kernels (94 % combined), nothing keeps cold blocks.
+    let big_share = (1.0 - filter.coverage).max(0.0) / 2.0;
+    for (key, cycles, size) in ranked {
+        if blocks.len() >= filter.max_blocks || cycles == 0 {
+            break;
+        }
+        let target_met =
+            total_cycles > 0 && covered as f64 >= filter.coverage * total_cycles as f64;
+        if target_met {
+            let share = cycles as f64 / total_cycles as f64;
+            if share < big_share {
+                break;
+            }
+        }
+        covered += cycles;
+        insts_after += size;
+        blocks.push(key);
+    }
+
+    PruneResult {
+        blocks,
+        blocks_before,
+        insts_before,
+        insts_after,
+        time_covered: if total_cycles == 0 {
+            0.0
+        } else {
+            covered as f64 / total_cycles as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{BlockId, FuncId, FunctionBuilder, Operand as Op, Type};
+
+    fn module_with_blocks(sizes: &[usize]) -> Module {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let blocks: Vec<_> = (1..sizes.len())
+            .map(|i| b.new_block(format!("b{i}")))
+            .collect();
+        let mut emit = |b: &mut FunctionBuilder, n: usize| {
+            let mut v = Op::Arg(0);
+            for _ in 0..n {
+                v = b.add(v, Op::ci32(1));
+            }
+            v
+        };
+        let mut last = emit(&mut b, sizes[0]);
+        for (i, &blk) in blocks.iter().enumerate() {
+            b.br(blk);
+            b.switch_to(blk);
+            last = emit(&mut b, sizes[i + 1]);
+        }
+        b.ret(last);
+        let mut m = Module::new("t");
+        m.add_func(b.finish());
+        m
+    }
+
+    fn key(b: u32) -> BlockKey {
+        BlockKey::new(FuncId(0), BlockId(b))
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PruneFilter::paper_default().to_string(), "@50pS3L");
+        assert_eq!(
+            PruneFilter {
+                coverage: 0.9,
+                max_blocks: 5
+            }
+            .to_string(),
+            "@90pS5L"
+        );
+        assert_eq!(PruneFilter::none().to_string(), "@nofilter");
+    }
+
+    #[test]
+    fn selects_hottest_until_coverage() {
+        let m = module_with_blocks(&[10, 20, 30, 40]);
+        let mut p = Profile::new();
+        p.record(key(0), 10, 1);
+        p.record(key(1), 60, 1);
+        p.record(key(2), 20, 1);
+        p.record(key(3), 10, 1);
+        let r = prune(&m, &p, PruneFilter::paper_default());
+        // Block 1 alone covers 60 % >= 50 %.
+        assert_eq!(r.blocks, vec![key(1)]);
+        assert_eq!(r.insts_after, 20);
+        assert!((r.time_covered - 0.6).abs() < 1e-9);
+        assert!((r.reduction_factor() - 100.0 / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_limits_block_count() {
+        let m = module_with_blocks(&[5, 5, 5, 5, 5]);
+        let mut p = Profile::new();
+        for b in 0..5 {
+            p.record(key(b), 20, 1); // uniform: needs 3 blocks for 50 %
+        }
+        let r = prune(
+            &m,
+            &p,
+            PruneFilter {
+                coverage: 0.9,
+                max_blocks: 2,
+            },
+        );
+        assert_eq!(r.blocks.len(), 2, "S2 cap must bind before 90 % coverage");
+        assert!((r.time_covered - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_tiebreak() {
+        let m = module_with_blocks(&[3, 30]);
+        let mut p = Profile::new();
+        p.record(key(0), 50, 1);
+        p.record(key(1), 50, 1); // tie on cycles; block 1 is larger
+        let r = prune(
+            &m,
+            &p,
+            PruneFilter {
+                coverage: 0.4,
+                max_blocks: 1,
+            },
+        );
+        assert_eq!(r.blocks, vec![key(1)]);
+    }
+
+    #[test]
+    fn nofilter_keeps_all_executed() {
+        let m = module_with_blocks(&[1, 1, 1]);
+        let mut p = Profile::new();
+        p.record(key(0), 1, 1);
+        p.record(key(1), 1, 1);
+        p.record(key(2), 1, 1);
+        let r = prune(&m, &p, PruneFilter::none());
+        assert_eq!(r.blocks.len(), 3);
+        assert!((r.time_covered - 1.0).abs() < 1e-9);
+        assert!((r.reduction_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let m = module_with_blocks(&[1, 1]);
+        let r = prune(&m, &Profile::new(), PruneFilter::paper_default());
+        assert!(r.blocks.is_empty());
+        assert_eq!(r.time_covered, 0.0);
+    }
+}

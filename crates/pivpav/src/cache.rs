@@ -1,0 +1,140 @@
+//! The netlist cache.
+//!
+//! "PivPav extracts the netlist for the IP cores from its circuit database
+//! … that is, PivPav is used as a netlist cache" (§III). Extraction of a
+//! core's netlist is expensive the first time (database I/O in the real
+//! tool); afterwards the `Arc` is shared. The cache is thread-safe because
+//! the JIT runtime implements multiple concurrent specialization workers
+//! (§VI-B suggests running "the FPGA tool concurrently").
+
+use crate::db::{CircuitDb, CoreRecord};
+use crate::netlist::Netlist;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe cache of extracted core netlists keyed by core name.
+#[derive(Debug, Default)]
+pub struct NetlistCache {
+    map: RwLock<HashMap<String, Arc<Netlist>>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl NetlistCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches the netlist of `core`, loading it from the database on a
+    /// miss. Returns the netlist and whether this was a miss.
+    pub fn fetch(&self, _db: &CircuitDb, core: &Arc<CoreRecord>) -> (Arc<Netlist>, bool) {
+        if let Some(nl) = self.map.read().get(&core.name) {
+            *self.hits.write() += 1;
+            return (nl.clone(), false);
+        }
+        let mut map = self.map.write();
+        // Double-checked: another thread may have inserted meanwhile.
+        if let Some(nl) = map.get(&core.name) {
+            *self.hits.write() += 1;
+            return (nl.clone(), false);
+        }
+        let nl = core.netlist.clone();
+        map.insert(core.name.clone(), nl.clone());
+        *self.misses.write() += 1;
+        (nl, true)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Number of cached netlists.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drops all cached entries (for experiment isolation).
+    pub fn clear(&self) {
+        self.map.write().clear();
+        *self.hits.write() = 0;
+        *self.misses.write() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{BinOp, Opcode, Type};
+
+    #[test]
+    fn miss_then_hit() {
+        let db = CircuitDb::build();
+        let cache = NetlistCache::new();
+        let core = db.lookup(Opcode::Bin(BinOp::Add), Type::I32).unwrap();
+        let (nl1, miss1) = cache.fetch(&db, &core);
+        assert!(miss1);
+        let (nl2, miss2) = cache.fetch(&db, &core);
+        assert!(!miss2);
+        assert!(Arc::ptr_eq(&nl1, &nl2));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_cores_distinct_entries() {
+        let db = CircuitDb::build();
+        let cache = NetlistCache::new();
+        let add = db.lookup(Opcode::Bin(BinOp::Add), Type::I32).unwrap();
+        let mul = db.lookup(Opcode::Bin(BinOp::Mul), Type::I32).unwrap();
+        cache.fetch(&db, &add);
+        cache.fetch(&db, &mul);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let db = CircuitDb::build();
+        let cache = NetlistCache::new();
+        let core = db.lookup(Opcode::Bin(BinOp::Xor), Type::I16).unwrap();
+        cache.fetch(&db, &core);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+        let (_, miss) = cache.fetch(&db, &core);
+        assert!(miss);
+    }
+
+    #[test]
+    fn concurrent_fetches_are_safe() {
+        let db = Arc::new(CircuitDb::build());
+        let cache = Arc::new(NetlistCache::new());
+        let core = db.lookup(Opcode::Bin(BinOp::Mul), Type::I64).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let db = db.clone();
+                let cache = cache.clone();
+                let core = core.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let (nl, _) = cache.fetch(&db, &core);
+                        assert_eq!(nl.validate(), Ok(()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 800);
+        assert_eq!(misses, 1, "exactly one thread loads the core");
+    }
+}

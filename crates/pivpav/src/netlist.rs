@@ -1,0 +1,391 @@
+//! Pre-synthesized netlists.
+//!
+//! PivPav "extracts the netlist for the IP cores from its circuit database
+//! … used to speedup the synthesis and the translation processes during the
+//! FPGA CAD tool flow, that is, PivPav is used as a netlist cache" (§III).
+//!
+//! A [`Netlist`] is a flat primitive-level circuit: LUT4s, flip-flops,
+//! carry cells, DSP48 blocks, and I/O ports connected by numbered nets.
+//! The CAD crate consumes these directly — top-level synthesis only has to
+//! stitch pre-synthesized component netlists together, exactly the
+//! shortcut the paper describes.
+
+use jitise_base::rng::SplitMix64;
+
+/// Primitive cell kinds (Virtex-4 slice inventory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// 4-input look-up table with a 16-bit truth table.
+    Lut4 {
+        /// Truth-table mask.
+        mask: u16,
+    },
+    /// D flip-flop.
+    Ff,
+    /// Carry-chain element (MUXCY/XORCY pair).
+    Carry,
+    /// DSP48 slice.
+    Dsp48,
+    /// Input buffer (port cell).
+    IBuf,
+    /// Output buffer (port cell).
+    OBuf,
+}
+
+impl CellKind {
+    /// Number of input pins this primitive offers.
+    pub fn max_inputs(self) -> usize {
+        match self {
+            CellKind::Lut4 { .. } => 4,
+            CellKind::Ff => 1,
+            CellKind::Carry => 3,
+            CellKind::Dsp48 => 3,
+            CellKind::IBuf => 0,
+            CellKind::OBuf => 1,
+        }
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Module input.
+    In,
+    /// Module output.
+    Out,
+}
+
+/// A module-level port: a named bundle of nets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name (`a`, `b`, `y`, …).
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// One net per bit.
+    pub nets: Vec<u32>,
+}
+
+/// One primitive instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Primitive kind.
+    pub kind: CellKind,
+    /// Input nets (≤ `kind.max_inputs()`).
+    pub inputs: Vec<u32>,
+    /// Output net (single-driver invariant: no two cells share an output).
+    pub output: u32,
+}
+
+/// A flat primitive netlist.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Cells.
+    pub cells: Vec<Cell>,
+    /// Total net count; net ids are `0..num_nets`.
+    pub num_nets: u32,
+}
+
+impl Netlist {
+    /// New empty netlist.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Allocates a fresh net.
+    pub fn new_net(&mut self) -> u32 {
+        let id = self.num_nets;
+        self.num_nets += 1;
+        id
+    }
+
+    /// Adds a cell; returns its output net.
+    pub fn add_cell(&mut self, kind: CellKind, inputs: Vec<u32>) -> u32 {
+        debug_assert!(inputs.len() <= kind.max_inputs());
+        let output = self.new_net();
+        self.cells.push(Cell {
+            kind,
+            inputs,
+            output,
+        });
+        output
+    }
+
+    /// Adds an input port of `width` bits; returns its nets.
+    pub fn add_input(&mut self, name: impl Into<String>, width: u32) -> Vec<u32> {
+        let nets: Vec<u32> = (0..width).map(|_| self.new_net()).collect();
+        self.ports.push(Port {
+            name: name.into(),
+            dir: PortDir::In,
+            nets: nets.clone(),
+        });
+        nets
+    }
+
+    /// Declares an output port over existing nets.
+    pub fn add_output(&mut self, name: impl Into<String>, nets: Vec<u32>) {
+        self.ports.push(Port {
+            name: name.into(),
+            dir: PortDir::Out,
+            nets,
+        });
+    }
+
+    /// Number of LUT cells.
+    pub fn lut_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Lut4 { .. }))
+            .count()
+    }
+
+    /// Number of FF cells.
+    pub fn ff_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.kind == CellKind::Ff).count()
+    }
+
+    /// Number of DSP cells.
+    pub fn dsp_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Dsp48)
+            .count()
+    }
+
+    /// Validates structural invariants: single driver per net, inputs in
+    /// range, pin budgets respected. Returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut drivers = vec![0u32; self.num_nets as usize];
+        for p in &self.ports {
+            if p.dir == PortDir::In {
+                for &n in &p.nets {
+                    if n >= self.num_nets {
+                        return Err(format!("port {} references net {n} out of range", p.name));
+                    }
+                    drivers[n as usize] += 1;
+                }
+            }
+        }
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.inputs.len() > c.kind.max_inputs() {
+                return Err(format!(
+                    "cell {i} ({:?}) has {} inputs, max {}",
+                    c.kind,
+                    c.inputs.len(),
+                    c.kind.max_inputs()
+                ));
+            }
+            for &n in &c.inputs {
+                if n >= self.num_nets {
+                    return Err(format!("cell {i} input net {n} out of range"));
+                }
+            }
+            if c.output >= self.num_nets {
+                return Err(format!("cell {i} output net out of range"));
+            }
+            drivers[c.output as usize] += 1;
+        }
+        for (n, &d) in drivers.iter().enumerate() {
+            if d > 1 {
+                return Err(format!("net {n} has {d} drivers"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges `other` into `self`, renumbering its nets; returns the net
+    /// offset applied. Ports of `other` become internal (the caller wires
+    /// them explicitly). Used by the CAD top-level "synthesis".
+    pub fn absorb(&mut self, other: &Netlist) -> u32 {
+        let offset = self.num_nets;
+        self.num_nets += other.num_nets;
+        for c in &other.cells {
+            self.cells.push(Cell {
+                kind: c.kind,
+                inputs: c.inputs.iter().map(|&n| n + offset).collect(),
+                output: c.output + offset,
+            });
+        }
+        offset
+    }
+}
+
+/// Generates a plausible pre-synthesized netlist for one operator core.
+///
+/// The structure follows the operator class: adders get carry chains,
+/// multipliers get DSP blocks plus glue LUTs, everything else gets layered
+/// LUT networks. Sizes follow `target` cell budgets (from the metrics
+/// model), and wiring is deterministic per `seed` so the whole database is
+/// reproducible.
+pub fn synthesize_core(
+    name: &str,
+    width: u32,
+    target_luts: u32,
+    target_ffs: u32,
+    target_dsps: u32,
+    seed: u64,
+) -> Netlist {
+    let mut nl = Netlist::new(name);
+    let mut rng = SplitMix64::new(seed);
+    let a = nl.add_input("a", width);
+    let b = nl.add_input("b", width);
+
+    let mut live: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+
+    // Carry chain for arithmetic flavor (one per output bit, capped).
+    let carry_len = width.min(target_luts.max(1));
+    let mut carry_prev: Option<u32> = None;
+    for i in 0..carry_len as usize {
+        let x = live[i % live.len()];
+        let y = live[(i + width as usize) % live.len()];
+        let mut ins = vec![x, y];
+        if let Some(cp) = carry_prev {
+            ins.push(cp);
+        }
+        let out = nl.add_cell(CellKind::Carry, ins);
+        carry_prev = Some(out);
+        live.push(out);
+    }
+
+    // LUT cloud.
+    let luts_remaining = target_luts.saturating_sub(carry_len);
+    for _ in 0..luts_remaining {
+        let k = 2 + rng.next_index(3); // 2..=4 inputs
+        let mut ins = Vec::with_capacity(k);
+        for _ in 0..k {
+            ins.push(live[rng.next_index(live.len())]);
+        }
+        let mask = rng.next_u64() as u16;
+        let out = nl.add_cell(CellKind::Lut4 { mask }, ins);
+        live.push(out);
+    }
+
+    // DSP blocks.
+    for _ in 0..target_dsps {
+        let ins = vec![
+            live[rng.next_index(live.len())],
+            live[rng.next_index(live.len())],
+            live[rng.next_index(live.len())],
+        ];
+        let out = nl.add_cell(CellKind::Dsp48, ins);
+        live.push(out);
+    }
+
+    // Pipeline registers.
+    for _ in 0..target_ffs {
+        let src = live[rng.next_index(live.len())];
+        let out = nl.add_cell(CellKind::Ff, vec![src]);
+        live.push(out);
+    }
+
+    // Output port: the most recently produced `width` *cell-driven* nets.
+    // Ports must never expose undriven (input) nets — the top-level
+    // synthesizer aliases output-port bits onto the instance's output
+    // signal, and an undriven bit would merge a driven class with a
+    // top-level input. Pad with pass-through LUTs when the core is
+    // smaller than its word width.
+    let mut driven: Vec<u32> = nl.cells.iter().map(|c| c.output).collect();
+    while (driven.len() as u32) < width {
+        let src = a[driven.len() % a.len()];
+        let out = nl.add_cell(CellKind::Lut4 { mask: 0xAAAA }, vec![src]);
+        driven.push(out);
+    }
+    let out_nets: Vec<u32> = driven.iter().rev().take(width as usize).copied().collect();
+    nl.add_output("y", out_nets);
+    debug_assert_eq!(nl.validate(), Ok(()));
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate_by_hand() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 2);
+        let b = nl.add_input("b", 2);
+        let x = nl.add_cell(CellKind::Lut4 { mask: 0x6 }, vec![a[0], b[0]]);
+        let y = nl.add_cell(CellKind::Lut4 { mask: 0x6 }, vec![a[1], b[1], x]);
+        nl.add_output("y", vec![x, y]);
+        assert_eq!(nl.validate(), Ok(()));
+        assert_eq!(nl.lut_count(), 2);
+        assert_eq!(nl.num_nets, 6);
+    }
+
+    #[test]
+    fn validate_catches_double_driver() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a", 1);
+        let x = nl.add_cell(CellKind::Lut4 { mask: 1 }, vec![a[0]]);
+        // Manually create a second driver on x.
+        nl.cells.push(Cell {
+            kind: CellKind::Ff,
+            inputs: vec![a[0]],
+            output: x,
+        });
+        assert!(nl.validate().unwrap_err().contains("2 drivers"));
+    }
+
+    #[test]
+    fn validate_catches_pin_overflow() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a", 5);
+        nl.cells.push(Cell {
+            kind: CellKind::Lut4 { mask: 0 },
+            inputs: a.clone(),
+            output: 99,
+        });
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn synthesized_core_meets_targets() {
+        let nl = synthesize_core("add32", 32, 40, 8, 2, 42);
+        assert_eq!(nl.validate(), Ok(()));
+        assert_eq!(nl.dsp_count(), 2);
+        assert_eq!(nl.ff_count(), 8);
+        // carry chain (32) + LUT cloud (8) -> lut+carry cells = 40 total.
+        let carries = nl
+            .cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Carry)
+            .count();
+        assert_eq!(carries + nl.lut_count(), 40);
+        // Ports: a, b in; y out.
+        assert_eq!(nl.ports.len(), 3);
+        assert_eq!(nl.ports[2].nets.len(), 32);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize_core("x", 16, 30, 4, 1, 7);
+        let b = synthesize_core("x", 16, 30, 4, 1, 7);
+        assert_eq!(a, b);
+        let c = synthesize_core("x", 16, 30, 4, 1, 8);
+        assert_ne!(a, c, "different seeds give different wiring");
+    }
+
+    #[test]
+    fn absorb_renumbers() {
+        let sub = synthesize_core("sub", 8, 10, 0, 0, 3);
+        let mut top = Netlist::new("top");
+        let _ = top.add_input("in", 8);
+        let off = top.absorb(&sub);
+        assert_eq!(off, 8);
+        assert_eq!(top.num_nets, 8 + sub.num_nets);
+        assert_eq!(top.cells.len(), sub.cells.len());
+        // All absorbed nets shifted.
+        for c in &top.cells {
+            assert!(c.output >= off);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Code-coverage classification (§IV-C).
+//!
+//! "After execution, we compare the change in execution frequency per block
+//! between the different runs. If the frequency is equal to 0 the code is
+//! marked as dead. If the frequency is different from 0 but did not change
+//! for different inputs the code is marked as constant and if the frequency
+//! has changed, the block is marked as live."
+//!
+//! Percentages are instruction-weighted ("relative percentages of the
+//! *size* of live, dead and constant code").
+
+use crate::profile::{BlockKey, Profile};
+use jitise_ir::Module;
+use std::collections::HashMap;
+
+/// Coverage class of one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageClass {
+    /// Executed, frequency varies with the input data set.
+    Live,
+    /// Never executed in any run.
+    Dead,
+    /// Executed with identical frequency in every run.
+    Const,
+}
+
+/// Result of the coverage analysis.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Per-block classification.
+    pub classes: HashMap<BlockKey, CoverageClass>,
+    /// Instruction-weighted fraction of live code (Table I `live` column).
+    pub live_frac: f64,
+    /// Instruction-weighted fraction of dead code (`dead` column).
+    pub dead_frac: f64,
+    /// Instruction-weighted fraction of constant code (`const` column).
+    pub const_frac: f64,
+}
+
+impl CoverageReport {
+    /// Classification of one block (Dead for unknown blocks).
+    pub fn class_of(&self, key: BlockKey) -> CoverageClass {
+        self.classes
+            .get(&key)
+            .copied()
+            .unwrap_or(CoverageClass::Dead)
+    }
+}
+
+/// Classifies every block of `module` from profiles of **at least two**
+/// runs with different input data sets.
+///
+/// Panics if fewer than two profiles are supplied — with a single run,
+/// live and constant code are indistinguishable by definition.
+pub fn classify(module: &Module, profiles: &[Profile]) -> CoverageReport {
+    assert!(
+        profiles.len() >= 2,
+        "coverage classification requires >= 2 dataset profiles, got {}",
+        profiles.len()
+    );
+    let mut classes = HashMap::new();
+    let mut live_ins = 0usize;
+    let mut dead_ins = 0usize;
+    let mut const_ins = 0usize;
+
+    for key in Profile::all_blocks(module) {
+        let counts: Vec<u64> = profiles.iter().map(|p| p.count(key)).collect();
+        let class = if counts.iter().all(|&c| c == 0) {
+            CoverageClass::Dead
+        } else if counts.windows(2).all(|w| w[0] == w[1]) {
+            CoverageClass::Const
+        } else {
+            CoverageClass::Live
+        };
+        let size = module.func(key.func).block(key.block).len();
+        match class {
+            CoverageClass::Live => live_ins += size,
+            CoverageClass::Dead => dead_ins += size,
+            CoverageClass::Const => const_ins += size,
+        }
+        classes.insert(key, class);
+    }
+
+    let total = (live_ins + dead_ins + const_ins).max(1) as f64;
+    CoverageReport {
+        classes,
+        live_frac: live_ins as f64 / total,
+        dead_frac: dead_ins as f64 / total,
+        const_frac: const_ins as f64 / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{BlockId, FuncId, FunctionBuilder, Operand as Op, Type};
+
+    /// Builds a module with 3 one-instruction blocks in sequence.
+    fn three_block_module() -> Module {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let b1 = b.new_block("b1");
+        let b2 = b.new_block("b2");
+        let x = b.add(Op::Arg(0), Op::ci32(1));
+        b.br(b1);
+        b.switch_to(b1);
+        let y = b.add(x, Op::ci32(2));
+        b.br(b2);
+        b.switch_to(b2);
+        let z = b.add(y, Op::ci32(3));
+        b.ret(z);
+        let mut m = Module::new("t");
+        m.add_func(b.finish());
+        m
+    }
+
+    fn key(b: u32) -> BlockKey {
+        BlockKey::new(FuncId(0), BlockId(b))
+    }
+
+    #[test]
+    fn classifies_three_ways() {
+        let m = three_block_module();
+        let mut p1 = Profile::new();
+        p1.record(key(0), 1, 1); // const: same in both
+        p1.record(key(1), 1, 1); // live: varies
+        // block 2 dead: never recorded
+        let mut p2 = Profile::new();
+        p2.record(key(0), 1, 1);
+        p2.record(key(1), 1, 1);
+        p2.record(key(1), 1, 1); // freq 2 vs 1 -> live
+
+        let report = classify(&m, &[p1, p2]);
+        assert_eq!(report.class_of(key(0)), CoverageClass::Const);
+        assert_eq!(report.class_of(key(1)), CoverageClass::Live);
+        assert_eq!(report.class_of(key(2)), CoverageClass::Dead);
+        // Each block has exactly 1 instruction -> thirds.
+        assert!((report.live_frac - 1.0 / 3.0).abs() < 1e-9);
+        assert!((report.dead_frac - 1.0 / 3.0).abs() < 1e-9);
+        assert!((report.const_frac - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = three_block_module();
+        let mut p1 = Profile::new();
+        p1.record(key(0), 1, 1);
+        let mut p2 = Profile::new();
+        p2.record(key(0), 1, 1);
+        let r = classify(&m, &[p1, p2]);
+        assert!((r.live_frac + r.dead_frac + r.const_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 dataset profiles")]
+    fn requires_two_profiles() {
+        let m = three_block_module();
+        classify(&m, &[Profile::new()]);
+    }
+
+    #[test]
+    fn three_profiles_tightens_const() {
+        let m = three_block_module();
+        let mk = |n: u64| {
+            let mut p = Profile::new();
+            for _ in 0..n {
+                p.record(key(0), 1, 1);
+            }
+            p
+        };
+        // Same freq in runs 1 & 2 but different in run 3 -> live.
+        let r = classify(&m, &[mk(5), mk(5), mk(6)]);
+        assert_eq!(r.class_of(key(0)), CoverageClass::Live);
+    }
+}

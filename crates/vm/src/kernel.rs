@@ -1,0 +1,153 @@
+//! Kernel-size analysis (§IV-C).
+//!
+//! "We define the kernel of an application as the code that is responsible
+//! for more than 90 % of the execution time. For determining the kernel
+//! size we sort the basic blocks by their total execution time. Then we
+//! select as many basic blocks as required (in the order of execution time)
+//! until the threshold of 90 % is reached. The size of the kernel is
+//! measured as the total number of instructions contained in these basic
+//! blocks."
+
+use crate::profile::{BlockKey, Profile};
+use jitise_ir::Module;
+
+/// Default kernel threshold (90 % of execution time).
+pub const KERNEL_THRESHOLD: f64 = 0.90;
+
+/// Result of the kernel analysis.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Blocks forming the kernel, hottest first.
+    pub blocks: Vec<BlockKey>,
+    /// Static instructions inside the kernel blocks (paper: 1960 for
+    /// scientific apps, 67 for embedded on average).
+    pub kernel_insts: usize,
+    /// Kernel size as a fraction of total static instructions (Table I
+    /// `size` column).
+    pub size_frac: f64,
+    /// Fraction of execution time actually covered by the selected blocks
+    /// (Table I `freq` column; ≥ threshold unless the program is smaller).
+    pub time_frac: f64,
+}
+
+/// Computes the kernel of `module` under `profile` at `threshold` (use
+/// [`KERNEL_THRESHOLD`] for the paper's 90 % rule).
+pub fn kernel(module: &Module, profile: &Profile, threshold: f64) -> KernelReport {
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+    let total_cycles = profile.total_cycles();
+    let total_insts: usize = module.num_insts();
+    if total_cycles == 0 {
+        return KernelReport {
+            blocks: Vec::new(),
+            kernel_insts: 0,
+            size_frac: 0.0,
+            time_frac: 0.0,
+        };
+    }
+
+    let mut covered: u64 = 0;
+    let mut blocks = Vec::new();
+    let mut kernel_insts = 0usize;
+    for (key, cycles) in profile.hottest_blocks() {
+        if covered as f64 >= threshold * total_cycles as f64 {
+            break;
+        }
+        covered += cycles;
+        kernel_insts += module.func(key.func).block(key.block).len();
+        blocks.push(key);
+    }
+
+    KernelReport {
+        blocks,
+        kernel_insts,
+        size_frac: if total_insts == 0 {
+            0.0
+        } else {
+            kernel_insts as f64 / total_insts as f64
+        },
+        time_frac: covered as f64 / total_cycles as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{BlockId, FuncId, FunctionBuilder, Operand as Op, Type};
+
+    /// Module with blocks of sizes 1, 2, 3 instructions.
+    fn module() -> Module {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let b1 = b.new_block("b1");
+        let b2 = b.new_block("b2");
+        let x = b.add(Op::Arg(0), Op::ci32(1)); // entry: 1 inst
+        b.br(b1);
+        b.switch_to(b1); // b1: 2 insts
+        let y = b.add(x, Op::ci32(2));
+        let y2 = b.mul(y, y);
+        b.br(b2);
+        b.switch_to(b2); // b2: 3 insts
+        let z = b.add(y2, Op::ci32(3));
+        let z2 = b.mul(z, z);
+        let z3 = b.xor(z2, z);
+        b.ret(z3);
+        let mut m = Module::new("t");
+        m.add_func(b.finish());
+        m
+    }
+
+    fn key(b: u32) -> BlockKey {
+        BlockKey::new(FuncId(0), BlockId(b))
+    }
+
+    #[test]
+    fn selects_hottest_until_threshold() {
+        let m = module();
+        let mut p = Profile::new();
+        p.record(key(0), 80, 1); // 80 % of time, 1 inst
+        p.record(key(1), 15, 2); // 15 %
+        p.record(key(2), 5, 3); // 5 %
+        let r = kernel(&m, &p, 0.90);
+        // Needs blocks 0 and 1 to reach 95 % >= 90 %.
+        assert_eq!(r.blocks, vec![key(0), key(1)]);
+        assert_eq!(r.kernel_insts, 3);
+        assert!((r.size_frac - 3.0 / 6.0).abs() < 1e-9);
+        assert!((r.time_frac - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_dominant_block() {
+        let m = module();
+        let mut p = Profile::new();
+        p.record(key(2), 99, 3);
+        p.record(key(0), 1, 1);
+        let r = kernel(&m, &p, 0.90);
+        assert_eq!(r.blocks, vec![key(2)]);
+        assert_eq!(r.kernel_insts, 3);
+        assert!((r.time_frac - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_yields_empty_kernel() {
+        let m = module();
+        let r = kernel(&m, &Profile::new(), 0.90);
+        assert!(r.blocks.is_empty());
+        assert_eq!(r.kernel_insts, 0);
+    }
+
+    #[test]
+    fn threshold_one_takes_everything_executed() {
+        let m = module();
+        let mut p = Profile::new();
+        p.record(key(0), 50, 1);
+        p.record(key(1), 50, 2);
+        let r = kernel(&m, &p, 1.0);
+        assert_eq!(r.blocks.len(), 2);
+        assert!((r.time_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        kernel(&module(), &Profile::new(), 1.5);
+    }
+}

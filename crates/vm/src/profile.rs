@@ -1,0 +1,196 @@
+//! Execution profiles.
+//!
+//! "We have determined these values by executing each application for
+//! different input data sets and recording the execution frequency of each
+//! basic block" (§IV-C). A [`Profile`] is that record: per-block execution
+//! counts and cycle totals for one run.
+
+use jitise_base::SimTime;
+use jitise_ir::{BlockId, FuncId, Module};
+use std::collections::HashMap;
+
+/// Identifies one basic block in a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey {
+    /// Function containing the block.
+    pub func: FuncId,
+    /// The block.
+    pub block: BlockId,
+}
+
+impl BlockKey {
+    /// Convenience constructor.
+    pub fn new(func: FuncId, block: BlockId) -> Self {
+        BlockKey { func, block }
+    }
+}
+
+/// Per-block counters for one execution.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    counts: HashMap<BlockKey, u64>,
+    cycles: HashMap<BlockKey, u64>,
+    total_cycles: u64,
+    total_insts: u64,
+}
+
+impl Profile {
+    /// Empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Records one execution of a block costing `cycles` and executing
+    /// `insts` dynamic instructions.
+    pub fn record(&mut self, key: BlockKey, cycles: u64, insts: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        *self.cycles.entry(key).or_insert(0) += cycles;
+        self.total_cycles += cycles;
+        self.total_insts += insts;
+    }
+
+    /// Execution count of a block (0 if never executed).
+    pub fn count(&self, key: BlockKey) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Cycles attributed to a block.
+    pub fn block_cycles(&self, key: BlockKey) -> u64 {
+        self.cycles.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total cycles of the run.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total dynamic instruction count of the run.
+    pub fn total_insts(&self) -> u64 {
+        self.total_insts
+    }
+
+    /// All recorded blocks.
+    pub fn keys(&self) -> impl Iterator<Item = BlockKey> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// All blocks of a module (executed or not), for coverage analysis.
+    pub fn all_blocks(m: &Module) -> Vec<BlockKey> {
+        let mut out = Vec::with_capacity(m.num_blocks());
+        for fid in m.func_ids() {
+            for bid in m.func(fid).block_ids() {
+                out.push(BlockKey::new(fid, bid));
+            }
+        }
+        out
+    }
+
+    /// Merges another profile into this one (summing counters).
+    pub fn merge(&mut self, other: &Profile) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.cycles {
+            *self.cycles.entry(*k).or_insert(0) += v;
+        }
+        self.total_cycles += other.total_cycles;
+        self.total_insts += other.total_insts;
+    }
+
+    /// Scales all counters by an integer factor. Used to extrapolate a
+    /// measured profile to a longer run of the same workload (the
+    /// evaluation harness profiles a shortened input and scales to the
+    /// paper's reported runtimes; see DESIGN.md §1).
+    pub fn scaled(&self, factor: u64) -> Profile {
+        let mut p = self.clone();
+        for v in p.counts.values_mut() {
+            *v *= factor;
+        }
+        for v in p.cycles.values_mut() {
+            *v *= factor;
+        }
+        p.total_cycles *= factor;
+        p.total_insts *= factor;
+        p
+    }
+
+    /// Blocks sorted by attributed cycles, hottest first.
+    pub fn hottest_blocks(&self) -> Vec<(BlockKey, u64)> {
+        let mut v: Vec<(BlockKey, u64)> = self.cycles.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Simulated wall time of the run at `clock_hz`.
+    pub fn time_at(&self, clock_hz: u64) -> SimTime {
+        let ns = (self.total_cycles as u128 * 1_000_000_000u128) / clock_hz as u128;
+        SimTime::from_nanos(ns as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(f: u32, b: u32) -> BlockKey {
+        BlockKey::new(FuncId(f), BlockId(b))
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut p = Profile::new();
+        p.record(key(0, 0), 10, 3);
+        p.record(key(0, 0), 10, 3);
+        p.record(key(0, 1), 50, 7);
+        assert_eq!(p.count(key(0, 0)), 2);
+        assert_eq!(p.block_cycles(key(0, 0)), 20);
+        assert_eq!(p.count(key(1, 0)), 0);
+        assert_eq!(p.total_cycles(), 70);
+        assert_eq!(p.total_insts(), 13);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Profile::new();
+        a.record(key(0, 0), 5, 1);
+        let mut b = Profile::new();
+        b.record(key(0, 0), 7, 2);
+        b.record(key(0, 1), 3, 1);
+        a.merge(&b);
+        assert_eq!(a.count(key(0, 0)), 2);
+        assert_eq!(a.block_cycles(key(0, 0)), 12);
+        assert_eq!(a.total_cycles(), 15);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut p = Profile::new();
+        p.record(key(0, 0), 5, 2);
+        let s = p.scaled(10);
+        assert_eq!(s.count(key(0, 0)), 10);
+        assert_eq!(s.total_cycles(), 50);
+        assert_eq!(s.total_insts(), 20);
+        // Original untouched.
+        assert_eq!(p.count(key(0, 0)), 1);
+    }
+
+    #[test]
+    fn hottest_ordering_deterministic() {
+        let mut p = Profile::new();
+        p.record(key(0, 0), 10, 1);
+        p.record(key(0, 1), 30, 1);
+        p.record(key(0, 2), 10, 1);
+        let hot = p.hottest_blocks();
+        assert_eq!(hot[0].0, key(0, 1));
+        // Ties broken by key order.
+        assert_eq!(hot[1].0, key(0, 0));
+        assert_eq!(hot[2].0, key(0, 2));
+    }
+
+    #[test]
+    fn time_conversion() {
+        let mut p = Profile::new();
+        p.record(key(0, 0), 300_000_000, 1);
+        assert_eq!(p.time_at(300_000_000), SimTime::from_secs(1));
+    }
+}

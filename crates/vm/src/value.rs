@@ -1,0 +1,133 @@
+//! Runtime values.
+
+use jitise_ir::{Imm, Type};
+
+/// A runtime value: a 64-bit integer (also used for pointers, which are
+/// 32-bit addresses on the PPC405 target) or a double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer / pointer / boolean payload.
+    I(i64),
+    /// Floating-point payload (f32 values are computed in f64 and rounded
+    /// at store/trunc boundaries, like x87-style evaluation).
+    F(f64),
+}
+
+impl Value {
+    /// Integer payload; panics on a float (interpreter type errors are
+    /// bugs, not recoverable conditions — the verifier rejects them).
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => panic!("expected int value, found float {v}"),
+        }
+    }
+
+    /// Float payload.
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(v) => panic!("expected float value, found int {v}"),
+        }
+    }
+
+    /// Pointer payload (u32 address space).
+    pub fn as_ptr(self) -> u32 {
+        self.as_i() as u32
+    }
+
+    /// Truth value (`i1` semantics: low bit).
+    pub fn as_bool(self) -> bool {
+        self.as_i() & 1 != 0
+    }
+
+    /// Constructs a value from an immediate.
+    pub fn from_imm(imm: Imm) -> Value {
+        if imm.ty.is_float() {
+            Value::F(imm.as_f64())
+        } else {
+            Value::I(imm.as_i64())
+        }
+    }
+
+    /// Normalizes the value to a type's width (integers are wrapped and
+    /// sign-extended; f32 values are rounded through f32 precision).
+    pub fn normalize(self, ty: Type) -> Value {
+        match self {
+            Value::I(v) => Value::I(ty.sext(ty.trunc(v))),
+            Value::F(v) => {
+                if ty == Type::F32 {
+                    Value::F(v as f32 as f64)
+                } else {
+                    Value::F(v)
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::I(v as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I(5).as_i(), 5);
+        assert_eq!(Value::F(2.5).as_f(), 2.5);
+        assert_eq!(Value::I(0x1_0000_0001).as_ptr(), 1);
+        assert!(Value::I(1).as_bool());
+        assert!(!Value::I(0).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn type_confusion_panics() {
+        Value::F(1.0).as_i();
+    }
+
+    #[test]
+    fn from_imm() {
+        assert_eq!(Value::from_imm(Imm::i32(-3)), Value::I(-3));
+        assert_eq!(Value::from_imm(Imm::f64(1.5)), Value::F(1.5));
+        assert_eq!(Value::from_imm(Imm::bool(true)), Value::I(-1)); // i1 sext
+    }
+
+    #[test]
+    fn normalize_wraps() {
+        assert_eq!(Value::I(300).normalize(Type::I8), Value::I(44));
+        assert_eq!(Value::I(-1).normalize(Type::I8), Value::I(-1));
+        let v = Value::F(1.0000000001).normalize(Type::F32);
+        assert_eq!(v, Value::F(1.0000000001f64 as f32 as f64));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i32), Value::I(7));
+        assert_eq!(Value::from(true), Value::I(1));
+        assert_eq!(Value::from(2.0f64), Value::F(2.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Partial-reconfiguration controller and CI slot file.
+//!
+//! Woolcano loads custom-instruction bitstreams at runtime "using partial
+//! reconfiguration" (§I) through the Virtex-4's ICAP port. This module
+//! models the slot file (a bounded set of reconfigurable instruction
+//! sites) and the reconfiguration latency (bitstream size / ICAP
+//! bandwidth), and enforces bitstream integrity (CRC) before activation.
+
+use crate::semantics::CiSemantics;
+use jitise_base::{Error, Result, SimTime};
+use jitise_cad::Bitstream;
+
+/// ICAP throughput: 32-bit word per cycle at 100 MHz = 400 MB/s
+/// theoretical; sustained practice is lower.
+pub const ICAP_BYTES_PER_SEC: u64 = 100_000_000;
+
+/// One loaded custom instruction.
+#[derive(Debug, Clone)]
+pub struct LoadedCi {
+    /// Slot index (the opcode space the patcher references).
+    pub slot: u32,
+    /// Candidate signature (bitstream-cache key, identity of the CI).
+    pub signature: u64,
+    /// Functional model.
+    pub semantics: CiSemantics,
+    /// Hardware latency in CPU cycles (from the implemented design's
+    /// timing plus the FCB interface overhead).
+    pub hw_cycles: u64,
+    /// The configuration bitstream.
+    pub bitstream: Bitstream,
+    /// Load counter for LRU eviction.
+    last_use: u64,
+}
+
+/// The reconfiguration controller: slot management + ICAP timing.
+#[derive(Debug)]
+pub struct ReconfigController {
+    slots: Vec<Option<LoadedCi>>,
+    clock: u64,
+    /// Accumulated reconfiguration time.
+    pub total_reconfig_time: SimTime,
+    /// Number of loads performed.
+    pub loads: u64,
+    /// Number of evictions.
+    pub evictions: u64,
+}
+
+impl ReconfigController {
+    /// A controller with `num_slots` CI sites (Woolcano's FCB exposes a
+    /// small fixed set of user-defined-instruction opcodes).
+    pub fn new(num_slots: usize) -> Self {
+        ReconfigController {
+            slots: (0..num_slots).map(|_| None).collect(),
+            clock: 0,
+            total_reconfig_time: SimTime::ZERO,
+            loads: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Reconfiguration latency for a bitstream.
+    pub fn reconfig_time(bitstream: &Bitstream) -> SimTime {
+        let ns = bitstream.len() as u128 * 1_000_000_000u128 / ICAP_BYTES_PER_SEC as u128;
+        SimTime::from_nanos(ns as u64)
+    }
+
+    /// Loads a CI, evicting the least-recently-used slot if full. Returns
+    /// the slot index.
+    pub fn load(
+        &mut self,
+        signature: u64,
+        semantics: CiSemantics,
+        hw_cycles: u64,
+        bitstream: Bitstream,
+    ) -> Result<u32> {
+        if !bitstream.verify() {
+            return Err(Error::Arch(format!(
+                "bitstream CRC failure for CI {signature:#018x}"
+            )));
+        }
+        self.clock += 1;
+        // Already loaded? Refresh and return.
+        if let Some(slot) = self.slot_of(signature) {
+            self.slots[slot as usize].as_mut().expect("occupied").last_use = self.clock;
+            return Ok(slot);
+        }
+        // Free slot or LRU victim.
+        let slot = match self.slots.iter().position(|s| s.is_none()) {
+            Some(i) => i,
+            None => {
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_ref().map(|c| c.last_use).unwrap_or(0))
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| Error::Arch("controller has zero slots".into()))?;
+                self.evictions += 1;
+                victim
+            }
+        };
+        self.total_reconfig_time += Self::reconfig_time(&bitstream);
+        self.loads += 1;
+        self.slots[slot] = Some(LoadedCi {
+            slot: slot as u32,
+            signature,
+            semantics,
+            hw_cycles,
+            bitstream,
+            last_use: self.clock,
+        });
+        Ok(slot as u32)
+    }
+
+    /// Slot currently holding the CI with `signature`.
+    pub fn slot_of(&self, signature: u64) -> Option<u32> {
+        self.slots.iter().position(|s| {
+            s.as_ref().map(|c| c.signature) == Some(signature)
+        }).map(|i| i as u32)
+    }
+
+    /// The CI in a slot.
+    pub fn get(&self, slot: u32) -> Option<&LoadedCi> {
+        self.slots.get(slot as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Marks a slot as used (LRU bookkeeping on execution).
+    pub fn touch(&mut self, slot: u32) {
+        self.clock += 1;
+        if let Some(Some(ci)) = self.slots.get_mut(slot as usize) {
+            ci.last_use = self.clock;
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitise_ir::{BlockId, Dfg, FuncId, FunctionBuilder, Operand as Op, Type};
+    use jitise_ise::ForbiddenPolicy;
+    use jitise_vm::BlockKey;
+
+    fn dummy_ci(tag: i32) -> (u64, CiSemantics, Bitstream) {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let x = b.mul(Op::Arg(0), Op::ci32(tag));
+        let y = b.add(x, Op::ci32(1));
+        b.ret(y);
+        let f = b.finish();
+        let dfg = Dfg::build(&f, BlockId(0));
+        let cand = jitise_ise::maxmiso(
+            &f,
+            &dfg,
+            BlockKey::new(FuncId(0), BlockId(0)),
+            &ForbiddenPolicy::default(),
+            2,
+        )
+        .candidates
+        .remove(0);
+        let sig = cand.signature(&f, &dfg);
+        let sem = CiSemantics::freeze(&f, &dfg, &cand).unwrap();
+        // A tiny real bitstream via the CAD flow's pieces.
+        let fabric = jitise_cad::Fabric::tiny();
+        let nl = jitise_pivpav::netlist::synthesize_core("c", 4, 8, 0, 0, tag as u64);
+        let p = jitise_cad::place(&fabric, &nl, jitise_cad::PlaceEffort::fast(), 1).unwrap();
+        let r = jitise_cad::route(&fabric, &nl, &p, jitise_cad::RouteEffort::fast()).unwrap();
+        let bs = jitise_cad::bitgen(&fabric, &nl, &p, &r, true);
+        (sig, sem, bs)
+    }
+
+    #[test]
+    fn load_and_execute_slot() {
+        let mut ctl = ReconfigController::new(4);
+        let (sig, sem, bs) = dummy_ci(3);
+        let slot = ctl.load(sig, sem, 5, bs).unwrap();
+        assert_eq!(ctl.occupied(), 1);
+        assert_eq!(ctl.slot_of(sig), Some(slot));
+        let ci = ctl.get(slot).unwrap();
+        assert_eq!(
+            ci.semantics.eval(&[jitise_vm::Value::I(10)]).unwrap(),
+            jitise_vm::Value::I(31)
+        );
+        assert!(ctl.total_reconfig_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn reload_same_signature_is_free() {
+        let mut ctl = ReconfigController::new(2);
+        let (sig, sem, bs) = dummy_ci(3);
+        let s1 = ctl.load(sig, sem.clone(), 5, bs.clone()).unwrap();
+        let t1 = ctl.total_reconfig_time;
+        let s2 = ctl.load(sig, sem, 5, bs).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(ctl.total_reconfig_time, t1, "no second ICAP transfer");
+        assert_eq!(ctl.loads, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut ctl = ReconfigController::new(2);
+        let (s1, sem1, bs1) = dummy_ci(1);
+        let (s2, sem2, bs2) = dummy_ci(2);
+        let (s3, sem3, bs3) = dummy_ci(5);
+        ctl.load(s1, sem1, 5, bs1).unwrap();
+        ctl.load(s2, sem2, 5, bs2).unwrap();
+        // Touch s1 so s2 becomes LRU.
+        let slot1 = ctl.slot_of(s1).unwrap();
+        ctl.touch(slot1);
+        ctl.load(s3, sem3, 5, bs3).unwrap();
+        assert_eq!(ctl.evictions, 1);
+        assert!(ctl.slot_of(s1).is_some(), "recently used survives");
+        assert!(ctl.slot_of(s2).is_none(), "LRU evicted");
+        assert!(ctl.slot_of(s3).is_some());
+    }
+
+    #[test]
+    fn corrupt_bitstream_rejected() {
+        let mut ctl = ReconfigController::new(2);
+        let (sig, sem, mut bs) = dummy_ci(7);
+        let n = bs.bytes.len();
+        bs.bytes[n / 2] ^= 0x01;
+        assert!(ctl.load(sig, sem, 5, bs).is_err());
+        assert_eq!(ctl.occupied(), 0);
+    }
+
+    #[test]
+    fn reconfig_time_scales_with_size() {
+        let (_, _, bs) = dummy_ci(9);
+        let t = ReconfigController::reconfig_time(&bs);
+        let expect = bs.len() as f64 / ICAP_BYTES_PER_SEC as f64;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,28 @@
+//! # jitise — Just-in-Time Instruction Set Extension
+//!
+//! Façade crate re-exporting the public API of the `jitise` workspace, a
+//! reproduction of Grad & Plessl, *"Just-in-time Instruction Set Extension —
+//! Feasibility and Limitations for an FPGA-based Reconfigurable ASIP
+//! Architecture"*, RAW/IPDPS 2011.
+//!
+//! See the individual crates for the subsystems:
+//!
+//! * [`ir`] — SSA intermediate representation (the "bitcode").
+//! * [`vm`] — interpreter, profiler, coverage and kernel analysis.
+//! * [`ise`] — instruction-set-extension algorithms and pruning filters.
+//! * [`pivpav`] — IP-core database, datapath generator, estimator.
+//! * [`cad`] — FPGA CAD tool-flow simulator (map, place, route, bitgen).
+//! * [`woolcano`] — the reconfigurable ASIP architecture model.
+//! * [`apps`] — the 14 benchmark applications of the paper's evaluation.
+//! * [`core`] — the ASIP specialization pipeline, bitstream cache,
+//!   break-even analysis, and concurrent JIT runtime.
+
+pub use jitise_apps as apps;
+pub use jitise_base as base;
+pub use jitise_cad as cad;
+pub use jitise_core as core;
+pub use jitise_ir as ir;
+pub use jitise_ise as ise;
+pub use jitise_pivpav as pivpav;
+pub use jitise_vm as vm;
+pub use jitise_woolcano as woolcano;
