@@ -94,7 +94,9 @@ impl App {
 
     /// Profiles every dataset (for coverage classification).
     pub fn profile_all_datasets(&self) -> Vec<Profile> {
-        (0..self.datasets.len()).map(|i| self.run_dataset(i)).collect()
+        (0..self.datasets.len())
+            .map(|i| self.run_dataset(i))
+            .collect()
     }
 
     /// The scale factor extrapolating the measured train-set profile to the

@@ -19,4 +19,6 @@ pub mod profile;
 pub mod synth;
 
 pub use app::{App, Dataset};
-pub use profile::{embedded_names, paper_profile, scientific_names, AppProfile, Domain, PAPER_APPS};
+pub use profile::{
+    embedded_names, paper_profile, scientific_names, AppProfile, Domain, PAPER_APPS,
+};

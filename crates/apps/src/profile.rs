@@ -570,7 +570,10 @@ mod tests {
             .filter(|p| p.domain == Domain::Embedded)
             .collect();
         let avg_sum: f64 = emb.iter().map(|p| p.sum_s as f64).sum::<f64>() / emb.len() as f64;
-        assert!((avg_sum - (49.0 * 60.0 + 53.0)).abs() < 2.0, "AVG-E sum {avg_sum}");
+        assert!(
+            (avg_sum - (49.0 * 60.0 + 53.0)).abs() < 2.0,
+            "AVG-E sum {avg_sum}"
+        );
         // AVG-E ASIP pruned ratio 4.98.
         let avg_ratio: f64 =
             emb.iter().map(|p| p.asip_ratio_pruned).sum::<f64>() / emb.len() as f64;

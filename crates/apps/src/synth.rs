@@ -227,7 +227,15 @@ pub fn build_scientific(p: &AppProfile) -> App {
         let hot_sizes: Vec<u32> = {
             let n = p.pruned_blocks.max(1);
             let base = hot_ins / n;
-            (0..n).map(|i| if i == 0 { hot_ins - base * (n - 1) } else { base }).collect()
+            (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        hot_ins - base * (n - 1)
+                    } else {
+                        base
+                    }
+                })
+                .collect()
         };
         b.counted_loop("kern", Op::ci32(0), Op::ci32(k.hot_iters), |b, i| {
             let mut v = i;
@@ -236,7 +244,15 @@ pub fn build_scientific(p: &AppProfile) -> App {
                 b.br(blk);
                 b.switch_to(blk);
                 v = emit_body(
-                    b, &mut rng, sz, k.seg_len, k.hot_float, k.int_mul, int_data, float_data, v,
+                    b,
+                    &mut rng,
+                    sz,
+                    k.seg_len,
+                    k.hot_float,
+                    k.int_mul,
+                    int_data,
+                    float_data,
+                    v,
                 );
             }
         });
@@ -245,8 +261,17 @@ pub fn build_scientific(p: &AppProfile) -> App {
             let warm_blocks = blocks_of(warm_ins).min(64);
             b.counted_loop("warm", Op::ci32(0), Op::ci32(k.hot_iters / 8), |b, _| {
                 emit_chain(
-                    b, &mut rng, "warmblk", warm_blocks, warm_ins, k.seg_len, k.hot_float / 2.0,
-                    k.int_mul, int_data, float_data, Op::Arg(0),
+                    b,
+                    &mut rng,
+                    "warmblk",
+                    warm_blocks,
+                    warm_ins,
+                    k.seg_len,
+                    k.hot_float / 2.0,
+                    k.int_mul,
+                    int_data,
+                    float_data,
+                    Op::Arg(0),
                 );
             });
         }
@@ -259,8 +284,17 @@ pub fn build_scientific(p: &AppProfile) -> App {
         let mut b = FunctionBuilder::new("live_rest", vec![Type::I32], Type::I32);
         let blocks = blocks_of(live_rest).min(1200);
         let v = emit_chain(
-            b_ref(&mut b), &mut rng, "live", blocks, live_rest, k.seg_len, 0.05, k.int_mul,
-            int_data, float_data, Op::Arg(0),
+            b_ref(&mut b),
+            &mut rng,
+            "live",
+            blocks,
+            live_rest,
+            k.seg_len,
+            0.05,
+            k.int_mul,
+            int_data,
+            float_data,
+            Op::Arg(0),
         );
         b.ret(v);
         m.add_func(b.finish())
@@ -271,8 +305,17 @@ pub fn build_scientific(p: &AppProfile) -> App {
         let mut b = FunctionBuilder::new("startup", vec![], Type::I32);
         let blocks = blocks_of(const_ins).min(800);
         let v = emit_chain(
-            b_ref(&mut b), &mut rng, "const", blocks, const_ins, k.seg_len, 0.05, k.int_mul,
-            int_data, float_data, Op::ci32(0x1234),
+            b_ref(&mut b),
+            &mut rng,
+            "const",
+            blocks,
+            const_ins,
+            k.seg_len,
+            0.05,
+            k.int_mul,
+            int_data,
+            float_data,
+            Op::ci32(0x1234),
         );
         b.ret(v);
         m.add_func(b.finish())
@@ -283,8 +326,17 @@ pub fn build_scientific(p: &AppProfile) -> App {
         let mut b = FunctionBuilder::new("coldpath", vec![], Type::I32);
         let blocks = blocks_of(dead_ins).min(2500);
         let v = emit_chain(
-            b_ref(&mut b), &mut rng, "dead", blocks, dead_ins, k.seg_len, 0.05, k.int_mul,
-            int_data, float_data, Op::ci32(0x4321),
+            b_ref(&mut b),
+            &mut rng,
+            "dead",
+            blocks,
+            dead_ins,
+            k.seg_len,
+            0.05,
+            k.int_mul,
+            int_data,
+            float_data,
+            Op::ci32(0x4321),
         );
         b.ret(v);
         m.add_func(b.finish())

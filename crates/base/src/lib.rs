@@ -17,11 +17,14 @@
 //!   binaries.
 //! * [`codec`] — a minimal binary encoder/decoder for the on-disk bitstream
 //!   cache format (hand-rolled to avoid a serde format dependency).
+//! * [`sync`] — poison-free `Mutex`/`RwLock` wrappers with `parking_lot`
+//!   ergonomics, so the workspace builds without network access.
 
 pub mod codec;
 pub mod hash;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod table;
 
 mod simtime;

@@ -253,7 +253,8 @@ mod tests {
         let t = SimTime::from_hours(1) + SimTime::from_mins(59) + SimTime::from_secs(55);
         assert_eq!(t.fmt_hms(), "01:59:55");
         // Break-even style: 206 d 22 h 15 m 50 s.
-        let t = SimTime::from_hours(206 * 24 + 22) + SimTime::from_mins(15) + SimTime::from_secs(50);
+        let t =
+            SimTime::from_hours(206 * 24 + 22) + SimTime::from_mins(15) + SimTime::from_secs(50);
         assert_eq!(t.fmt_dhms(), "206:22:15:50");
     }
 

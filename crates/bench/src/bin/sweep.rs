@@ -53,7 +53,14 @@ fn main() {
     let fabric = Fabric::pr_region();
 
     let mut t = TextTable::new(vec![
-        "candidate", "ops", "complexity", "map[s]", "par[s]", "par/map", "bitgen[s]", "fmax[MHz]",
+        "candidate",
+        "ops",
+        "complexity",
+        "map[s]",
+        "par[s]",
+        "par/map",
+        "bitgen[s]",
+        "fmax[MHz]",
     ]);
     let mut min_map = f64::MAX;
     let mut max_map: f64 = 0.0;

@@ -100,8 +100,21 @@ fn main() {
     let avg_e = avg_row("AVG-E", &emb_rows);
 
     let mut t = TextTable::new(vec![
-        "App", "files", "LOC", "real[s]", "blk", "ins", "VM[s]", "Native[s]", "Ratio",
-        "ASIP", "live%", "dead%", "const%", "size%", "freq%",
+        "App",
+        "files",
+        "LOC",
+        "real[s]",
+        "blk",
+        "ins",
+        "VM[s]",
+        "Native[s]",
+        "Ratio",
+        "ASIP",
+        "live%",
+        "dead%",
+        "const%",
+        "size%",
+        "freq%",
     ]);
     for r in &sci_rows {
         push(&mut t, r);
@@ -146,13 +159,41 @@ fn main() {
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let cmp = [
-        ("max ASIP ratio AVG-S", paper_avg(Domain::Scientific, &|p| p.asip_ratio_max), avg_s.asip),
-        ("max ASIP ratio AVG-E", paper_avg(Domain::Embedded, &|p| p.asip_ratio_max), avg_e.asip),
-        ("kernel size% AVG-S", paper_avg(Domain::Scientific, &|p| p.kernel_size) * 100.0, avg_s.ksize * 100.0),
-        ("kernel size% AVG-E", paper_avg(Domain::Embedded, &|p| p.kernel_size) * 100.0, avg_e.ksize * 100.0),
-        ("kernel freq% AVG-S", paper_avg(Domain::Scientific, &|p| p.kernel_freq) * 100.0, avg_s.kfreq * 100.0),
-        ("VM ratio AVG-S", paper_avg(Domain::Scientific, &|p| p.vm_ratio), avg_s.ratio),
-        ("VM ratio AVG-E", paper_avg(Domain::Embedded, &|p| p.vm_ratio), avg_e.ratio),
+        (
+            "max ASIP ratio AVG-S",
+            paper_avg(Domain::Scientific, &|p| p.asip_ratio_max),
+            avg_s.asip,
+        ),
+        (
+            "max ASIP ratio AVG-E",
+            paper_avg(Domain::Embedded, &|p| p.asip_ratio_max),
+            avg_e.asip,
+        ),
+        (
+            "kernel size% AVG-S",
+            paper_avg(Domain::Scientific, &|p| p.kernel_size) * 100.0,
+            avg_s.ksize * 100.0,
+        ),
+        (
+            "kernel size% AVG-E",
+            paper_avg(Domain::Embedded, &|p| p.kernel_size) * 100.0,
+            avg_e.ksize * 100.0,
+        ),
+        (
+            "kernel freq% AVG-S",
+            paper_avg(Domain::Scientific, &|p| p.kernel_freq) * 100.0,
+            avg_s.kfreq * 100.0,
+        ),
+        (
+            "VM ratio AVG-S",
+            paper_avg(Domain::Scientific, &|p| p.vm_ratio),
+            avg_s.ratio,
+        ),
+        (
+            "VM ratio AVG-E",
+            paper_avg(Domain::Embedded, &|p| p.vm_ratio),
+            avg_e.ratio,
+        ),
     ];
     let mut pt = TextTable::new(vec!["quantity", "paper", "measured"]);
     for (name, p, m) in cmp {

@@ -112,8 +112,18 @@ fn main() {
     let avg_e = avg("AVG-E", &emb_rows);
 
     let mut t = TextTable::new(vec![
-        "App", "real[ms]", "effic", "blk", "ins", "can", "ratio", "const", "map", "par",
-        "sum", "break-even[d:h:m:s]",
+        "App",
+        "real[ms]",
+        "effic",
+        "blk",
+        "ins",
+        "can",
+        "ratio",
+        "const",
+        "map",
+        "par",
+        "sum",
+        "break-even[d:h:m:s]",
     ]);
     for r in &sci_rows {
         push(&mut t, r);
@@ -156,15 +166,28 @@ fn main() {
     pt.row(vec![
         "candidate search (ms-scale)".to_string(),
         "0.24 - 10.62 ms".to_string(),
-        format!("{:.2} - {:.2} ms",
-            sci_rows.iter().chain(&emb_rows).map(|r| r.real_ms).fold(f64::MAX, f64::min),
-            sci_rows.iter().chain(&emb_rows).map(|r| r.real_ms).fold(0.0, f64::max)),
+        format!(
+            "{:.2} - {:.2} ms",
+            sci_rows
+                .iter()
+                .chain(&emb_rows)
+                .map(|r| r.real_ms)
+                .fold(f64::MAX, f64::min),
+            sci_rows
+                .iter()
+                .chain(&emb_rows)
+                .map(|r| r.real_ms)
+                .fold(0.0, f64::max)
+        ),
     ]);
     pt.row(vec![
         "scientific break-even >> embedded".to_string(),
         "5 orders of magnitude".to_string(),
         {
-            let s = avg_s.break_even.map(|t| t.as_secs_f64()).unwrap_or(f64::INFINITY);
+            let s = avg_s
+                .break_even
+                .map(|t| t.as_secs_f64())
+                .unwrap_or(f64::INFINITY);
             let e = avg_e.break_even.map(|t| t.as_secs_f64()).unwrap_or(1.0);
             format!("{:.0}x", s / e)
         },
@@ -180,11 +203,35 @@ fn main() {
     let sci_red = mean_of(&sci, |(_, e)| e.report.search.prune.reduction_factor());
     let emb_red = mean_of(&emb, |(_, e)| e.report.search.prune.reduction_factor());
     let mut it = TextTable::new(vec!["quantity", "paper", "measured"]);
-    it.row(vec!["avg candidate size sci [ins]".to_string(), "7.31".into(), fnum(sci_cand_size, 2)]);
-    it.row(vec!["avg candidate size emb [ins]".to_string(), "6.5".into(), fnum(emb_cand_size, 2)]);
-    it.row(vec!["avg pruned block size sci".to_string(), "155.65".into(), fnum(sci_blk_size, 2)]);
-    it.row(vec!["avg pruned block size emb".to_string(), "29.71".into(), fnum(emb_blk_size, 2)]);
-    it.row(vec!["bitcode reduction sci".to_string(), "36.49x".into(), fnum(sci_red, 2)]);
-    it.row(vec!["bitcode reduction emb".to_string(), "4.9x".into(), fnum(emb_red, 2)]);
+    it.row(vec![
+        "avg candidate size sci [ins]".to_string(),
+        "7.31".into(),
+        fnum(sci_cand_size, 2),
+    ]);
+    it.row(vec![
+        "avg candidate size emb [ins]".to_string(),
+        "6.5".into(),
+        fnum(emb_cand_size, 2),
+    ]);
+    it.row(vec![
+        "avg pruned block size sci".to_string(),
+        "155.65".into(),
+        fnum(sci_blk_size, 2),
+    ]);
+    it.row(vec![
+        "avg pruned block size emb".to_string(),
+        "29.71".into(),
+        fnum(emb_blk_size, 2),
+    ]);
+    it.row(vec![
+        "bitcode reduction sci".to_string(),
+        "36.49x".into(),
+        fnum(sci_red, 2),
+    ]);
+    it.row(vec![
+        "bitcode reduction emb".to_string(),
+        "4.9x".into(),
+        fnum(emb_red, 2),
+    ]);
     println!("{}", it.render());
 }

@@ -30,7 +30,12 @@ fn main() {
 
     for app in App::embedded() {
         let profile = app.scaled_profile();
-        let search = candidate_search(&app.module, &profile, &ctx.estimator, &SearchConfig::default());
+        let search = candidate_search(
+            &app.module,
+            &profile,
+            &ctx.estimator,
+            &SearchConfig::default(),
+        );
         for sel in &search.selection.selected {
             let cand = &sel.candidate;
             let f = app.module.func(cand.key.func);
@@ -58,7 +63,15 @@ fn main() {
     }
 
     let sum_mean = c2v.mean() + syn.mean() + xst.mean() + tra.mean() + bitgen.mean();
-    let mut t = TextTable::new(vec!["", "C2V[s]", "Syn[s]", "Xst[s]", "Tra[s]", "Bitgen[s]", "Sum[s]"]);
+    let mut t = TextTable::new(vec![
+        "",
+        "C2V[s]",
+        "Syn[s]",
+        "Xst[s]",
+        "Tra[s]",
+        "Bitgen[s]",
+        "Sum[s]",
+    ]);
     t.row(vec![
         "measured avg".to_string(),
         fnum(c2v.mean(), 2),

@@ -7,7 +7,9 @@
 use jitise_apps::Domain;
 use jitise_base::table::TextTable;
 use jitise_bench::evaluate_domain;
-use jitise_core::{break_even_basis, table_iv, BreakEvenBasis, EvalContext, CACHE_RATES, TOOL_SPEEDUPS};
+use jitise_core::{
+    break_even_basis, table_iv, BreakEvenBasis, EvalContext, CACHE_RATES, TOOL_SPEEDUPS,
+};
 
 fn main() {
     println!("=== Table IV: average embedded break-even with bitstream cache + faster CAD ===\n");
@@ -30,8 +32,8 @@ fn main() {
     ]);
     for (row, &rate) in CACHE_RATES.iter().enumerate() {
         let mut cells = vec![format!("{}", (rate * 100.0) as u32)];
-        for col in 0..TOOL_SPEEDUPS.len() {
-            cells.push(grid[row][col].fmt_hms());
+        for cell in grid[row].iter().take(TOOL_SPEEDUPS.len()) {
+            cells.push(cell.fmt_hms());
         }
         t.row(cells);
     }

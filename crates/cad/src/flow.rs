@@ -30,6 +30,7 @@ use crate::timing::{analyze, TimingReport};
 use jitise_base::hash::SigHasher;
 use jitise_base::{Error, Result, SimTime};
 use jitise_pivpav::{CadProject, CellKind, Netlist};
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 
 /// Tool-flow options.
 #[derive(Debug, Clone)]
@@ -46,6 +47,8 @@ pub struct FlowOptions {
     /// Tool-speedup factor for §VI-B extrapolations: 0.30 means "30 %
     /// faster tools", scaling every stage time by 0.70.
     pub tool_speedup: f64,
+    /// Observability handle (disabled by default; zero overhead).
+    pub telemetry: Telemetry,
 }
 
 impl Default for FlowOptions {
@@ -56,6 +59,7 @@ impl Default for FlowOptions {
             eapr: true,
             seed: 1,
             tool_speedup: 0.0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -146,7 +150,9 @@ fn syntax_check(project: &CadProject) -> Result<()> {
     let entities = text.matches("entity ").count();
     let ends = text.matches("end entity").count() + text.matches("end architecture").count();
     if entities == 0 || ends < 2 {
-        return Err(Error::Cad("syntax check: malformed entity structure".into()));
+        return Err(Error::Cad(
+            "syntax check: malformed entity structure".into(),
+        ));
     }
     if text.matches("port map").count() != project.vhdl.instances.len() {
         return Err(Error::Cad(
@@ -168,44 +174,74 @@ fn map_pack(flat: &Netlist) -> u32 {
     let ffs = flat.ff_count() as u32;
     // LUT+carry share slice LUT sites; FFs pack beside them.
     let lut_sites = luts + carries;
-    ((lut_sites + 1) / 2).max((ffs + 1) / 2)
+    lut_sites.div_ceil(2).max(ffs.div_ceil(2))
 }
 
 /// Runs the complete Instruction Implementation flow on a project.
 pub fn run_flow(fabric: &Fabric, project: &CadProject, opts: &FlowOptions) -> Result<FlowReport> {
     let scale = (1.0 - opts.tool_speedup).max(0.0);
-    let stage =
-        |base: f64, jit: f64, salt: u64| -> SimTime {
-            SimTime::from_secs_f64((base + jit * jitter(&project.name, salt)) * scale)
-        };
+    let stage = |base: f64, jit: f64, salt: u64| -> SimTime {
+        SimTime::from_secs_f64((base + jit * jitter(&project.name, salt)) * scale)
+    };
+    let tel = &opts.telemetry;
 
     // 1. Syntax check.
-    syntax_check(project)?;
-    let syntax = stage(SYNTAX_S, SYNTAX_JITTER, 1);
+    let syntax = {
+        let mut span = tel.span("cad.syntax");
+        syntax_check(project)?;
+        let t = stage(SYNTAX_S, SYNTAX_JITTER, 1);
+        span.set_sim_time(t);
+        t
+    };
 
     // 2. Xst: top-level synthesis (real flattening).
+    let mut xst_span = tel.span("cad.xst");
     let flat = synthesize_top(project)?;
     let xst = stage(XST_S, XST_JITTER, 2);
+    xst_span.set_sim_time(xst);
+    drop(xst_span);
 
     // 3. Translate: consolidate netlists + constraints (validation pass).
-    flat.validate().map_err(Error::Cad)?;
-    let translate = stage(TRANSLATE_S, TRANSLATE_JITTER, 3);
+    let translate = {
+        let mut span = tel.span("cad.translate");
+        flat.validate().map_err(Error::Cad)?;
+        let t = stage(TRANSLATE_S, TRANSLATE_JITTER, 3);
+        span.set_sim_time(t);
+        t
+    };
 
     // 4. Map: slice packing; time scales with candidate complexity.
+    let mut map_span = tel.span("cad.map");
     let slices = map_pack(&flat);
     // Use the metrics-level (uncapped) LUT counts for the runtime model so
     // a float divider costs like a float divider even though its cached
     // netlist is size-capped.
-    let metric_complexity = project.vhdl.total_luts() as f64 + 30.0 * project.vhdl.total_dsps() as f64;
+    let metric_complexity =
+        project.vhdl.total_luts() as f64 + 30.0 * project.vhdl.total_dsps() as f64;
     let complexity = metric_complexity.max(netlist_complexity(&flat));
     let norm = (complexity / COMPLEXITY_SATURATION).min(1.0);
     let map_s = MAP_MIN_S + (MAP_MAX_S - MAP_MIN_S) * norm;
     let map_t = SimTime::from_secs_f64((map_s * (1.0 + 0.02 * jitter(&project.name, 4))) * scale);
+    map_span.set_sim_time(map_t);
+    map_span.field("slices", TelValue::U64(slices as u64));
+    tel.observe("cad.complexity", complexity as u64);
+    drop(map_span);
 
     // 5. PAR: real placement + routing; time = map × complexity ratio.
+    let mut par_span = tel.span("cad.par");
     let placement: Placement = place(fabric, &flat, opts.place_effort, opts.seed)?;
     check_legal(fabric, &flat, &placement)?;
     let routed: RoutedDesign = route(fabric, &flat, &placement, opts.route_effort)?;
+    tel.add(names::PLACER_MOVES, placement.moves);
+    tel.add(names::PLACER_ACCEPTS, placement.accepted);
+    tel.add(names::ROUTER_ITERATIONS, routed.iterations as u64);
+    // PathFinder re-routes every multi-terminal net on each negotiation
+    // iteration after the first: those re-routes are the rip-ups.
+    let routable = routed.nets.iter().filter(|n| !n.edges.is_empty()).count() as u64;
+    tel.add(
+        names::ROUTER_RIPUPS,
+        routed.iterations.saturating_sub(1) as u64 * routable,
+    );
     if routed.overflow > 0 {
         return Err(Error::Cad(format!(
             "unroutable: {} channels over capacity",
@@ -213,10 +249,15 @@ pub fn run_flow(fabric: &Fabric, project: &CadProject, opts: &FlowOptions) -> Re
         )));
     }
     let par_ratio = PAR_RATIO_MIN + (PAR_RATIO_MAX - PAR_RATIO_MIN) * norm;
-    let par_t =
-        SimTime::from_secs_f64((map_s * par_ratio * (1.0 + 0.02 * jitter(&project.name, 5))) * scale);
+    let par_t = SimTime::from_secs_f64(
+        (map_s * par_ratio * (1.0 + 0.02 * jitter(&project.name, 5))) * scale,
+    );
+    par_span.set_sim_time(par_t);
+    par_span.field("wirelength", TelValue::U64(routed.wirelength));
+    drop(par_span);
 
     // 6. Timing + bitgen.
+    let mut bitgen_span = tel.span("cad.bitgen");
     let timing = analyze(fabric, &flat, &placement, &routed);
     let bitstream = bitgen(fabric, &flat, &placement, &routed, opts.eapr);
     let bitgen_t = if opts.eapr {
@@ -224,6 +265,9 @@ pub fn run_flow(fabric: &Fabric, project: &CadProject, opts: &FlowOptions) -> Re
     } else {
         stage(BITGEN_FULL_S, BITGEN_JITTER, 6)
     };
+    bitgen_span.set_sim_time(bitgen_t);
+    bitgen_span.field("bytes", TelValue::U64(bitstream.len() as u64));
+    drop(bitgen_span);
 
     Ok(FlowReport {
         syntax,

@@ -142,7 +142,11 @@ fn total_hpwl(fabric: &Fabric, pins: &NetPins, placement: &[u32]) -> u64 {
 /// site capacities).
 pub fn place(fabric: &Fabric, nl: &Netlist, effort: PlaceEffort, seed: u64) -> Result<Placement> {
     // Capacity feasibility.
-    let logic_cells = nl.cells.iter().filter(|c| c.kind != CellKind::Dsp48).count() as u32;
+    let logic_cells = nl
+        .cells
+        .iter()
+        .filter(|c| c.kind != CellKind::Dsp48)
+        .count() as u32;
     let dsp_cells = nl.dsp_count() as u32;
     if logic_cells > fabric.total_logic_sites() {
         return Err(Error::Cad(format!(

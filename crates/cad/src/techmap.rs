@@ -160,8 +160,7 @@ pub fn synthesize_top(project: &CadProject) -> Result<Netlist> {
     // as a top-level *input* either: the word-level port maps can alias an
     // input signal onto an internally-driven wire (select's shared port),
     // making the external pin redundant.
-    let cell_driven: std::collections::HashSet<u32> =
-        flat.cells.iter().map(|c| c.output).collect();
+    let cell_driven: std::collections::HashSet<u32> = flat.cells.iter().map(|c| c.output).collect();
     let mut seen_port_classes = std::collections::HashSet::new();
     seen_port_classes.extend(cell_driven.iter().copied());
     let dedup = |nets: Vec<u32>, seen: &mut std::collections::HashSet<u32>| -> Vec<u32> {

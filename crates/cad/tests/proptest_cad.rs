@@ -4,8 +4,7 @@
 //! CRC-clean bitstream.
 
 use jitise_cad::{
-    analyze, bitgen, check_connected, check_legal, place, route, Fabric, PlaceEffort,
-    RouteEffort,
+    analyze, bitgen, check_connected, check_legal, place, route, Fabric, PlaceEffort, RouteEffort,
 };
 use jitise_pivpav::netlist::synthesize_core;
 use proptest::prelude::*;

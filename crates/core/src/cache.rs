@@ -13,9 +13,9 @@
 //! optional on-disk image uses the `jitise-base` codec.
 
 use jitise_base::codec::{Decoder, Encoder};
+use jitise_base::sync::RwLock;
 use jitise_base::{Error, Result, SimTime};
 use jitise_cad::{Bitstream, TimingReport};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// A cached implementation of one custom instruction.

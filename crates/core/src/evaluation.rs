@@ -14,6 +14,7 @@ use jitise_apps::App;
 use jitise_base::SimTime;
 use jitise_ise::{candidate_search, PruneFilter, SearchConfig};
 use jitise_pivpav::{CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_telemetry::Telemetry;
 use jitise_vm::coverage::{classify, CoverageClass, CoverageReport};
 use jitise_vm::exec_model::ExecTimes;
 use jitise_vm::kernel::{kernel, KernelReport, KERNEL_THRESHOLD};
@@ -32,6 +33,9 @@ pub struct EvalContext {
     pub estimator: PivPavEstimator,
     /// CPU model.
     pub cost: CostModel,
+    /// Observability handle propagated into every specialization run this
+    /// context drives (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl Default for EvalContext {
@@ -43,12 +47,18 @@ impl Default for EvalContext {
 impl EvalContext {
     /// Builds the context (database construction is the expensive part).
     pub fn new() -> EvalContext {
+        Self::with_telemetry(Telemetry::disabled())
+    }
+
+    /// A context whose pipeline runs record to `telemetry`.
+    pub fn with_telemetry(telemetry: Telemetry) -> EvalContext {
         EvalContext {
             db: CircuitDb::build(),
             netlists: NetlistCache::new(),
             bitstreams: BitstreamCache::new(),
             estimator: PivPavEstimator::new(),
             cost: CostModel::ppc405(),
+            telemetry,
         }
     }
 }
@@ -119,7 +129,10 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
         &ctx.db,
         &ctx.netlists,
         &ctx.bitstreams,
-        &SpecializeConfig::default(),
+        &SpecializeConfig {
+            telemetry: ctx.telemetry.clone(),
+            ..SpecializeConfig::default()
+        },
     )
     .unwrap_or_else(|e| panic!("{}: specialization failed: {e}", app.name));
     let asip_ratio_pruned = report.search.asip_ratio;

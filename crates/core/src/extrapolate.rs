@@ -39,10 +39,7 @@ pub fn average_break_even(
         for _ in 0..trials.max(1) {
             // Random hit subset; its generation time is subtracted.
             let hit_idx = rng.sample_indices(n, hits.min(n));
-            let saved: SimTime = hit_idx
-                .iter()
-                .map(|&i| basis.candidate_times[i])
-                .sum();
+            let saved: SimTime = hit_idx.iter().map(|&i| basis.candidate_times[i]).sum();
             let overhead = basis
                 .inputs
                 .overhead
@@ -111,19 +108,20 @@ mod tests {
         let grid = table_iv(&b, 6, 7);
         // Down a column: higher hit rate, lower break-even.
         for col in 0..TOOL_SPEEDUPS.len() {
-            for row in 1..CACHE_RATES.len() {
+            for (row, rows) in grid.windows(2).enumerate() {
                 assert!(
-                    grid[row][col] <= grid[row - 1][col],
-                    "row {row} col {col}: {} > {}",
-                    grid[row][col],
-                    grid[row - 1][col]
+                    rows[1][col] <= rows[0][col],
+                    "row {} col {col}: {} > {}",
+                    row + 1,
+                    rows[1][col],
+                    rows[0][col]
                 );
             }
         }
         // Across a row: faster tools, lower break-even.
-        for row in 0..CACHE_RATES.len() {
+        for row in grid.iter().take(CACHE_RATES.len()) {
             for col in 1..TOOL_SPEEDUPS.len() {
-                assert!(grid[row][col] <= grid[row][col - 1]);
+                assert!(row[col] <= row[col - 1]);
             }
         }
     }
@@ -132,7 +130,12 @@ mod tests {
     fn paper_headline_halving() {
         // §VI-C: 30 % cache hits + 30 % faster tools cuts the embedded
         // average "almost by a half (1.94x)". Check the same shape.
-        let b = [basis(8, 2_418), basis(14, 4_452), basis(2, 1_256), basis(9, 3_848)];
+        let b = [
+            basis(8, 2_418),
+            basis(14, 4_452),
+            basis(2, 1_256),
+            basis(9, 3_848),
+        ];
         let base = average_break_even(&b, 0.0, 0.0, 8, 3);
         let improved = average_break_even(&b, 0.3, 0.3, 8, 3);
         let factor = base.as_secs_f64() / improved.as_secs_f64().max(1e-9);

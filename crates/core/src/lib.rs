@@ -20,6 +20,8 @@ pub mod evaluation;
 pub mod extrapolate;
 pub mod pipeline;
 pub mod runtime;
+#[cfg(test)]
+pub(crate) mod testfix;
 
 pub use breakeven::{break_even_scaled, break_even_simplistic, BreakEvenInputs};
 pub use cache::{BitstreamCache, CachedCi};

@@ -20,7 +20,8 @@ use jitise_base::{Result, SimTime};
 use jitise_cad::{run_flow, Fabric, FlowOptions};
 use jitise_ir::{Dfg, Module};
 use jitise_ise::{candidate_search, Candidate, SearchConfig, SearchOutcome};
-use jitise_pivpav::{create_project, CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_pivpav::{create_project_with, CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::{BlockKey, Profile};
 use jitise_woolcano::{patch_candidate, Woolcano};
 
@@ -34,6 +35,9 @@ pub struct SpecializeConfig {
     pub fabric: Fabric,
     /// Use the bitstream cache.
     pub use_cache: bool,
+    /// Observability handle; propagated into the search and flow configs
+    /// (their own `telemetry` fields are overridden when this is enabled).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SpecializeConfig {
@@ -43,6 +47,7 @@ impl Default for SpecializeConfig {
             flow: FlowOptions::fast(),
             fabric: Fabric::pr_region(),
             use_cache: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -107,6 +112,7 @@ pub struct SpecializeReport {
 ///
 /// Returns the report; the specialized module and loaded `machine` are the
 /// adaptation-phase outputs.
+#[allow(clippy::too_many_arguments)]
 pub fn specialize(
     module: &mut Module,
     profile: &Profile,
@@ -117,8 +123,17 @@ pub fn specialize(
     bitstream_cache: &BitstreamCache,
     config: &SpecializeConfig,
 ) -> Result<SpecializeReport> {
+    let mut root = config.telemetry.span("pipeline.specialize");
+    let tel = config.telemetry.under(&root);
+
     // ---- Phase 1: Candidate Search ----
-    let search = candidate_search(module, profile, estimator, &config.search);
+    let search = if tel.is_enabled() {
+        let mut search_cfg = config.search.clone();
+        search_cfg.telemetry = tel.clone();
+        candidate_search(module, profile, estimator, &search_cfg)
+    } else {
+        candidate_search(module, profile, estimator, &config.search)
+    };
 
     // Snapshot the pristine functions: semantics freezing and signatures
     // must see the unpatched IR even while we patch candidate by candidate.
@@ -149,37 +164,57 @@ pub fn specialize(
         let pf = pristine.func(cand.key.func);
         let dfg = Dfg::build(pf, cand.key.block);
         let signature = cand.signature(pf, &dfg);
+        let mut cand_span = tel.span("pipeline.candidate");
+        let cand_tel = tel.under(&cand_span);
 
-        let (cached_entry, c2v_t, const_stages, map_t, par_t) = match (
-            config.use_cache,
-            bitstream_cache.get(signature),
-        ) {
-            (true, Some(hit)) => {
-                cache_hits += 1;
-                (hit, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO)
-            }
-            _ => {
-                // Phase 2: Netlist Generation.
-                let (project, c2v) = create_project(db, netlist_cache, pf, &dfg, &cand)?;
-                // Phase 3: Instruction Implementation.
-                let flow = run_flow(&config.fabric, &project, &config.flow)?;
-                let entry = CachedCi {
-                    signature,
-                    bitstream: flow.bitstream.clone(),
-                    timing: flow.timing.clone(),
-                    generation_time: c2v.total() + flow.total(),
-                };
-                bitstream_cache.put(entry.clone());
-                (
-                    entry,
-                    c2v.total(),
-                    flow.constant_share(),
-                    flow.map,
-                    flow.par,
-                )
-            }
-        };
+        let (cached_entry, cache_hit, c2v_t, const_stages, map_t, par_t) =
+            match (config.use_cache, bitstream_cache.get(signature)) {
+                (true, Some(hit)) => {
+                    cache_hits += 1;
+                    (
+                        hit,
+                        true,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                    )
+                }
+                _ => {
+                    // Phase 2: Netlist Generation.
+                    let (project, c2v) =
+                        create_project_with(db, netlist_cache, pf, &dfg, &cand, &cand_tel)?;
+                    // Phase 3: Instruction Implementation.
+                    let flow = if cand_tel.is_enabled() {
+                        let mut flow_cfg = config.flow.clone();
+                        flow_cfg.telemetry = cand_tel.clone();
+                        run_flow(&config.fabric, &project, &flow_cfg)?
+                    } else {
+                        run_flow(&config.fabric, &project, &config.flow)?
+                    };
+                    let entry = CachedCi {
+                        signature,
+                        bitstream: flow.bitstream.clone(),
+                        timing: flow.timing.clone(),
+                        generation_time: c2v.total() + flow.total(),
+                    };
+                    bitstream_cache.put(entry.clone());
+                    (
+                        entry,
+                        false,
+                        c2v.total(),
+                        flow.constant_share(),
+                        flow.map,
+                        flow.par,
+                    )
+                }
+            };
 
+        if cache_hit {
+            tel.add(names::BITSTREAM_CACHE_HITS, 1);
+        } else {
+            tel.add(names::BITSTREAM_CACHE_MISSES, 1);
+        }
         const_time += c2v_t + const_stages;
         map_time += map_t;
         par_time += par_t;
@@ -189,11 +224,18 @@ pub fn specialize(
         let slot = machine.install(pf, &dfg, &cand, hw_cycles, cached_entry.bitstream)?;
         patch_candidate(module.func_mut(cand.key.func), &cand, slot)?;
 
+        cand_span.set_sim_time(c2v_t + const_stages + map_t + par_t);
+        cand_span.field("signature", TelValue::U64(signature));
+        cand_span.field("size", TelValue::U64(cand.len() as u64));
+        cand_span.field("cache_hit", TelValue::Bool(cache_hit));
+        cand_span.field("slot", TelValue::U64(slot as u64));
+        drop(cand_span);
+
         outcomes.push(CandidateOutcome {
             key: cand.key,
             size: cand.len(),
             signature,
-            cache_hit: c2v_t == SimTime::ZERO,
+            cache_hit,
             c2v: c2v_t,
             const_stages,
             map: map_t,
@@ -205,6 +247,10 @@ pub fn specialize(
     }
 
     let sum_time = const_time + map_time + par_time;
+    root.set_sim_time(sum_time);
+    root.field("candidates", TelValue::U64(outcomes.len() as u64));
+    root.field("cache_hits", TelValue::U64(cache_hits as u64));
+    drop(root);
     Ok(SpecializeReport {
         search,
         candidates: outcomes,
@@ -220,27 +266,8 @@ pub fn specialize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jitise_ir::{FunctionBuilder, Operand as Op, Type};
+    use crate::testfix::hot_module;
     use jitise_vm::{Interpreter, Value};
-
-    fn hot_module() -> Module {
-        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
-        let cell = b.alloca(4);
-        b.store(Op::ci32(1), cell);
-        b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
-            let acc = b.load(Type::I32, cell);
-            let x = b.mul(acc, i);
-            let y = b.mul(x, Op::ci32(3));
-            let z = b.add(y, i);
-            let w = b.xor(z, Op::ci32(0x5a));
-            b.store(w, cell);
-        });
-        let out = b.load(Type::I32, cell);
-        b.ret(out);
-        let mut m = Module::new("hot");
-        m.add_func(b.finish());
-        m
-    }
 
     fn run_profile(m: &Module, n: i64) -> Profile {
         let mut vm = Interpreter::new(m);

@@ -13,13 +13,14 @@
 //! can "run the FPGA tool concurrently" is realized by the worker pool.
 
 use crate::cache::BitstreamCache;
-use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
 use crate::evaluation::EvalContext;
-use crossbeam::channel::bounded;
+use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
 use jitise_base::{Result, SimTime};
 use jitise_ir::Module;
+use jitise_telemetry::Value as TelValue;
 use jitise_vm::{Interpreter, Profile, Value};
 use jitise_woolcano::Woolcano;
+use std::sync::mpsc::sync_channel;
 
 /// Outcome of an adaptive execution session.
 pub struct AdaptiveOutcome {
@@ -57,21 +58,29 @@ pub fn run_adaptive(
 ) -> Result<AdaptiveOutcome> {
     assert!(total_runs >= 2, "need at least profiling + one more run");
 
+    let mut root = ctx.telemetry.span("runtime.adaptive");
+    let tel = ctx.telemetry.under(&root);
+
     // Profiling run.
     let mut vm = Interpreter::new(module);
+    vm.set_telemetry(tel.clone());
     vm.run(entry, args)?;
     let profile: Profile = vm.take_profile();
     let first_cycles = profile.total_cycles();
 
-    let (tx, rx) = bounded::<Result<(Module, Woolcano, SpecializeReport)>>(1);
+    let (tx, rx) = sync_channel::<Result<(Module, Woolcano, SpecializeReport)>>(1);
 
     let outcome = std::thread::scope(|scope| -> Result<AdaptiveOutcome> {
-        // Background specialization worker.
+        // Background specialization worker. Its spans stitch under this
+        // session's root span even though they run on another thread.
         let worker_module = module.clone();
         let worker_profile = profile;
+        let worker_tel = tel.clone();
         scope.spawn(move || {
+            let wspan = worker_tel.span("runtime.worker");
+            let wtel = worker_tel.under(&wspan);
             let mut m = worker_module;
-            let machine = Woolcano::new(512);
+            let machine = Woolcano::with_telemetry(512, wtel.clone());
             let result = specialize(
                 &mut m,
                 &worker_profile,
@@ -80,9 +89,13 @@ pub fn run_adaptive(
                 &ctx.db,
                 &ctx.netlists,
                 cache,
-                &SpecializeConfig::default(),
+                &SpecializeConfig {
+                    telemetry: wtel,
+                    ..SpecializeConfig::default()
+                },
             )
             .map(|report| (m, machine, report));
+            drop(wspan);
             let _ = tx.send(result);
         });
 
@@ -99,17 +112,20 @@ pub fn run_adaptive(
                 // Block for the worker the first time we are allowed to
                 // swap; afterwards the specialized binary is in place.
                 specialized = Some(rx.recv().expect("worker alive")?);
+                tel.event("runtime.swap", &[("run", TelValue::U64(run as u64))]);
             }
             match &specialized {
                 Some((m, machine, _)) => {
                     let mut vm = Interpreter::new(m);
                     vm.set_custom_handler(machine);
+                    vm.set_telemetry(tel.clone());
                     let out = vm.run(entry, args)?;
                     cycles_after += out.cycles;
                     runs_after += 1;
                 }
                 None => {
                     let mut vm = Interpreter::new(module);
+                    vm.set_telemetry(tel.clone());
                     let out = vm.run(entry, args)?;
                     cycles_before += out.cycles;
                     runs_before += 1;
@@ -140,32 +156,17 @@ pub fn run_adaptive(
         })
     })?;
 
+    root.field("runs_before", TelValue::U64(outcome.runs_before as u64));
+    root.field("runs_after", TelValue::U64(outcome.runs_after as u64));
+    root.set_sim_time(outcome.overhead);
+    drop(root);
     Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jitise_ir::{FunctionBuilder, Operand as Op, Type};
-
-    fn hot_module() -> Module {
-        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
-        let cell = b.alloca(4);
-        b.store(Op::ci32(1), cell);
-        b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
-            let acc = b.load(Type::I32, cell);
-            let x = b.mul(acc, i);
-            let y = b.mul(x, Op::ci32(3));
-            let z = b.add(y, i);
-            let w = b.xor(z, Op::ci32(0x5a));
-            b.store(w, cell);
-        });
-        let out = b.load(Type::I32, cell);
-        b.ret(out);
-        let mut m = Module::new("hot");
-        m.add_func(b.finish());
-        m
-    }
+    use crate::testfix::hot_module;
 
     #[test]
     fn adapts_and_speeds_up() {

@@ -1,0 +1,137 @@
+//! Property tests for the pipeline's observability contract:
+//!
+//! 1. the span journal **reconciles** with the [`SpecializeReport`] — the
+//!    per-phase simulated-time totals recorded by the instrumentation are
+//!    the *same integers* the report sums itself;
+//! 2. telemetry is **observation only** — running the pipeline with an
+//!    enabled handle produces byte-identical results to
+//!    [`Telemetry::disabled`].
+
+use jitise_core::{specialize, BitstreamCache, SpecializeConfig, SpecializeReport};
+use jitise_ir::{FunctionBuilder, Module, Operand as Op, Type};
+use jitise_pivpav::{CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_telemetry::{names, Telemetry};
+use jitise_vm::{Interpreter, Profile, Value};
+use jitise_woolcano::Woolcano;
+use proptest::prelude::*;
+
+/// A module whose hot loop body is a chain of ops drawn from the seed.
+fn module_of(ops: &[u8]) -> Module {
+    let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+    let cell = b.alloca(4);
+    b.store(Op::ci32(1), cell);
+    b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
+        let mut v = b.load(Type::I32, cell);
+        for (k, op) in ops.iter().enumerate() {
+            let c = Op::ci32(k as i32 * 7 + 3);
+            v = match op % 5 {
+                0 => b.add(v, i),
+                1 => b.mul(v, c),
+                2 => b.xor(v, c),
+                3 => b.sub(v, i),
+                _ => {
+                    let t = b.mul(v, i);
+                    b.add(t, c)
+                }
+            };
+        }
+        b.store(v, cell);
+    });
+    let out = b.load(Type::I32, cell);
+    b.ret(out);
+    let mut m = Module::new("prop");
+    m.add_func(b.finish());
+    m
+}
+
+fn profile_of(m: &Module, n: i64) -> Profile {
+    let mut vm = Interpreter::new(m);
+    vm.run("main", &[Value::I(n)]).unwrap();
+    vm.take_profile()
+}
+
+/// Runs one specialization on fresh caches and returns the patched module
+/// and report.
+fn run_once(m: &Module, n: i64, telemetry: Telemetry) -> (Module, SpecializeReport) {
+    let db = CircuitDb::build();
+    let netlists = NetlistCache::new();
+    let bitstreams = BitstreamCache::new();
+    let estimator = PivPavEstimator::new();
+    let profile = profile_of(m, n);
+    let machine = Woolcano::new(64);
+    let mut patched = m.clone();
+    let report = specialize(
+        &mut patched,
+        &profile,
+        &machine,
+        &estimator,
+        &db,
+        &netlists,
+        &bitstreams,
+        &SpecializeConfig {
+            telemetry,
+            ..SpecializeConfig::default()
+        },
+    )
+    .unwrap();
+    (patched, report)
+}
+
+/// Everything deterministic a specialization produces, as one comparable
+/// string (wall-clock fields excluded by construction).
+fn fingerprint(patched: &Module, r: &SpecializeReport) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{}|{}|{:?}",
+        patched, r.const_time, r.map_time, r.par_time, r.sum_time, r.cache_hits, r.candidates
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn journal_reconciles_with_report(ops in prop::collection::vec(0u8..5, 2..6),
+                                      n in 500i64..2500) {
+        let m = module_of(&ops);
+        let tel = Telemetry::enabled();
+        let (_, report) = run_once(&m, n, tel.clone());
+        let snap = tel.snapshot();
+
+        let const_total = snap.sim_total("pivpav.c2v")
+            + snap.sim_total("cad.syntax")
+            + snap.sim_total("cad.xst")
+            + snap.sim_total("cad.translate")
+            + snap.sim_total("cad.bitgen");
+        prop_assert_eq!(const_total, report.const_time);
+        prop_assert_eq!(snap.sim_total("cad.map"), report.map_time);
+        prop_assert_eq!(snap.sim_total("cad.par"), report.par_time);
+        prop_assert_eq!(snap.sim_total("pipeline.candidate"), report.sum_time);
+        prop_assert_eq!(
+            snap.counter(names::BITSTREAM_CACHE_HITS) as usize,
+            report.cache_hits
+        );
+        prop_assert_eq!(
+            (snap.counter(names::BITSTREAM_CACHE_HITS)
+                + snap.counter(names::BITSTREAM_CACHE_MISSES)) as usize,
+            report.candidates.len()
+        );
+        // Every selected candidate got a span, and cache hits contribute
+        // zero simulated time to the journal exactly as to the report.
+        let totals = snap.phase_totals();
+        if let Some(t) = totals.get("pipeline.candidate") {
+            prop_assert_eq!(t.count as usize, report.candidates.len());
+        } else {
+            prop_assert!(report.candidates.is_empty());
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_is_observation_only(ops in prop::collection::vec(0u8..5, 2..6),
+                                              n in 500i64..2500) {
+        let m = module_of(&ops);
+        let (p_off, r_off) = run_once(&m, n, Telemetry::disabled());
+        let tel = Telemetry::enabled();
+        let (p_on, r_on) = run_once(&m, n, tel);
+        prop_assert_eq!(fingerprint(&p_off, &r_off), fingerprint(&p_on, &r_on));
+    }
+}

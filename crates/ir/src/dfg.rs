@@ -211,10 +211,9 @@ impl Dfg {
         let n = self.nodes.len();
         let mut tainted = vec![false; n];
         for i in 0..n {
-            let via_nonmember_pred = self.nodes[i]
-                .preds
-                .iter()
-                .any(|&p| !members[p as usize] && (tainted[p as usize] || has_member_pred(self, p, members)));
+            let via_nonmember_pred = self.nodes[i].preds.iter().any(|&p| {
+                !members[p as usize] && (tainted[p as usize] || has_member_pred(self, p, members))
+            });
             if members[i] && via_nonmember_pred {
                 return false;
             }

@@ -186,7 +186,9 @@ impl Function {
     /// Blocks unreachable from the entry.
     pub fn unreachable_blocks(&self) -> Vec<BlockId> {
         let reachable: std::collections::HashSet<BlockId> = self.rpo().into_iter().collect();
-        self.block_ids().filter(|b| !reachable.contains(b)).collect()
+        self.block_ids()
+            .filter(|b| !reachable.contains(b))
+            .collect()
     }
 
     /// The block containing each instruction (None for detached arena
@@ -329,8 +331,7 @@ mod tests {
         assert_eq!(rpo[0], BlockId(0));
         assert_eq!(*rpo.last().unwrap(), BlockId(3));
         // join must come after both a and b.
-        let pos =
-            |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
         assert!(pos(BlockId(3)) > pos(BlockId(1)));
         assert!(pos(BlockId(3)) > pos(BlockId(2)));
     }

@@ -663,7 +663,11 @@ mod tests {
     #[test]
     fn map_operands_rewrites_all() {
         let mut i = Inst {
-            kind: InstKind::Bin(BinOp::Add, Operand::Inst(InstId(1)), Operand::Inst(InstId(2))),
+            kind: InstKind::Bin(
+                BinOp::Add,
+                Operand::Inst(InstId(1)),
+                Operand::Inst(InstId(2)),
+            ),
             ty: Type::I32,
         };
         i.map_operands(|_| Operand::ci32(9));

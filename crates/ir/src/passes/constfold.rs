@@ -22,7 +22,7 @@ pub fn fold_int_bin(op: BinOp, ty: Type, a: i64, b: i64) -> Option<i64> {
     let wrap = |v: i64| ty.sext(ty.trunc(v));
     let ub = ty.trunc(b);
     let ua = ty.trunc(a);
-    let shift_mask = (ty.bits().max(1) - 1) as u32;
+    let shift_mask = ty.bits().max(1) - 1;
     Some(match op {
         BinOp::Add => wrap(a.wrapping_add(b)),
         BinOp::Sub => wrap(a.wrapping_sub(b)),
@@ -172,15 +172,13 @@ impl Pass for ConstFold {
                         }
                     }
                     // Phi with a single incoming value collapses to it.
-                    InstKind::Phi(incoming) if incoming.len() == 1 => {
-                        match incoming[0].1 {
-                            Operand::Const(imm) => Some(imm),
-                            other => {
-                                replace.insert(iid, other);
-                                None
-                            }
+                    InstKind::Phi(incoming) if incoming.len() == 1 => match incoming[0].1 {
+                        Operand::Const(imm) => Some(imm),
+                        other => {
+                            replace.insert(iid, other);
+                            None
                         }
-                    }
+                    },
                     _ => None,
                 };
                 if let Some(imm) = folded {
@@ -227,7 +225,7 @@ mod tests {
         assert_eq!(fold_int_bin(BinOp::Add, Type::I8, 200, 100), Some(44));
         // i32 multiply wraps.
         let v = fold_int_bin(BinOp::Mul, Type::I32, i32::MAX as i64, 2).unwrap();
-        assert_eq!(v, (i32::MAX as i32).wrapping_mul(2) as i64);
+        assert_eq!(v, i32::MAX.wrapping_mul(2) as i64);
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn op_key(op: Operand) -> OpKey {
     match op {
         Operand::Inst(id) => OpKey::Inst(id.0),
         Operand::Arg(i) => OpKey::Arg(i),
-        Operand::Const(imm) => OpKey::Const(imm.ty.bits() as u8 | ((imm.ty.is_float() as u8) << 7), imm.bits),
+        Operand::Const(imm) => OpKey::Const(
+            imm.ty.bits() as u8 | ((imm.ty.is_float() as u8) << 7),
+            imm.bits,
+        ),
     }
 }
 

@@ -105,10 +105,8 @@ fn simplify(inst: &Inst) -> Rewrite {
                     }
                 }
             }
-            BinOp::SDiv | BinOp::UDiv => {
-                if const_val(b) == Some(1) {
-                    return Rewrite::Value(a);
-                }
+            BinOp::SDiv | BinOp::UDiv if const_val(b) == Some(1) => {
+                return Rewrite::Value(a);
             }
             BinOp::And => {
                 if same_value(a, b) {
@@ -146,10 +144,8 @@ fn simplify(inst: &Inst) -> Rewrite {
                     return Rewrite::Value(b);
                 }
             }
-            BinOp::Shl | BinOp::LShr | BinOp::AShr => {
-                if const_val(b) == Some(0) {
-                    return Rewrite::Value(a);
-                }
+            BinOp::Shl | BinOp::LShr | BinOp::AShr if const_val(b) == Some(0) => {
+                return Rewrite::Value(a);
             }
             _ => {}
         }

@@ -61,10 +61,7 @@ impl PassReport {
 fn pipeline(level: OptLevel) -> Vec<Box<dyn Pass>> {
     match level {
         OptLevel::O0 => vec![],
-        OptLevel::O1 => vec![
-            Box::new(constfold::ConstFold),
-            Box::new(dce::Dce),
-        ],
+        OptLevel::O1 => vec![Box::new(constfold::ConstFold), Box::new(dce::Dce)],
         OptLevel::O3 => vec![
             Box::new(constfold::ConstFold),
             Box::new(instcombine::InstCombine),

@@ -42,7 +42,13 @@ pub fn print_function(f: &Function) -> String {
         .enumerate()
         .map(|(i, t)| format!("{t} %arg{i}"))
         .collect();
-    let _ = writeln!(out, "func {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    let _ = writeln!(
+        out,
+        "func {}({}) -> {} {{",
+        f.name,
+        params.join(", "),
+        f.ret
+    );
     for bid in f.block_ids() {
         let block = f.block(bid);
         let _ = writeln!(out, "{}:", block.name);
@@ -113,7 +119,11 @@ pub fn print_function(f: &Function) -> String {
                     inst.ty,
                     incoming
                         .iter()
-                        .map(|(b, v)| format!("[{} <- {}]", fmt_operand(f, *v), fmt_block_ref(f, *b)))
+                        .map(|(b, v)| format!(
+                            "[{} <- {}]",
+                            fmt_operand(f, *v),
+                            fmt_block_ref(f, *b)
+                        ))
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),

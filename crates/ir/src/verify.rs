@@ -313,10 +313,8 @@ pub fn verify_module(m: &Module) -> Result<()> {
                             ));
                         }
                     }
-                    InstKind::GlobalAddr(g) => {
-                        if g.idx() >= m.globals.len() {
-                            return Err(err(func, format!("invalid global {g:?}")));
-                        }
+                    InstKind::GlobalAddr(g) if g.idx() >= m.globals.len() => {
+                        return Err(err(func, format!("invalid global {g:?}")));
                     }
                     _ => {}
                 }

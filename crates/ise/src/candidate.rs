@@ -77,10 +77,7 @@ impl Candidate {
             }
         }
 
-        let insts = nodes
-            .iter()
-            .map(|&n| dfg.nodes[n as usize].inst)
-            .collect();
+        let insts = nodes.iter().map(|&n| dfg.nodes[n as usize].inst).collect();
         Candidate {
             key,
             nodes,
@@ -122,9 +119,7 @@ impl Candidate {
         let mut h = SigHasher::new();
         h.write_usize(self.nodes.len());
         // Local renumbering: member index within the candidate.
-        let local_of = |def: InstId| -> Option<usize> {
-            self.insts.iter().position(|&i| i == def)
-        };
+        let local_of = |def: InstId| -> Option<usize> { self.insts.iter().position(|&i| i == def) };
         for &n in &self.nodes {
             let node = &dfg.nodes[n as usize];
             let inst = f.inst(node.inst);
@@ -142,7 +137,7 @@ impl Candidate {
                             h.write_str("m");
                             h.write_usize(local);
                         }
-                            None => {
+                        None => {
                             h.write_str("x"); // external input port
                         }
                     },

@@ -227,12 +227,7 @@ mod tests {
         let f = b.finish();
         let dfg = Dfg::build(&f, BlockId(0));
         let nodes: Vec<u32> = (0..dfg.len() as u32).collect();
-        let cand = Candidate::from_nodes(
-            &f,
-            &dfg,
-            BlockKey::new(FuncId(0), BlockId(0)),
-            nodes,
-        );
+        let cand = Candidate::from_nodes(&f, &dfg, BlockKey::new(FuncId(0), BlockId(0)), nodes);
         DepthEstimator::default().estimate(&f, &dfg, &cand, 1000)
     }
 
@@ -303,9 +298,7 @@ mod tests {
 
     #[test]
     fn delay_tables_monotone_in_width() {
-        assert!(
-            hw_delay_ns(Opcode::Bin(BinOp::Add), 64) > hw_delay_ns(Opcode::Bin(BinOp::Add), 8)
-        );
+        assert!(hw_delay_ns(Opcode::Bin(BinOp::Add), 64) > hw_delay_ns(Opcode::Bin(BinOp::Add), 8));
         let (l64, ..) = hw_area(Opcode::Bin(BinOp::Add), 64);
         let (l8, ..) = hw_area(Opcode::Bin(BinOp::Add), 8);
         assert!(l64 > l8);

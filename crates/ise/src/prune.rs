@@ -154,7 +154,7 @@ mod tests {
         let blocks: Vec<_> = (1..sizes.len())
             .map(|i| b.new_block(format!("b{i}")))
             .collect();
-        let mut emit = |b: &mut FunctionBuilder, n: usize| {
+        let emit = |b: &mut FunctionBuilder, n: usize| {
             let mut v = Op::Arg(0);
             for _ in 0..n {
                 v = b.add(v, Op::ci32(1));

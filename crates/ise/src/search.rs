@@ -14,6 +14,7 @@ use crate::select::{select, speedup, AreaBudget, SelectionResult};
 use crate::singlecut::{single_cut, PortConstraints};
 use crate::union::union_miso;
 use jitise_ir::{Dfg, Module};
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::Profile;
 use std::time::{Duration, Instant};
 
@@ -53,6 +54,8 @@ pub struct SearchConfig {
     pub min_size: usize,
     /// Area budget for selection.
     pub budget: AreaBudget,
+    /// Observability handle (disabled by default; zero overhead).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SearchConfig {
@@ -64,6 +67,7 @@ impl Default for SearchConfig {
             ports: PortConstraints::default(),
             min_size: 2,
             budget: AreaBudget::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -96,20 +100,33 @@ pub fn candidate_search(
     config: &SearchConfig,
 ) -> SearchOutcome {
     let start = Instant::now();
+    let tel = &config.telemetry;
+    let search_span = tel.span("ise.search");
+    let tel = tel.under(&search_span);
 
     // 1. Prune: restrict identification to the most promising blocks.
-    let pruned = prune(module, profile, config.filter);
+    let pruned = {
+        let mut span = search_span.child("ise.prune");
+        let pruned = prune(module, profile, config.filter);
+        span.field("blocks_after", TelValue::U64(pruned.blocks.len() as u64));
+        span.field("insts_after", TelValue::U64(pruned.insts_after as u64));
+        pruned
+    };
 
-    // 2. Identify + 3. estimate, per surviving block.
-    let mut pool: Vec<(crate::candidate::Candidate, CandidateEstimate)> = Vec::new();
+    // 2. Identify candidates in every surviving block.
+    let identify_span = tel.span("ise.identify");
+    let mut per_block: Vec<(
+        &jitise_ir::Function,
+        Dfg,
+        u64,
+        Vec<crate::candidate::Candidate>,
+    )> = Vec::with_capacity(pruned.blocks.len());
     let mut identified = 0usize;
     for &key in &pruned.blocks {
         let f = module.func(key.func);
         let dfg = Dfg::build(f, key.block);
         let cands = match config.algorithm {
-            Algorithm::MaxMiso => {
-                maxmiso(f, &dfg, key, &config.policy, config.min_size).candidates
-            }
+            Algorithm::MaxMiso => maxmiso(f, &dfg, key, &config.policy, config.min_size).candidates,
             Algorithm::SingleCut => {
                 single_cut(f, &dfg, key, &config.policy, config.ports, config.min_size).candidates
             }
@@ -118,15 +135,38 @@ pub fn candidate_search(
             }
         };
         identified += cands.len();
-        let count = profile.count(key);
+        per_block.push((f, dfg, profile.count(key), cands));
+    }
+    tel.add(names::CANDIDATES_IDENTIFIED, identified as u64);
+    identify_span.end();
+
+    // 3. Estimate each candidate's hardware merit.
+    let estimate_span = tel.span("ise.estimate");
+    let mut pool: Vec<(crate::candidate::Candidate, CandidateEstimate)> =
+        Vec::with_capacity(identified);
+    for (f, dfg, count, cands) in per_block {
         for cand in cands {
+            tel.observe("ise.candidate_size", cand.len() as u64);
             let est = estimator.estimate(f, &dfg, &cand, count);
             pool.push((cand, est));
         }
     }
+    estimate_span.end();
 
     // 4. Select under the area budget.
-    let selection = select(pool, config.budget);
+    let selection = {
+        let _span = tel.span("ise.select");
+        select(pool, config.budget)
+    };
+    tel.add(names::CANDIDATES_PRUNED, selection.rejected as u64);
+    tel.add(names::CANDIDATES_SELECTED, selection.selected.len() as u64);
+    let marginal = selection
+        .selected
+        .iter()
+        .filter(|s| s.estimate.merit() == 0)
+        .count();
+    tel.add(names::CANDIDATES_MARGINAL, marginal as u64);
+    drop(search_span);
     let real_time = start.elapsed();
 
     let asip_ratio = speedup(profile.total_cycles(), &selection);
@@ -162,10 +202,7 @@ pub fn candidate_search(
 ///
 /// `eff = (S_pruned / T_pruned) / (S_full / T_full)` where `S` is the ASIP
 /// speedup and `T` the identification runtime.
-pub fn pruning_efficiency(
-    pruned: (f64, Duration),
-    full: (f64, Duration),
-) -> f64 {
+pub fn pruning_efficiency(pruned: (f64, Duration), full: (f64, Duration)) -> f64 {
     let (s_p, t_p) = pruned;
     let (s_f, t_f) = full;
     let denom = s_f / t_f.as_secs_f64().max(1e-9);
@@ -215,7 +252,11 @@ mod tests {
         let p = profile_of(&m, 10_000);
         let out = candidate_search(&m, &p, &DepthEstimator::default(), &SearchConfig::default());
         assert!(!out.selection.selected.is_empty(), "must select something");
-        assert!(out.asip_ratio > 1.0, "speedup {} must exceed 1", out.asip_ratio);
+        assert!(
+            out.asip_ratio > 1.0,
+            "speedup {} must exceed 1",
+            out.asip_ratio
+        );
         assert!(out.prune.blocks.len() <= 3, "@50pS3L caps at 3 blocks");
         assert!(out.avg_candidate_size >= 2.0);
         assert!(out.real_time.as_millis() < 5_000);
@@ -245,7 +286,11 @@ mod tests {
         let m = hot_loop_module();
         let p = profile_of(&m, 1000);
         let est = DepthEstimator::default();
-        for alg in [Algorithm::MaxMiso, Algorithm::SingleCut, Algorithm::UnionMiso] {
+        for alg in [
+            Algorithm::MaxMiso,
+            Algorithm::SingleCut,
+            Algorithm::UnionMiso,
+        ] {
             let cfg = SearchConfig {
                 algorithm: alg,
                 ..Default::default()
@@ -267,7 +312,12 @@ mod tests {
             (4.0, Duration::from_millis(100)),
         );
         assert!((eff - 75.0).abs() < 1.0, "eff {eff}");
-        assert!(pruning_efficiency((0.0, Duration::from_millis(1)), (1.0, Duration::from_millis(1))) == 0.0);
+        assert!(
+            pruning_efficiency(
+                (0.0, Duration::from_millis(1)),
+                (1.0, Duration::from_millis(1))
+            ) == 0.0
+        );
     }
 
     #[test]

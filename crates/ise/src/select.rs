@@ -67,6 +67,8 @@ pub struct SelectionResult {
     pub total_saved_cycles: u64,
     /// LUTs consumed.
     pub luts_used: u32,
+    /// Flip-flops consumed.
+    pub ffs_used: u32,
     /// DSPs consumed.
     pub dsps_used: u32,
 }
@@ -125,6 +127,7 @@ pub fn select(
         rejected,
         total_saved_cycles: saved,
         luts_used: luts,
+        ffs_used: ffs,
         dsps_used: dsps,
     }
 }

@@ -69,6 +69,7 @@ pub fn single_cut(
 
     // Depth-first enumeration over valid nodes in topological order.
     // At each step we either include or exclude valid[pos].
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         f: &Function,
         dfg: &Dfg,
@@ -107,18 +108,38 @@ pub fn single_cut(
         // added; convexity violations never heal by adding *later* nodes
         // because nodes are in topological order).
         let cand = Candidate::from_nodes(f, dfg, key, chosen.clone());
-        let feasible_so_far = cand.outputs <= ports.max_outputs + chosen.len() as u32
-            && dfg.is_convex(members);
+        let feasible_so_far =
+            cand.outputs <= ports.max_outputs + chosen.len() as u32 && dfg.is_convex(members);
         if feasible_so_far {
             recurse(
-                f, dfg, key, valid, pos + 1, members, chosen, ports, min_size, best, explored,
+                f,
+                dfg,
+                key,
+                valid,
+                pos + 1,
+                members,
+                chosen,
+                ports,
+                min_size,
+                best,
+                explored,
             );
         }
         chosen.pop();
         members[node] = false;
         // Branch 2: exclude.
         recurse(
-            f, dfg, key, valid, pos + 1, members, chosen, ports, min_size, best, explored,
+            f,
+            dfg,
+            key,
+            valid,
+            pos + 1,
+            members,
+            chosen,
+            ports,
+            min_size,
+            best,
+            explored,
         );
     }
 

@@ -78,10 +78,9 @@ pub fn union_miso(
                 if merged.inputs <= ports.max_inputs
                     && merged.outputs <= ports.max_outputs
                     && merged.is_convex(dfg)
+                    && best_pair.map(|(_, _, s)| shared > s).unwrap_or(true)
                 {
-                    if best_pair.map(|(_, _, s)| shared > s).unwrap_or(true) {
-                        best_pair = Some((i, j, shared));
-                    }
+                    best_pair = Some((i, j, shared));
                 }
             }
         }

@@ -9,7 +9,7 @@
 
 use crate::db::{CircuitDb, CoreRecord};
 use crate::netlist::Netlist;
-use parking_lot::RwLock;
+use jitise_base::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -146,7 +146,12 @@ impl CircuitDb {
 
     fn make_record(key: CoreKey) -> CoreRecord {
         let CoreKey { op, bits } = key;
-        let name = format!("{}_{}{}", op_tag(op), if is_float_op(op) { "f" } else { "i" }, bits);
+        let name = format!(
+            "{}_{}{}",
+            op_tag(op),
+            if is_float_op(op) { "f" } else { "i" },
+            bits
+        );
         let (luts, ffs, dsps) = hw_area(op, bits);
         let delay_ns = hw_delay_ns(op, bits);
         // Registered fmax: limited by the deepest LUT level (~0.6 ns/level
@@ -157,7 +162,7 @@ impl CircuitDb {
         } else {
             0
         };
-        let slices = (luts.max(ffs) + 1) / 2;
+        let slices = luts.max(ffs).div_ceil(2);
         // Deterministic per-core seed for netlist wiring.
         let mut h = SigHasher::new();
         h.write_str(&name);
@@ -167,7 +172,14 @@ impl CircuitDb {
         let nl_luts = luts.min(64);
         let nl_ffs = ffs.min(16);
         let nl_dsps = dsps.min(4);
-        let netlist = Arc::new(synthesize_core(&name, bits.min(64), nl_luts, nl_ffs, nl_dsps, seed));
+        let netlist = Arc::new(synthesize_core(
+            &name,
+            bits.min(64),
+            nl_luts,
+            nl_ffs,
+            nl_dsps,
+            seed,
+        ));
         let cells = netlist.cells.len() as u32;
         let nets = netlist.num_nets;
         let metrics = CoreMetrics {

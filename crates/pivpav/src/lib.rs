@@ -31,5 +31,5 @@ pub use db::{CircuitDb, CoreKey, CoreRecord};
 pub use estimator::PivPavEstimator;
 pub use metrics::{CoreMetrics, METRIC_NAMES};
 pub use netlist::{Cell, CellKind, Netlist, Port, PortDir};
-pub use project::{create_project, C2vTiming, CadProject, FpgaPart};
+pub use project::{create_project, create_project_with, C2vTiming, CadProject, FpgaPart};
 pub use vhdl::{generate_datapath, VhdlModule};

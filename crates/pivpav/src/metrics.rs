@@ -48,38 +48,117 @@ pub struct CoreMetrics {
 /// All metric names [`CoreMetrics::metric`] understands.
 pub const METRIC_NAMES: &[&str] = &[
     // 16 base metrics
-    "width", "luts", "ffs", "dsps", "brams", "slices", "delay_ns", "latency_cycles", "fmax_mhz",
-    "static_mw", "dynamic_mw", "inputs", "outputs", "cells", "nets", "synth_seconds",
+    "width",
+    "luts",
+    "ffs",
+    "dsps",
+    "brams",
+    "slices",
+    "delay_ns",
+    "latency_cycles",
+    "fmax_mhz",
+    "static_mw",
+    "dynamic_mw",
+    "inputs",
+    "outputs",
+    "cells",
+    "nets",
+    "synth_seconds",
     // per-bit densities (10)
-    "luts_per_bit", "ffs_per_bit", "slices_per_bit", "cells_per_bit", "nets_per_bit",
-    "delay_per_bit", "power_per_bit", "dsps_per_bit", "brams_per_bit", "area_per_bit",
+    "luts_per_bit",
+    "ffs_per_bit",
+    "slices_per_bit",
+    "cells_per_bit",
+    "nets_per_bit",
+    "delay_per_bit",
+    "power_per_bit",
+    "dsps_per_bit",
+    "brams_per_bit",
+    "area_per_bit",
     // aggregate area (8)
-    "area_units", "area_luts_ffs", "logic_depth_est", "packing_density", "ff_lut_ratio",
-    "dsp_lut_ratio", "net_cell_ratio", "io_total",
+    "area_units",
+    "area_luts_ffs",
+    "logic_depth_est",
+    "packing_density",
+    "ff_lut_ratio",
+    "dsp_lut_ratio",
+    "net_cell_ratio",
+    "io_total",
     // timing (10)
-    "period_ns", "throughput_mops", "delay_us", "cycles_at_100mhz", "cycles_at_300mhz",
-    "delay_slack_300mhz", "fmax_margin", "latency_ns", "pipeline_gain", "retiming_headroom",
+    "period_ns",
+    "throughput_mops",
+    "delay_us",
+    "cycles_at_100mhz",
+    "cycles_at_300mhz",
+    "delay_slack_300mhz",
+    "fmax_margin",
+    "latency_ns",
+    "pipeline_gain",
+    "retiming_headroom",
     // power / energy (10)
-    "power_total_mw", "energy_per_op_pj", "static_fraction", "dynamic_fraction",
-    "power_per_lut_uw", "power_per_slice_uw", "leakage_index", "energy_delay_product",
-    "power_density", "thermal_index",
+    "power_total_mw",
+    "energy_per_op_pj",
+    "static_fraction",
+    "dynamic_fraction",
+    "power_per_lut_uw",
+    "power_per_slice_uw",
+    "leakage_index",
+    "energy_delay_product",
+    "power_density",
+    "thermal_index",
     // interface (8)
-    "input_bits", "output_bits", "io_bits", "port_count", "avg_port_width",
-    "input_output_ratio", "bandwidth_gbps", "wire_load_index",
+    "input_bits",
+    "output_bits",
+    "io_bits",
+    "port_count",
+    "avg_port_width",
+    "input_output_ratio",
+    "bandwidth_gbps",
+    "wire_load_index",
     // synthesis / implementation (10)
-    "synth_seconds_amortized", "cells_per_second", "map_effort_index", "par_effort_index",
-    "congestion_index", "fanout_avg", "fanout_max_est", "lut_input_usage",
-    "carry_chain_length", "route_demand_index",
+    "synth_seconds_amortized",
+    "cells_per_second",
+    "map_effort_index",
+    "par_effort_index",
+    "congestion_index",
+    "fanout_avg",
+    "fanout_max_est",
+    "lut_input_usage",
+    "carry_chain_length",
+    "route_demand_index",
     // normalized scores (10)
-    "speed_score", "area_score", "power_score", "efficiency_score", "merit_score",
-    "density_score", "balance_score", "io_score", "timing_score", "overall_score",
+    "speed_score",
+    "area_score",
+    "power_score",
+    "efficiency_score",
+    "merit_score",
+    "density_score",
+    "balance_score",
+    "io_score",
+    "timing_score",
+    "overall_score",
     // device utilization on V4FX100 (8)
-    "util_luts_pct", "util_ffs_pct", "util_dsps_pct", "util_brams_pct", "util_slices_pct",
-    "fit_index", "pr_frames_est", "bitstream_bytes_est",
+    "util_luts_pct",
+    "util_ffs_pct",
+    "util_dsps_pct",
+    "util_brams_pct",
+    "util_slices_pct",
+    "fit_index",
+    "pr_frames_est",
+    "bitstream_bytes_est",
     // comparative ratios (12)
-    "hw_sw_speedup_add", "hw_sw_speedup_mul", "hw_sw_speedup_div", "delay_vs_adder",
-    "area_vs_adder", "power_vs_adder", "delay_rank", "area_rank", "power_rank",
-    "pareto_index", "cost_performance", "value_index",
+    "hw_sw_speedup_add",
+    "hw_sw_speedup_mul",
+    "hw_sw_speedup_div",
+    "delay_vs_adder",
+    "area_vs_adder",
+    "power_vs_adder",
+    "delay_rank",
+    "area_rank",
+    "power_rank",
+    "pareto_index",
+    "cost_performance",
+    "value_index",
 ];
 
 /// Virtex-4 FX100 device totals used by the utilization metrics.

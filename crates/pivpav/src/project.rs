@@ -21,6 +21,7 @@ use crate::vhdl::{generate_datapath, VhdlModule};
 use jitise_base::{Result, SimTime};
 use jitise_ir::{Dfg, Function};
 use jitise_ise::Candidate;
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use std::sync::Arc;
 
 /// FPGA part parameters recorded in the project.
@@ -99,6 +100,21 @@ pub fn create_project(
     dfg: &Dfg,
     cand: &Candidate,
 ) -> Result<(CadProject, C2vTiming)> {
+    create_project_with(db, cache, f, dfg, cand, &Telemetry::disabled())
+}
+
+/// [`create_project`] with observability: records a `pivpav.c2v` span
+/// whose simulated duration is exactly [`C2vTiming::total`], plus
+/// netlist-cache hit/miss counters.
+pub fn create_project_with(
+    db: &CircuitDb,
+    cache: &NetlistCache,
+    f: &Function,
+    dfg: &Dfg,
+    cand: &Candidate,
+    telemetry: &Telemetry,
+) -> Result<(CadProject, C2vTiming)> {
+    let mut span = telemetry.span("pivpav.c2v");
     // 1. Generate VHDL (real work + constant-time model).
     let vhdl = generate_datapath(db, f, dfg, cand)?;
     let generate_vhdl = SimTime::from_secs_f64(GEN_VHDL_S);
@@ -113,8 +129,10 @@ pub fn create_project(
         }
         netlists.push(nl);
     }
-    let extract_netlists =
-        SimTime::from_secs_f64(EXTRACT_BASE_S * (misses.max(1) as f64 / vhdl.instances.len().max(1) as f64) + EXTRACT_PER_CORE_S * vhdl.instances.len() as f64);
+    let extract_netlists = SimTime::from_secs_f64(
+        EXTRACT_BASE_S * (misses.max(1) as f64 / vhdl.instances.len().max(1) as f64)
+            + EXTRACT_PER_CORE_S * vhdl.instances.len() as f64,
+    );
 
     // 3. Create the project (constant + deterministic jitter ±0.1 s from
     // the candidate signature, reproducing the measured stdev).
@@ -123,6 +141,9 @@ pub fn create_project(
     let create_project = SimTime::from_secs_f64(CREATE_PROJECT_S + jitter);
 
     let vhdl_text = vhdl.to_vhdl();
+    let hits = vhdl.instances.len() - misses;
+    telemetry.add(names::NETLIST_CACHE_HITS, hits as u64);
+    telemetry.add(names::NETLIST_CACHE_MISSES, misses as u64);
     let project = CadProject {
         name: vhdl.name.clone(),
         part: FpgaPart::default(),
@@ -130,14 +151,15 @@ pub fn create_project(
         netlists,
         vhdl_text,
     };
-    Ok((
-        project,
-        C2vTiming {
-            generate_vhdl,
-            extract_netlists,
-            create_project,
-        },
-    ))
+    let timing = C2vTiming {
+        generate_vhdl,
+        extract_netlists,
+        create_project,
+    };
+    span.set_sim_time(timing.total());
+    span.field("candidate", TelValue::U64(sig));
+    span.field("netlist_misses", TelValue::U64(misses as u64));
+    Ok((project, timing))
 }
 
 #[cfg(test)]
@@ -213,12 +235,8 @@ mod tests {
         b.ret(y);
         let f2 = b.finish();
         let dfg2 = Dfg::build(&f2, BlockId(0));
-        let c2 = Candidate::from_nodes(
-            &f2,
-            &dfg2,
-            BlockKey::new(FuncId(0), BlockId(0)),
-            vec![0, 1],
-        );
+        let c2 =
+            Candidate::from_nodes(&f2, &dfg2, BlockKey::new(FuncId(0), BlockId(0)), vec![0, 1]);
         let (_, t1) = create_project(&db, &cache, &f1, &dfg1, &c1).unwrap();
         let (_, t2) = create_project(&db, &cache, &f2, &dfg2, &c2).unwrap();
         assert_ne!(t1.create_project, t2.create_project);

@@ -74,7 +74,10 @@ impl VhdlModule {
             if !declared.contains(&inst.core.name.as_str()) {
                 declared.push(&inst.core.name);
                 let _ = writeln!(s, "  component {}", inst.core.name);
-                let _ = writeln!(s, "    port (a, b : in std_logic_vector; y : out std_logic_vector);");
+                let _ = writeln!(
+                    s,
+                    "    port (a, b : in std_logic_vector; y : out std_logic_vector);"
+                );
                 let _ = writeln!(s, "  end component;");
             }
         }
@@ -330,12 +333,8 @@ mod tests {
         b.ret(m);
         let f = b.finish();
         let dfg = Dfg::build(&f, BlockId(0));
-        let cand = Candidate::from_nodes(
-            &f,
-            &dfg,
-            BlockKey::new(FuncId(0), BlockId(0)),
-            vec![0, 1],
-        );
+        let cand =
+            Candidate::from_nodes(&f, &dfg, BlockKey::new(FuncId(0), BlockId(0)), vec![0, 1]);
         let db = CircuitDb::build();
         let vhdl = generate_datapath(&db, &f, &dfg, &cand).unwrap();
         assert_eq!(vhdl.inputs.len(), 1);

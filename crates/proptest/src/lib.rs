@@ -1,0 +1,210 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this local crate
+//! provides the subset of the `proptest` API the workspace's test suites
+//! use: the [`proptest!`] macro, the `prop_assert*` family, numeric-range
+//! and tuple strategies, `any::<T>()`, `prop::collection::vec`,
+//! `prop::sample::select`, simple `"[class]{m,n}"` string strategies, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its case index and deterministic seed instead of a minimized input),
+//! and `prop_assume!` skips the case rather than resampling it. Test
+//! semantics are otherwise the same: each property runs against many
+//! pseudorandom inputs drawn from its strategies, deterministically seeded
+//! per test name so failures reproduce.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `proptest::prelude` — everything a property-test file imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests. Supports an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($p:pat in $s:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(&config, stringify!($name));
+                for case in 0..config.cases {
+                    let rng = runner.rng();
+                    let ($($p,)+) =
+                        ( $( $crate::strategy::Strategy::generate(&($s), rng), )+ );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name), case, config.cases, runner.seed(), e
+                        );
+                    }
+                    runner.next_case();
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} == {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold (the real
+/// crate resamples; skipping preserves soundness without a resample loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u8..4, -2i32..3), 2..9),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for &(x, y) in &v {
+                prop_assert!(x < 4);
+                prop_assert!((-2..3).contains(&y));
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn string_pattern_respects_class_and_len(s in "[a-c0-2 _-]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| "abc012 _-".contains(c)));
+        }
+
+        #[test]
+        fn select_picks_members(x in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&x));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1u64..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(n % 3, 0);
+            prop_assert!(n < 30 && n > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::with_cases(5);
+        let draw = |name: &str| {
+            let mut r = crate::test_runner::TestRunner::new(&cfg, name);
+            (0u64..1_000_000).generate(r.rng())
+        };
+        assert_eq!(draw("t1"), draw("t1"));
+        assert_ne!(draw("t1"), draw("t2"));
+    }
+}

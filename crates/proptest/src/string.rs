@@ -1,0 +1,81 @@
+//! String strategies from `"[class]{m,n}"`-style patterns.
+//!
+//! The real crate interprets a `&str` strategy as a full regex. The
+//! workspace only uses character-class-with-repetition patterns, so this
+//! parser supports exactly that shape — `[chars]{min,max}`, `[chars]{n}`,
+//! `[chars]*`, `[chars]+` — plus plain literals (generated verbatim).
+//! Unsupported syntax panics loudly rather than silently mis-generating.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+fn parse_class(pattern: &str) -> Option<(Vec<char>, &str)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class, tail) = (&rest[..close], &rest[close + 1..]);
+    let mut chars: Vec<char> = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        // `a-z` range (a trailing `-` is a literal).
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (lo, hi) = (cs[i], cs[i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in string pattern");
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    Some((chars, tail))
+}
+
+fn parse_counts(tail: &str) -> (usize, usize) {
+    if tail == "*" {
+        return (0, 8);
+    }
+    if tail == "+" {
+        return (1, 8);
+    }
+    let inner = tail
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported string pattern tail {tail:?}"));
+    match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("pattern min count"),
+            hi.trim().parse().expect("pattern max count"),
+        ),
+        None => {
+            let n = inner.trim().parse().expect("pattern count");
+            (n, n)
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class(self) {
+            Some((chars, tail)) => {
+                assert!(!chars.is_empty(), "empty character class");
+                let (lo, hi) = parse_counts(tail);
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            // No class syntax: treat the pattern as a literal.
+            None => {
+                assert!(
+                    !self.contains(['[', '{', '*', '+', '?', '|', '(', ')']),
+                    "unsupported regex pattern {self:?} (only [class]{{m,n}} or literals)"
+                );
+                (*self).to_string()
+            }
+        }
+    }
+}

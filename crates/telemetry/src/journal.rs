@@ -1,0 +1,178 @@
+//! The structured event journal and its JSON value type.
+
+use jitise_base::sync::Mutex;
+use jitise_base::SimTime;
+use std::fmt;
+
+/// A structured field value. Rendered as native JSON in the exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values render as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Writes the value as a JSON literal.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(out, s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<SimTime> for Value {
+    fn from(v: SimTime) -> Value {
+        Value::U64(v.as_nanos())
+    }
+}
+
+/// Escapes and quotes `s` as a JSON string into `out`.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One journal entry: a named point-in-time occurrence with fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Host-clock timestamp, nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Small integer id of the recording thread.
+    pub tid: u32,
+    /// Event name, e.g. `"cache.lookup"`.
+    pub name: &'static str,
+    /// Structured attributes in recording order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+#[derive(Default)]
+pub(crate) struct Journal {
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl Journal {
+    pub(crate) fn push(&self, record: EventRecord) {
+        self.events.lock().push(record);
+    }
+
+    pub(crate) fn collect(&self) -> Vec<EventRecord> {
+        let mut events = self.events.lock().clone();
+        events.sort_by_key(|e| e.ts_ns);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn json_literals() {
+        assert_eq!(json(Value::U64(7)), "7");
+        assert_eq!(json(Value::I64(-7)), "-7");
+        assert_eq!(json(Value::F64(1.5)), "1.5");
+        assert_eq!(json(Value::F64(f64::NAN)), "null");
+        assert_eq!(json(Value::Bool(true)), "true");
+        assert_eq!(json(Value::Str("a\"b\\c\n".into())), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut s = String::new();
+        write_json_string(&mut s, "\x01x");
+        assert_eq!(s, "\"\\u0001x\"");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(SimTime::from_micros(2)), Value::U64(2_000));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+}

@@ -1,0 +1,177 @@
+//! Counters, gauges, and fixed-bucket histograms.
+
+use jitise_base::sync::Mutex;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets. Bucket `i` counts values with
+/// `value < 2^i` (and above the previous bound); the last bucket is a
+/// catch-all for everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Histogram {
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        // Bucket index = position of the highest set bit + 1, i.e. the
+        // smallest i with value < 2^i; zero lands in bucket 0.
+        let bucket = (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// A frozen histogram, as exposed by [`crate::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Per-bucket counts; bucket `i` holds values in `[2^(i-1), 2^i)`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn add(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge(&self, name: &'static str, value: f64) {
+        self.gauges.lock().insert(name, value);
+    }
+
+    pub(crate) fn observe(&self, name: &'static str, value: u64) {
+        self.histograms
+            .lock()
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+
+    pub(crate) fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect()
+    }
+
+    pub(crate) fn gauges(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect()
+    }
+
+    pub(crate) fn histograms(&self) -> Vec<HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(&name, h)| HistogramSnapshot {
+                name: name.to_string(),
+                counts: h.counts.to_vec(),
+                count: h.count,
+                sum: h.sum,
+                min: if h.count == 0 { 0 } else { h.min },
+                max: h.max,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::default();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1 (1 < 2^1)
+        h.observe(2); // bucket 2
+        h.observe(3); // bucket 2 (3 < 2^2)
+        h.observe(4); // bucket 3
+        h.observe(u64::MAX); // clamped to last bucket
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn registry_aggregates() {
+        let reg = MetricsRegistry::default();
+        reg.add("a", 1);
+        reg.add("a", 2);
+        reg.add("b", 5);
+        reg.gauge("g", 0.5);
+        reg.observe("h", 10);
+        assert_eq!(
+            reg.counters(),
+            vec![("a".to_string(), 3), ("b".to_string(), 5)]
+        );
+        assert_eq!(reg.gauges(), vec![("g".to_string(), 0.5)]);
+        let hists = reg.histograms();
+        assert_eq!(hists[0].count, 1);
+        assert_eq!(hists[0].mean(), 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_min_is_zero() {
+        let reg = MetricsRegistry::default();
+        reg.observe("h", 3);
+        let h = &reg.histograms()[0];
+        assert_eq!((h.min, h.max), (3, 3));
+    }
+}

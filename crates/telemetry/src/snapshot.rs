@@ -1,0 +1,452 @@
+//! Frozen telemetry state and its three exporters.
+
+use crate::journal::{write_json_string, EventRecord, Value};
+use crate::metrics::HistogramSnapshot;
+use crate::span::SpanRecord;
+use crate::Inner;
+use jitise_base::SimTime;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// Aggregated totals for one span name (see [`Snapshot::phase_totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed host-clock duration in nanoseconds.
+    pub host_ns: u64,
+    /// Summed simulated duration (exact integer nanoseconds).
+    pub sim: SimTime,
+}
+
+/// Everything a [`crate::Telemetry`] handle recorded, frozen at one
+/// moment. Obtained from [`crate::Telemetry::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Closed spans, sorted by open time.
+    pub spans: Vec<SpanRecord>,
+    /// Journal events, sorted by timestamp.
+    pub events: Vec<EventRecord>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Thread names, indexed by the small `tid` used in spans/events.
+    pub threads: Vec<String>,
+}
+
+impl Snapshot {
+    pub(crate) fn empty() -> Snapshot {
+        Snapshot::default()
+    }
+
+    pub(crate) fn capture(inner: &Inner) -> Snapshot {
+        Snapshot {
+            spans: inner.spans.collect(),
+            events: inner.journal.collect(),
+            counters: inner.metrics.counters(),
+            gauges: inner.metrics.gauges(),
+            histograms: inner.metrics.histograms(),
+            threads: inner.threads.lock().names.clone(),
+        }
+    }
+
+    /// The value of counter `name`, or 0 if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Totals (count, host ns, sim time) per span name.
+    ///
+    /// Simulated durations are exact integer sums, so they reconcile
+    /// bit-for-bit with `SpecializeReport`'s `SimTime` accounting.
+    pub fn phase_totals(&self) -> BTreeMap<&str, PhaseTotal> {
+        let mut totals: BTreeMap<&str, PhaseTotal> = BTreeMap::new();
+        for span in &self.spans {
+            let t = totals.entry(span.name).or_default();
+            t.count += 1;
+            t.host_ns += span.host_ns();
+            t.sim += span.sim_time();
+        }
+        totals
+    }
+
+    /// Summed simulated time across all spans named `name`.
+    pub fn sim_total(&self, name: &str) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(SpanRecord::sim_time)
+            .sum()
+    }
+
+    /// Writes the journal as JSON-lines: one object per span, event, and
+    /// metric, in that order. Machine-diffable and `jq`-friendly.
+    pub fn write_jsonl(&self, out: &mut dyn Write) -> io::Result<()> {
+        let mut line = String::new();
+        for span in &self.spans {
+            line.clear();
+            line.push_str(&format!(
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":",
+                span.id,
+                span.parent.map_or("null".to_string(), |p| p.to_string())
+            ));
+            write_json_string(&mut line, span.name);
+            line.push_str(&format!(
+                ",\"tid\":{},\"start_ns\":{},\"end_ns\":{},\"sim_ns\":{}",
+                span.tid,
+                span.start_ns,
+                span.end_ns,
+                span.sim_ns.map_or("null".to_string(), |s| s.to_string())
+            ));
+            write_fields(&mut line, &span.fields);
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+        for event in &self.events {
+            line.clear();
+            line.push_str(&format!(
+                "{{\"type\":\"event\",\"ts_ns\":{},\"tid\":{},\"name\":",
+                event.ts_ns, event.tid
+            ));
+            write_json_string(&mut line, event.name);
+            write_fields(&mut line, &event.fields);
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+        for (name, value) in &self.counters {
+            line.clear();
+            line.push_str("{\"type\":\"counter\",\"name\":");
+            write_json_string(&mut line, name);
+            line.push_str(&format!(",\"value\":{value}}}"));
+            writeln!(out, "{line}")?;
+        }
+        for (name, value) in &self.gauges {
+            line.clear();
+            line.push_str("{\"type\":\"gauge\",\"name\":");
+            write_json_string(&mut line, name);
+            line.push_str(",\"value\":");
+            Value::F64(*value).write_json(&mut line);
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+        for hist in &self.histograms {
+            line.clear();
+            line.push_str("{\"type\":\"histogram\",\"name\":");
+            write_json_string(&mut line, &hist.name);
+            line.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                hist.count, hist.sum, hist.min, hist.max
+            ));
+            // Sparse encoding: only non-empty buckets, as [bound, count].
+            let mut first = true;
+            for (i, &c) in hist.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                line.push_str(&format!("[{},{}]", 1u64 << i, c));
+            }
+            line.push_str("]}");
+            writeln!(out, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes a human-readable report: the span tree (host + simulated
+    /// durations) followed by counters, gauges, and histograms.
+    pub fn write_text(&self, out: &mut dyn Write) -> io::Result<()> {
+        writeln!(out, "== spans ==")?;
+        // Children grouped under parents, in open order.
+        let mut children: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+        let known: std::collections::HashSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        for span in &self.spans {
+            // A span whose parent was never closed (or crossed a snapshot
+            // boundary) renders at the root rather than disappearing.
+            let key = span.parent.filter(|p| known.contains(p));
+            children.entry(key).or_default().push(span);
+        }
+        fn render(
+            out: &mut dyn Write,
+            children: &BTreeMap<Option<u64>, Vec<&SpanRecord>>,
+            parent: Option<u64>,
+            depth: usize,
+        ) -> io::Result<()> {
+            let Some(spans) = children.get(&parent) else {
+                return Ok(());
+            };
+            for span in spans {
+                let indent = "  ".repeat(depth);
+                let host = SimTime::from_nanos(span.host_ns());
+                let sim = match span.sim_ns {
+                    Some(ns) => format!("  sim {}", SimTime::from_nanos(ns)),
+                    None => String::new(),
+                };
+                let fields = if span.fields.is_empty() {
+                    String::new()
+                } else {
+                    let rendered: Vec<String> = span
+                        .fields
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect();
+                    format!("  [{}]", rendered.join(" "))
+                };
+                writeln!(
+                    out,
+                    "{indent}{:<width$}  host {host}{sim}{fields}",
+                    span.name,
+                    width = 28usize.saturating_sub(indent.len())
+                )?;
+                render(out, children, Some(span.id), depth + 1)?;
+            }
+            Ok(())
+        }
+        render(out, &children, None, 0)?;
+
+        writeln!(out, "\n== phase totals ==")?;
+        for (name, t) in self.phase_totals() {
+            writeln!(
+                out,
+                "{name:<28}  n={:<4}  host {}  sim {}",
+                t.count,
+                SimTime::from_nanos(t.host_ns),
+                t.sim
+            )?;
+        }
+
+        if !self.counters.is_empty() {
+            writeln!(out, "\n== counters ==")?;
+            for (name, value) in &self.counters {
+                writeln!(out, "{name:<32} {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(out, "\n== gauges ==")?;
+            for (name, value) in &self.gauges {
+                writeln!(out, "{name:<32} {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(out, "\n== histograms ==")?;
+            for hist in &self.histograms {
+                writeln!(
+                    out,
+                    "{:<32} n={} mean={:.1} min={} max={}",
+                    hist.name,
+                    hist.count,
+                    hist.mean(),
+                    hist.min,
+                    hist.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a Chrome-trace (Trace Event Format) JSON document loadable
+    /// in `chrome://tracing` or Perfetto. Spans become complete (`"X"`)
+    /// events with microsecond timestamps; the exact simulated duration
+    /// rides along in `args.sim_ns`. Journal events become instants.
+    pub fn write_chrome_trace(&self, out: &mut dyn Write) -> io::Result<()> {
+        write!(out, "{{\"traceEvents\":[")?;
+        let mut first = true;
+        let sep = |out: &mut dyn Write, first: &mut bool| -> io::Result<()> {
+            if !*first {
+                write!(out, ",")?;
+            }
+            *first = false;
+            Ok(())
+        };
+        for (tid, name) in self.threads.iter().enumerate() {
+            sep(out, &mut first)?;
+            let mut args = String::new();
+            write_json_string(&mut args, name);
+            write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{args}}}}}"
+            )?;
+        }
+        for span in &self.spans {
+            sep(out, &mut first)?;
+            let mut name = String::new();
+            write_json_string(&mut name, span.name);
+            let mut args = String::new();
+            if let Some(sim) = span.sim_ns {
+                args.push_str(&format!("\"sim_ns\":{sim}"));
+            }
+            for (key, value) in &span.fields {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                write_json_string(&mut args, key);
+                args.push(':');
+                value.write_json(&mut args);
+            }
+            write!(
+                out,
+                "{{\"name\":{name},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"dur\":{},\"args\":{{{args}}}}}",
+                span.tid,
+                span.start_ns as f64 / 1e3,
+                span.host_ns() as f64 / 1e3
+            )?;
+        }
+        for event in &self.events {
+            sep(out, &mut first)?;
+            let mut name = String::new();
+            write_json_string(&mut name, event.name);
+            let mut args = String::new();
+            for (key, value) in &event.fields {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                write_json_string(&mut args, key);
+                args.push(':');
+                value.write_json(&mut args);
+            }
+            write!(
+                out,
+                "{{\"name\":{name},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{},\"args\":{{{args}}}}}",
+                event.tid,
+                event.ts_ns as f64 / 1e3
+            )?;
+        }
+        write!(out, "]}}")?;
+        Ok(())
+    }
+}
+
+fn write_fields(line: &mut String, fields: &[(&'static str, Value)]) {
+    if fields.is_empty() {
+        return;
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write_json_string(line, key);
+        line.push(':');
+        value.write_json(line);
+    }
+    line.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> Snapshot {
+        let tel = Telemetry::enabled();
+        {
+            let mut root = tel.span("pipeline.specialize");
+            root.field("candidate", Value::U64(0));
+            let mut map = root.child("cad.map");
+            map.set_sim_time(SimTime::from_secs(40));
+            drop(map);
+            let mut par = root.child("cad.par");
+            par.set_sim_time(SimTime::from_secs(20));
+        }
+        tel.add("bitstream_cache.hits", 2);
+        tel.gauge("speedup", 1.5);
+        tel.observe("candidate.nodes", 5);
+        tel.event("swap", &[("ci", Value::Str("ci_0".into()))]);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn phase_totals_sum_exactly() {
+        let snap = sample();
+        let totals = snap.phase_totals();
+        assert_eq!(totals["cad.map"].sim, SimTime::from_secs(40));
+        assert_eq!(totals["cad.par"].sim, SimTime::from_secs(20));
+        assert_eq!(totals["pipeline.specialize"].count, 1);
+        assert_eq!(snap.sim_total("cad.map"), SimTime::from_secs(40));
+        assert_eq!(snap.sim_total("missing"), SimTime::ZERO);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let snap = sample();
+        let mut buf = Vec::new();
+        snap.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // 3 spans + 1 event + 1 counter + 1 gauge + 1 histogram.
+        assert_eq!(text.lines().count(), 7);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"name\":\"cad.map\""));
+        assert!(text.contains("\"sim_ns\":40000000000"));
+        assert!(text.contains("\"type\":\"counter\""));
+        assert!(text.contains("\"buckets\":[[8,1]]"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let snap = sample();
+        let mut buf = Vec::new();
+        snap.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("]}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"M\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"sim_ns\":40000000000"));
+        // No trailing commas anywhere.
+        assert!(!text.contains(",]") && !text.contains(",}"));
+    }
+
+    #[test]
+    fn text_report_indents_children() {
+        let snap = sample();
+        let mut buf = Vec::new();
+        snap.write_text(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("pipeline.specialize"));
+        assert!(text.contains("\n  cad.map"), "children indented:\n{text}");
+        assert!(text.contains("== phase totals =="));
+        assert!(text.contains("bitstream_cache.hits"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = Telemetry::disabled().snapshot();
+        let mut buf = Vec::new();
+        snap.write_jsonl(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        buf.clear();
+        snap.write_chrome_trace(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn orphan_spans_render_at_root() {
+        // A child closed after the parent is snapshot-visible, but a span
+        // whose parent is missing entirely must still be printed.
+        let tel = Telemetry::enabled();
+        let root = tel.span("root");
+        {
+            let _child = root.child("child");
+        }
+        // `root` still open: snapshot sees only the child.
+        let snap = tel.snapshot();
+        let mut buf = Vec::new();
+        snap.write_text(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("child"));
+        drop(root);
+    }
+}

@@ -1,0 +1,175 @@
+//! Hierarchical dual-clock spans.
+
+use crate::journal::Value;
+use crate::Telemetry;
+use jitise_base::sync::Mutex;
+use jitise_base::SimTime;
+
+/// A closed span as stored in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (1-based; 0 never occurs).
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Phase name, e.g. `"cad.map"`.
+    pub name: &'static str,
+    /// Host-clock open time, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// Host-clock close time, nanoseconds since the telemetry epoch.
+    pub end_ns: u64,
+    /// Simulated duration attributed to this span, if one was set.
+    pub sim_ns: Option<u64>,
+    /// Small integer id of the recording thread.
+    pub tid: u32,
+    /// Extra structured attributes.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl SpanRecord {
+    /// Host-clock duration.
+    pub fn host_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Simulated duration ([`SimTime::ZERO`] when none was attached).
+    pub fn sim_time(&self) -> SimTime {
+        SimTime::from_nanos(self.sim_ns.unwrap_or(0))
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct SpanStore {
+    closed: Mutex<Vec<SpanRecord>>,
+}
+
+impl SpanStore {
+    pub(crate) fn push(&self, record: SpanRecord) {
+        self.closed.lock().push(record);
+    }
+
+    pub(crate) fn collect(&self) -> Vec<SpanRecord> {
+        let mut spans = self.closed.lock().clone();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        spans
+    }
+}
+
+/// An open span; recording happens when the guard drops.
+///
+/// Obtained from [`Telemetry::span`] or [`Span::child`]. A span opened on
+/// a disabled handle is inert. Spans may cross threads (`Send`) — open on
+/// one, close on another — which `run_adaptive` relies on.
+pub struct Span {
+    tel: Telemetry,
+    id: Option<u64>,
+    name: &'static str,
+    start_ns: u64,
+    parent: Option<u64>,
+    sim_ns: Option<u64>,
+    tid: u32,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Span {
+    pub(crate) fn open(tel: Telemetry, name: &'static str, parent: Option<u64>) -> Span {
+        let id = tel.alloc_span_id();
+        let (start_ns, tid) = match &tel.inner {
+            Some(inner) => (inner.now_ns(), inner.thread_id()),
+            None => (0, 0),
+        };
+        Span {
+            tel,
+            id,
+            name,
+            start_ns,
+            parent,
+            sim_ns: None,
+            tid,
+            fields: Vec::new(),
+        }
+    }
+
+    /// This span's id, or `None` on a disabled handle.
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+
+    /// Opens a span nested under this one.
+    pub fn child(&self, name: &'static str) -> Span {
+        Span::open(self.tel.clone(), name, self.id)
+    }
+
+    /// Attributes a simulated duration to this span (accumulates if
+    /// called repeatedly).
+    pub fn set_sim_time(&mut self, sim: SimTime) {
+        if self.id.is_some() {
+            self.sim_ns = Some(self.sim_ns.unwrap_or(0) + sim.as_nanos());
+        }
+    }
+
+    /// Attaches a structured attribute.
+    pub fn field(&mut self, key: &'static str, value: Value) {
+        if self.id.is_some() {
+            self.fields.push((key, value));
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (Some(id), Some(inner)) = (self.id, self.tel.inner.as_deref()) else {
+            return;
+        };
+        inner.spans.push(SpanRecord {
+            id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            end_ns: inner.now_ns(),
+            sim_ns: self.sim_ns,
+            tid: self.tid,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_accumulates() {
+        let tel = Telemetry::enabled();
+        {
+            let mut s = tel.span("x");
+            s.set_sim_time(SimTime::from_nanos(3));
+            s.set_sim_time(SimTime::from_nanos(4));
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans[0].sim_ns, Some(7));
+        assert_eq!(snap.spans[0].sim_time(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn spans_sorted_by_start() {
+        let tel = Telemetry::enabled();
+        // Close in reverse order; collection still sorts by open time.
+        let a = tel.span("a");
+        let b = tel.span("b");
+        drop(a);
+        drop(b);
+        let names: Vec<_> = tel.snapshot().spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn explicit_end_records() {
+        let tel = Telemetry::enabled();
+        tel.span("x").end();
+        assert_eq!(tel.snapshot().spans.len(), 1);
+    }
+}

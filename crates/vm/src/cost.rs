@@ -157,11 +157,27 @@ mod tests {
     #[test]
     fn relative_costs_sane() {
         let m = CostModel::ppc405();
-        let add = m.inst_cycles(&InstKind::Bin(BinOp::Add, Operand::ci32(0), Operand::ci32(0)));
-        let mul = m.inst_cycles(&InstKind::Bin(BinOp::Mul, Operand::ci32(0), Operand::ci32(0)));
-        let div = m.inst_cycles(&InstKind::Bin(BinOp::SDiv, Operand::ci32(0), Operand::ci32(0)));
+        let add = m.inst_cycles(&InstKind::Bin(
+            BinOp::Add,
+            Operand::ci32(0),
+            Operand::ci32(0),
+        ));
+        let mul = m.inst_cycles(&InstKind::Bin(
+            BinOp::Mul,
+            Operand::ci32(0),
+            Operand::ci32(0),
+        ));
+        let div = m.inst_cycles(&InstKind::Bin(
+            BinOp::SDiv,
+            Operand::ci32(0),
+            Operand::ci32(0),
+        ));
         assert!(add < mul && mul < div, "add < mul < div must hold");
-        let fdiv = m.inst_cycles(&InstKind::Bin(BinOp::FDiv, Operand::cf64(0.0), Operand::cf64(0.0)));
+        let fdiv = m.inst_cycles(&InstKind::Bin(
+            BinOp::FDiv,
+            Operand::cf64(0.0),
+            Operand::cf64(0.0),
+        ));
         assert!(fdiv > mul);
     }
 

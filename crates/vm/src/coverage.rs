@@ -123,7 +123,7 @@ mod tests {
         let mut p1 = Profile::new();
         p1.record(key(0), 1, 1); // const: same in both
         p1.record(key(1), 1, 1); // live: varies
-        // block 2 dead: never recorded
+                                 // block 2 dead: never recorded
         let mut p2 = Profile::new();
         p2.record(key(0), 1, 1);
         p2.record(key(1), 1, 1);

@@ -19,6 +19,7 @@ use jitise_ir::passes::constfold::{fold_cmp, fold_float_bin, fold_int_bin, fold_
 use jitise_ir::{
     BlockId, ExtFunc, FuncId, Function, Imm, InstKind, Module, Operand, Terminator, Type,
 };
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 
 /// Executes loaded custom instructions on behalf of the interpreter.
 ///
@@ -73,8 +74,10 @@ pub struct Interpreter<'m> {
     profile: Profile,
     custom: Option<&'m dyn CustomHandler>,
     cfg: RunConfig,
+    telemetry: Telemetry,
     steps: u64,
     cycles: u64,
+    blocks: u64,
 }
 
 impl<'m> Interpreter<'m> {
@@ -93,14 +96,23 @@ impl<'m> Interpreter<'m> {
             profile: Profile::new(),
             custom: None,
             cfg,
+            telemetry: Telemetry::disabled(),
             steps: 0,
             cycles: 0,
+            blocks: 0,
         }
     }
 
     /// Installs a custom-instruction handler (the Woolcano model).
     pub fn set_custom_handler(&mut self, h: &'m dyn CustomHandler) {
         self.custom = Some(h);
+    }
+
+    /// Attaches a telemetry handle: each [`Interpreter::run_func`] records
+    /// a `vm.run` span (simulated duration = charged cycles at the core
+    /// clock) and retires instruction/block counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The profile accumulated so far.
@@ -126,12 +138,23 @@ impl<'m> Interpreter<'m> {
     pub fn run_func(&mut self, fid: FuncId, args: &[Value]) -> Result<ExecOutcome> {
         let start_steps = self.steps;
         let start_cycles = self.cycles;
+        let start_blocks = self.blocks;
+        let mut span = self.telemetry.span("vm.run");
         let ret = self.exec_func(fid, args, 0)?;
-        Ok(ExecOutcome {
+        let out = ExecOutcome {
             ret,
             cycles: self.cycles - start_cycles,
             steps: self.steps - start_steps,
-        })
+        };
+        if self.telemetry.is_enabled() {
+            span.set_sim_time(self.cost.cycles_to_time(out.cycles));
+            span.field("func", TelValue::Str(self.module.func(fid).name.clone()));
+            span.field("steps", TelValue::U64(out.steps));
+            self.telemetry.add(names::VM_INSTRUCTIONS, out.steps);
+            self.telemetry
+                .add(names::VM_BLOCKS, self.blocks - start_blocks);
+        }
+        Ok(out)
     }
 
     fn exec_func(&mut self, fid: FuncId, args: &[Value], depth: u32) -> Result<Option<Value>> {
@@ -162,8 +185,7 @@ impl<'m> Interpreter<'m> {
             // ---- phi resolution (parallel copy semantics) ----
             let block = f.block(cur);
             let mut phi_end = 0usize;
-            if prev.is_some() {
-                let from = prev.expect("checked");
+            if let Some(from) = prev {
                 let mut phi_writes: Vec<(usize, Value)> = Vec::new();
                 for (i, &iid) in block.insts.iter().enumerate() {
                     if let InstKind::Phi(incoming) = &f.inst(iid).kind {
@@ -221,14 +243,12 @@ impl<'m> Interpreter<'m> {
                         let va = self.eval_operand(f, &regs, args, *a)?;
                         let vb = self.eval_operand(f, &regs, args, *b)?;
                         if op.is_float() {
-                            let r = fold_float_bin(*op, va.as_f(), vb.as_f())
-                                .expect("float binop");
+                            let r = fold_float_bin(*op, va.as_f(), vb.as_f()).expect("float binop");
                             Some(Value::F(r).normalize(inst.ty))
                         } else {
-                            let r = fold_int_bin(*op, inst.ty, va.as_i(), vb.as_i())
-                                .ok_or_else(|| {
-                                    Error::Vm(format!("{}: division by zero", f.name))
-                                })?;
+                            let r = fold_int_bin(*op, inst.ty, va.as_i(), vb.as_i()).ok_or_else(
+                                || Error::Vm(format!("{}: division by zero", f.name)),
+                            )?;
                             Some(Value::I(r))
                         }
                     }
@@ -274,12 +294,8 @@ impl<'m> Interpreter<'m> {
                         let addr = (b as i64).wrapping_add(i.wrapping_mul(*elem_bytes as i64));
                         Some(Value::I(addr as u32 as i64))
                     }
-                    InstKind::Alloca(bytes) => {
-                        Some(Value::I(self.mem.alloca(*bytes)? as i64))
-                    }
-                    InstKind::GlobalAddr(g) => {
-                        Some(Value::I(self.mem.global_addr(g.idx()) as i64))
-                    }
+                    InstKind::Alloca(bytes) => Some(Value::I(self.mem.alloca(*bytes)? as i64)),
+                    InstKind::GlobalAddr(g) => Some(Value::I(self.mem.global_addr(g.idx()) as i64)),
                     InstKind::Call(callee, call_args) => {
                         let mut vals = Vec::with_capacity(call_args.len());
                         for a in call_args {
@@ -348,12 +364,14 @@ impl<'m> Interpreter<'m> {
                         None => None,
                     };
                     self.cycles += block_cycles;
+                    self.blocks += 1;
                     self.profile
                         .record(BlockKey::new(fid, cur), block_cycles, block_insts);
                     break out;
                 }
             };
             self.cycles += block_cycles;
+            self.blocks += 1;
             self.profile
                 .record(BlockKey::new(fid, cur), block_cycles, block_insts);
             prev = Some(cur);

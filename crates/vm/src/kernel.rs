@@ -33,7 +33,10 @@ pub struct KernelReport {
 /// Computes the kernel of `module` under `profile` at `threshold` (use
 /// [`KERNEL_THRESHOLD`] for the paper's 90 % rule).
 pub fn kernel(module: &Module, profile: &Profile, threshold: f64) -> KernelReport {
-    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be in [0,1]"
+    );
     let total_cycles = profile.total_cycles();
     let total_insts: usize = module.num_insts();
     if total_cycles == 0 {

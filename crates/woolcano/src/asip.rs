@@ -13,6 +13,7 @@ use jitise_base::{Error, Result, SimTime};
 use jitise_cad::{Bitstream, TimingReport};
 use jitise_ir::{Dfg, Function};
 use jitise_ise::Candidate;
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::{CostModel, CustomHandler, Value};
 use std::sync::Mutex;
 
@@ -26,15 +27,24 @@ pub struct Woolcano {
     pub cost: CostModel,
     /// FCB/APU interface overhead per CI invocation (cycles).
     pub fcb_overhead: u64,
+    /// Observability handle (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl Woolcano {
     /// A machine with `slots` CI sites and default interface costs.
     pub fn new(slots: usize) -> Woolcano {
+        Woolcano::with_telemetry(slots, Telemetry::disabled())
+    }
+
+    /// A machine that records `woolcano.install` spans and ICAP counters
+    /// (`icap.bytes`, `icap.loads`, `icap.evictions`) to `telemetry`.
+    pub fn with_telemetry(slots: usize, telemetry: Telemetry) -> Woolcano {
         Woolcano {
             controller: Mutex::new(ReconfigController::new(slots)),
             cost: CostModel::ppc405(),
             fcb_overhead: 3,
+            telemetry,
         }
     }
 
@@ -63,10 +73,25 @@ impl Woolcano {
     ) -> Result<u32> {
         let semantics = CiSemantics::freeze(f, dfg, cand)?;
         let signature = cand.signature(f, dfg);
-        self.controller
-            .lock()
-            .expect("controller lock")
-            .load(signature, semantics, hw_cycles, bitstream)
+        let mut span = self.telemetry.span("woolcano.install");
+        let bytes = bitstream.len() as u64;
+        let mut ctl = self.controller.lock().expect("controller lock");
+        let (loads0, evictions0, time0) = (ctl.loads, ctl.evictions, ctl.total_reconfig_time);
+        let slot = ctl.load(signature, semantics, hw_cycles, bitstream)?;
+        let (loads1, evictions1, time1) = (ctl.loads, ctl.evictions, ctl.total_reconfig_time);
+        drop(ctl);
+        if self.telemetry.is_enabled() {
+            self.telemetry.add(names::ICAP_LOADS, loads1 - loads0);
+            self.telemetry
+                .add(names::ICAP_EVICTIONS, evictions1 - evictions0);
+            if loads1 > loads0 {
+                self.telemetry.add(names::ICAP_BYTES, bytes);
+            }
+            span.set_sim_time(SimTime::from_nanos(time1.as_nanos() - time0.as_nanos()));
+            span.field("slot", TelValue::U64(slot as u64));
+            span.field("signature", TelValue::U64(signature));
+        }
+        Ok(slot)
     }
 
     /// Slot of an already-loaded CI, by signature.
@@ -182,7 +207,11 @@ mod tests {
             )
             .candidates
             {
-                if best.as_ref().map(|(_, b)| c.len() > b.len()).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(_, b)| c.len() > b.len())
+                    .unwrap_or(true)
+                {
                     best = Some((bid, c));
                 }
             }
@@ -193,8 +222,7 @@ mod tests {
         // Implement it through the real CAD flow on a real netlist.
         let db = jitise_pivpav::CircuitDb::build();
         let cache = jitise_pivpav::NetlistCache::new();
-        let (project, _) =
-            jitise_pivpav::create_project(&db, &cache, &f, &dfg, &cand).unwrap();
+        let (project, _) = jitise_pivpav::create_project(&db, &cache, &f, &dfg, &cand).unwrap();
         let fabric = jitise_cad::Fabric::pr_region();
         let report =
             jitise_cad::run_flow(&fabric, &project, &jitise_cad::FlowOptions::fast()).unwrap();

@@ -246,11 +246,7 @@ mod tests {
 
         struct H(CiSemantics);
         impl CustomHandler for H {
-            fn exec_custom(
-                &self,
-                _slot: u32,
-                args: &[Value],
-            ) -> jitise_base::Result<(Value, u64)> {
+            fn exec_custom(&self, _slot: u32, args: &[Value]) -> jitise_base::Result<(Value, u64)> {
                 Ok((self.0.eval(args)?, 2))
             }
         }

@@ -81,7 +81,10 @@ impl ReconfigController {
         self.clock += 1;
         // Already loaded? Refresh and return.
         if let Some(slot) = self.slot_of(signature) {
-            self.slots[slot as usize].as_mut().expect("occupied").last_use = self.clock;
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("occupied")
+                .last_use = self.clock;
             return Ok(slot);
         }
         // Free slot or LRU victim.
@@ -114,9 +117,10 @@ impl ReconfigController {
 
     /// Slot currently holding the CI with `signature`.
     pub fn slot_of(&self, signature: u64) -> Option<u32> {
-        self.slots.iter().position(|s| {
-            s.as_ref().map(|c| c.signature) == Some(signature)
-        }).map(|i| i as u32)
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().map(|c| c.signature) == Some(signature))
+            .map(|i| i as u32)
     }
 
     /// The CI in a slot.

@@ -142,9 +142,8 @@ impl CiSemantics {
                 match op {
                     Operand::Const(_) => {}
                     other => {
-                        let from_member = other
-                            .as_inst()
-                            .is_some_and(|def| cand.insts.contains(&def));
+                        let from_member =
+                            other.as_inst().is_some_and(|def| cand.insts.contains(&def));
                         if !from_member && !inputs.contains(&other) {
                             inputs.push(other);
                         }
@@ -177,10 +176,8 @@ impl CiSemantics {
                 CiOp::Bin(b, ty, a1, a2) => {
                     let (x, y) = (get(*a1, &results), get(*a2, &results));
                     if b.is_float() {
-                        Value::F(
-                            fold_float_bin(*b, x.as_f(), y.as_f()).expect("float binop"),
-                        )
-                        .normalize(*ty)
+                        Value::F(fold_float_bin(*b, x.as_f(), y.as_f()).expect("float binop"))
+                            .normalize(*ty)
                     } else {
                         let r = fold_int_bin(*b, *ty, x.as_i(), y.as_i()).ok_or_else(|| {
                             Error::Arch("division by zero in custom instruction".into())
@@ -191,10 +188,9 @@ impl CiSemantics {
                 CiOp::Un(u, ty, src_ty, a) => {
                     let x = get(*a, &results);
                     let imm = match x {
-                        Value::I(v) => Imm::int(
-                            if src_ty.is_int() { *src_ty } else { Type::I64 },
-                            v,
-                        ),
+                        Value::I(v) => {
+                            Imm::int(if src_ty.is_int() { *src_ty } else { Type::I64 }, v)
+                        }
                         Value::F(v) => {
                             if *src_ty == Type::F32 {
                                 Imm::f32(v as f32)

@@ -50,7 +50,10 @@ fn main() {
         out2.report.candidates.len()
     );
     let (hits, misses) = cache.stats();
-    println!("bitstream cache: {hits} hits, {misses} misses, {} entries", cache.len());
+    println!(
+        "bitstream cache: {hits} hits, {misses} misses, {} entries",
+        cache.len()
+    );
 
     println!(
         "\nbreak-even intuition: session 1 paid {} of tool flow; session 2 paid {}.",

@@ -12,9 +12,7 @@
 
 use jitise::apps::App;
 use jitise::base::table::{fnum, TextTable};
-use jitise::ise::{
-    candidate_search, Algorithm, DepthEstimator, PruneFilter, SearchConfig,
-};
+use jitise::ise::{candidate_search, Algorithm, DepthEstimator, PruneFilter, SearchConfig};
 use jitise::pivpav::PivPavEstimator;
 
 fn main() {
@@ -25,7 +23,12 @@ fn main() {
     // --- 1. pruning-filter sweep ---
     println!("=== pruning-filter sweep on {} ===", app.name);
     let mut t = TextTable::new(vec![
-        "filter", "blocks", "ins", "candidates", "speedup", "search[us]",
+        "filter",
+        "blocks",
+        "ins",
+        "candidates",
+        "speedup",
+        "search[us]",
     ]);
     let mut filters = vec![PruneFilter::none()];
     for (p, k) in [(0.25, 1), (0.5, 3), (0.75, 5), (0.9, 8)] {
@@ -54,7 +57,11 @@ fn main() {
     // --- 2. identification algorithms ---
     println!("=== identification algorithms (pruned blocks) ===");
     let mut t = TextTable::new(vec!["algorithm", "candidates", "speedup", "search[us]"]);
-    for alg in [Algorithm::MaxMiso, Algorithm::SingleCut, Algorithm::UnionMiso] {
+    for alg in [
+        Algorithm::MaxMiso,
+        Algorithm::SingleCut,
+        Algorithm::UnionMiso,
+    ] {
         let cfg = SearchConfig {
             algorithm: alg,
             ..SearchConfig::default()

@@ -21,7 +21,10 @@ fn main() {
     let x = b.xor(sh, Op::Arg(1));
     b.ret(x);
     let f = b.finish();
-    println!("--- candidate source ---\n{}", jitise::ir::printer::print_function(&f));
+    println!(
+        "--- candidate source ---\n{}",
+        jitise::ir::printer::print_function(&f)
+    );
 
     let dfg = Dfg::build(&f, BlockId(0));
     let cand = maxmiso(
@@ -56,7 +59,11 @@ fn main() {
     println!(
         "component netlists: {} (total {} cells)",
         project.netlists.len(),
-        project.netlists.iter().map(|n| n.cells.len()).sum::<usize>()
+        project
+            .netlists
+            .iter()
+            .map(|n| n.cells.len())
+            .sum::<usize>()
     );
 
     // Phase 3: Instruction Implementation (FPGA CAD flow).
@@ -64,10 +71,19 @@ fn main() {
     let report = run_flow(&fabric, &project, &FlowOptions::default()).expect("flow");
     println!("\n--- tool-flow report ---");
     println!("syntax     {}", report.syntax);
-    println!("xst        {}  (flattened to {} slices)", report.xst, report.slices);
+    println!(
+        "xst        {}  (flattened to {} slices)",
+        report.xst, report.slices
+    );
     println!("translate  {}", report.translate);
-    println!("map        {}  (complexity {:.0})", report.map, report.complexity);
-    println!("par        {}  (wirelength {} hops)", report.par, report.wirelength);
+    println!(
+        "map        {}  (complexity {:.0})",
+        report.map, report.complexity
+    );
+    println!(
+        "par        {}  (wirelength {} hops)",
+        report.par, report.wirelength
+    );
     println!("bitgen     {}", report.bitgen);
     println!("total      {}", report.total());
     println!(

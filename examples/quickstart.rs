@@ -37,9 +37,7 @@ fn main() {
     let profile = vm.take_profile();
     println!(
         "base run: result={:?}, {} cycles over {} dynamic instructions",
-        base_run.ret,
-        base_run.cycles,
-        base_run.steps
+        base_run.ret, base_run.cycles, base_run.steps
     );
 
     // 3. Run the ASIP specialization process: candidate search (MAXMISO +
@@ -62,7 +60,10 @@ fn main() {
     .expect("specialization succeeds");
 
     println!("\n--- ASIP specialization ---");
-    println!("pruning filter kept {} block(s)", report.search.prune.blocks.len());
+    println!(
+        "pruning filter kept {} block(s)",
+        report.search.prune.blocks.len()
+    );
     println!(
         "{} candidate(s) selected, {} identified",
         report.candidates.len(),

@@ -16,6 +16,8 @@
 //! * [`apps`] — the 14 benchmark applications of the paper's evaluation.
 //! * [`core`] — the ASIP specialization pipeline, bitstream cache,
 //!   break-even analysis, and concurrent JIT runtime.
+//! * [`telemetry`] — structured tracing, metrics, and the phase journal
+//!   (dual host/simulated clocks; JSONL, text, and Chrome-trace exports).
 
 pub use jitise_apps as apps;
 pub use jitise_base as base;
@@ -24,5 +26,6 @@ pub use jitise_core as core;
 pub use jitise_ir as ir;
 pub use jitise_ise as ise;
 pub use jitise_pivpav as pivpav;
+pub use jitise_telemetry as telemetry;
 pub use jitise_vm as vm;
 pub use jitise_woolcano as woolcano;

@@ -43,7 +43,12 @@ fn embedded_evaluation_reproduces_headline_shape() {
         if let Some(be) = ev.break_even {
             break_evens.push(be);
         }
-        bases.push(break_even_basis(&ctx, &ev.coverage, &ev.profile, &ev.report));
+        bases.push(break_even_basis(
+            &ctx,
+            &ev.coverage,
+            &ev.profile,
+            &ev.report,
+        ));
     }
 
     // Paper: embedded average pruned speedup ≈ 5x; we require clearly > 1.5
@@ -99,7 +104,10 @@ fn scientific_break_even_dwarfs_embedded() {
         }
     }
     // And the scientific overhead itself is larger (more candidates).
-    assert!(sci.report.sum_time > emb.report.sum_time || sci.report.candidates.len() >= emb.report.candidates.len());
+    assert!(
+        sci.report.sum_time > emb.report.sum_time
+            || sci.report.candidates.len() >= emb.report.candidates.len()
+    );
 }
 
 #[test]

@@ -23,10 +23,7 @@ struct ProgramRecipe {
 }
 
 fn recipe_strategy() -> impl Strategy<Value = ProgramRecipe> {
-    (
-        prop::collection::vec((0u8..7, -50i32..50), 1..24),
-        1u8..12,
-    )
+    (prop::collection::vec((0u8..7, -50i32..50), 1..24), 1u8..12)
         .prop_map(|(ops, loop_iters)| ProgramRecipe { ops, loop_iters })
 }
 
@@ -37,28 +34,33 @@ fn build(recipe: &ProgramRecipe) -> Module {
     let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
     let cell = b.alloca(4);
     b.store(Op::ci32(17), cell);
-    b.counted_loop("i", Op::ci32(0), Op::ci32(recipe.loop_iters as i32), |b, i| {
-        let mut v = b.load(Type::I32, cell);
-        v = b.add(v, i);
-        for &(op, k) in &recipe.ops {
-            let kc = Op::ci32(k);
-            v = match op {
-                0 => b.add(v, kc),
-                1 => b.sub(v, kc),
-                2 => b.mul(v, kc),
-                3 => b.xor(v, kc),
-                4 => b.and(v, Op::ci32(k | 0xff)),
-                5 => b.or(v, kc),
-                _ => {
-                    let c = b.cmp(CmpOp::Slt, v, kc);
-                    b.select(c, kc, v)
-                }
-            };
-            // Sprinkle folding material.
-            v = b.add(v, Op::ci32(0));
-        }
-        b.store(v, cell);
-    });
+    b.counted_loop(
+        "i",
+        Op::ci32(0),
+        Op::ci32(recipe.loop_iters as i32),
+        |b, i| {
+            let mut v = b.load(Type::I32, cell);
+            v = b.add(v, i);
+            for &(op, k) in &recipe.ops {
+                let kc = Op::ci32(k);
+                v = match op {
+                    0 => b.add(v, kc),
+                    1 => b.sub(v, kc),
+                    2 => b.mul(v, kc),
+                    3 => b.xor(v, kc),
+                    4 => b.and(v, Op::ci32(k | 0xff)),
+                    5 => b.or(v, kc),
+                    _ => {
+                        let c = b.cmp(CmpOp::Slt, v, kc);
+                        b.select(c, kc, v)
+                    }
+                };
+                // Sprinkle folding material.
+                v = b.add(v, Op::ci32(0));
+            }
+            b.store(v, cell);
+        },
+    );
     let out = b.load(Type::I32, cell);
     b.ret(out);
     let mut m = Module::new("prop");
