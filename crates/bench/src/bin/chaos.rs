@@ -1,0 +1,132 @@
+//! Chaos harness: sweeps fault-injection rates over adaptive JIT sessions
+//! and proves the robustness contract of DESIGN.md §9:
+//!
+//! 1. **Termination** — every session returns, whatever the injector does
+//!    (a hung session fails the harness by never printing the verdict);
+//! 2. **Correctness** — the workload's per-run return values are
+//!    bit-identical to the fault-free session at *every* fault rate; a
+//!    degraded session still computes the right answers;
+//! 3. **Zero overhead when off** — a session carrying a zero-rate plan is
+//!    byte-identical (same [`AdaptiveOutcome::fingerprint`]) to a session
+//!    with no injector at all.
+//!
+//! Usage: `cargo run --release -p jitise-bench --bin chaos [seed]`
+//!
+//! Exits non-zero on the first violated invariant.
+
+use jitise_apps::App;
+use jitise_core::{
+    run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, EvalContext,
+};
+use jitise_faults::{FaultInjector, FaultPlan};
+use jitise_telemetry::{names, Telemetry};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const APPS: [&str; 3] = ["adpcm", "sor", "fft"];
+const RATES: [f64; 3] = [0.0, 0.1, 0.5];
+const TOTAL_RUNS: u32 = 4;
+const READY_AFTER: u32 = 2;
+
+/// One adaptive session under the given injector. Fresh context, cache,
+/// and quarantine per session: no state leaks between sweep points.
+fn session(app: &App, faults: FaultInjector) -> (AdaptiveOutcome, u64) {
+    let telemetry = Telemetry::enabled();
+    let ctx = EvalContext::with_telemetry(telemetry.clone());
+    let cache = BitstreamCache::new();
+    let args = app.datasets[0].args.clone();
+    let options = AdaptiveOptions {
+        // Short watchdog: an injected worker stall costs one deadline,
+        // not 30 s of harness wall time.
+        watchdog: Duration::from_millis(500),
+        faults,
+        ..AdaptiveOptions::default()
+    };
+    let outcome = run_adaptive_with(
+        &ctx,
+        &cache,
+        &app.module,
+        app.entry,
+        &args,
+        TOTAL_RUNS,
+        READY_AFTER,
+        &options,
+    )
+    .expect("session must terminate gracefully");
+    let injected = telemetry.snapshot().counter(names::FAULTS_INJECTED);
+    (outcome, injected)
+}
+
+fn main() -> ExitCode {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2011); // the paper's year
+    println!("=== jitise chaos sweep (seed {seed}) ===\n");
+    println!(
+        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9}  verdict",
+        "app", "rate", "injected", "failed", "retries", "degraded", "speedup"
+    );
+
+    let mut failures = 0u32;
+    for app_name in APPS {
+        let app = App::build(app_name).expect("paper app");
+        let (baseline, _) = session(&app, FaultInjector::disabled());
+        assert!(
+            baseline.results.iter().all(|r| r.is_some()),
+            "{app_name}: workload must return a value"
+        );
+
+        for rate in RATES {
+            let plan = FaultPlan::uniform(rate, seed);
+            let (outcome, injected) = session(&app, FaultInjector::from_plan(plan));
+
+            let mut verdict = Vec::new();
+            if outcome.results != baseline.results {
+                verdict.push("RESULTS DIVERGED");
+            }
+            if rate == 0.0 && outcome.fingerprint() != baseline.fingerprint() {
+                verdict.push("ZERO-RATE NOT TRANSPARENT");
+            }
+            if rate == 0.0 && injected != 0 {
+                verdict.push("ZERO-RATE INJECTED");
+            }
+            let ok = verdict.is_empty();
+            failures += u32::from(!ok);
+
+            let (failed, retries) = outcome
+                .report
+                .as_ref()
+                .map(|r| (r.failed.len(), r.retries))
+                .unwrap_or((0, 0));
+            println!(
+                "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9.2}  {}",
+                app_name,
+                rate,
+                injected,
+                failed,
+                retries,
+                outcome
+                    .degraded
+                    .as_ref()
+                    .map(|d| format!("{d:?}"))
+                    .unwrap_or_else(|| "-".into()),
+                outcome.observed_speedup,
+                if ok {
+                    "ok".to_string()
+                } else {
+                    verdict.join(", ")
+                }
+            );
+        }
+    }
+
+    println!();
+    if failures == 0 {
+        println!("chaos sweep passed: all sessions terminated with bit-identical results");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos sweep FAILED: {failures} invariant violations");
+        ExitCode::FAILURE
+    }
+}

@@ -29,6 +29,7 @@ use crate::techmap::{netlist_complexity, synthesize_top};
 use crate::timing::{analyze, TimingReport};
 use jitise_base::hash::SigHasher;
 use jitise_base::{Error, Result, SimTime};
+use jitise_faults::{FaultInjector, FaultSite};
 use jitise_pivpav::{CadProject, CellKind, Netlist};
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
 
@@ -49,6 +50,9 @@ pub struct FlowOptions {
     pub tool_speedup: f64,
     /// Observability handle (disabled by default; zero overhead).
     pub telemetry: Telemetry,
+    /// Fault injection handle, already scoped to (candidate, attempt) by
+    /// the caller (disabled by default; zero overhead).
+    pub faults: FaultInjector,
 }
 
 impl Default for FlowOptions {
@@ -60,7 +64,54 @@ impl Default for FlowOptions {
             seed: 1,
             tool_speedup: 0.0,
             telemetry: Telemetry::disabled(),
+            faults: FaultInjector::disabled(),
         }
+    }
+}
+
+/// Simulated tool time spent by a flow execution, split the way Table II
+/// splits its columns. For a *failed* execution this is the time the tools
+/// burned before dying — the waste a retry pays for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowCost {
+    /// Constant stages (syntax + Xst + translate + bitgen).
+    pub constant: SimTime,
+    /// Map stage.
+    pub map: SimTime,
+    /// Place-and-route stage.
+    pub par: SimTime,
+}
+
+impl FlowCost {
+    /// Total simulated time across all stages.
+    pub fn total(&self) -> SimTime {
+        self.constant + self.map + self.par
+    }
+}
+
+/// A flow failure carrying the simulated tool time wasted before it.
+#[derive(Debug, Clone)]
+pub struct FlowError {
+    /// The underlying error.
+    pub error: Error,
+    /// Tool time spent up to and including the failing stage.
+    pub spent: FlowCost,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (after {} of tool time)",
+            self.error,
+            self.spent.total()
+        )
+    }
+}
+
+impl From<FlowError> for Error {
+    fn from(e: FlowError) -> Error {
+        e.error
     }
 }
 
@@ -177,38 +228,100 @@ fn map_pack(flat: &Netlist) -> u32 {
     lut_sites.div_ceil(2).max(ffs.div_ceil(2))
 }
 
+/// Records one injector firing at `site` (counter + journal event) and
+/// returns the error the failing tool stage reports.
+fn injected_failure(
+    tel: &Telemetry,
+    faults: &FaultInjector,
+    site: FaultSite,
+    project: &str,
+) -> Option<Error> {
+    let kind = faults.decide(site)?;
+    tel.add(names::FAULTS_INJECTED, 1);
+    tel.event(
+        "fault.injected",
+        &[
+            ("site", TelValue::Str(site.name().to_string())),
+            ("kind", TelValue::Str(kind.name().to_string())),
+        ],
+    );
+    Some(Error::Cad(format!(
+        "injected {} fault at {} while implementing {project}",
+        kind.name(),
+        site.name()
+    )))
+}
+
 /// Runs the complete Instruction Implementation flow on a project.
+///
+/// Convenience wrapper over [`run_flow_accounted`] that discards the
+/// wasted-time accounting on failure.
 pub fn run_flow(fabric: &Fabric, project: &CadProject, opts: &FlowOptions) -> Result<FlowReport> {
+    run_flow_accounted(fabric, project, opts).map_err(|e| e.error)
+}
+
+/// Runs the flow, reporting how much simulated tool time a failure wasted.
+///
+/// A real CAD tool that crashes in PAR has still burned the synthesis,
+/// map, and (partial) PAR runtime — the retry logic in the pipeline
+/// charges exactly that waste to the candidate, so Table II-style
+/// accounting stays exact even under injected faults.
+pub fn run_flow_accounted(
+    fabric: &Fabric,
+    project: &CadProject,
+    opts: &FlowOptions,
+) -> std::result::Result<FlowReport, FlowError> {
     let scale = (1.0 - opts.tool_speedup).max(0.0);
     let stage = |base: f64, jit: f64, salt: u64| -> SimTime {
         SimTime::from_secs_f64((base + jit * jitter(&project.name, salt)) * scale)
     };
     let tel = &opts.telemetry;
+    let mut spent = FlowCost::default();
+    let fail = |error: Error, spent: FlowCost| FlowError { error, spent };
 
     // 1. Syntax check.
     let syntax = {
         let mut span = tel.span("cad.syntax");
-        syntax_check(project)?;
         let t = stage(SYNTAX_S, SYNTAX_JITTER, 1);
         span.set_sim_time(t);
+        if let Err(e) = syntax_check(project) {
+            spent.constant += t;
+            return Err(fail(e, spent));
+        }
         t
     };
+    spent.constant += syntax;
 
     // 2. Xst: top-level synthesis (real flattening).
     let mut xst_span = tel.span("cad.xst");
-    let flat = synthesize_top(project)?;
     let xst = stage(XST_S, XST_JITTER, 2);
     xst_span.set_sim_time(xst);
+    let flat = match synthesize_top(project) {
+        Ok(flat) => flat,
+        Err(e) => {
+            drop(xst_span);
+            spent.constant += xst;
+            return Err(fail(e, spent));
+        }
+    };
     drop(xst_span);
+    spent.constant += xst;
+    if let Some(e) = injected_failure(tel, &opts.faults, FaultSite::CadSynthesis, &project.name) {
+        return Err(fail(e, spent));
+    }
 
     // 3. Translate: consolidate netlists + constraints (validation pass).
     let translate = {
         let mut span = tel.span("cad.translate");
-        flat.validate().map_err(Error::Cad)?;
         let t = stage(TRANSLATE_S, TRANSLATE_JITTER, 3);
         span.set_sim_time(t);
+        if let Err(e) = flat.validate().map_err(Error::Cad) {
+            spent.constant += t;
+            return Err(fail(e, spent));
+        }
         t
     };
+    spent.constant += translate;
 
     // 4. Map: slice packing; time scales with candidate complexity.
     let mut map_span = tel.span("cad.map");
@@ -225,40 +338,69 @@ pub fn run_flow(fabric: &Fabric, project: &CadProject, opts: &FlowOptions) -> Re
     map_span.set_sim_time(map_t);
     map_span.field("slices", TelValue::U64(slices as u64));
     tel.observe("cad.complexity", complexity as u64);
+    spent.map += map_t;
+    if let Some(e) = injected_failure(tel, &opts.faults, FaultSite::CadMap, &project.name) {
+        drop(map_span);
+        return Err(fail(e, spent));
+    }
     drop(map_span);
 
     // 5. PAR: real placement + routing; time = map × complexity ratio.
-    let mut par_span = tel.span("cad.par");
-    let placement: Placement = place(fabric, &flat, opts.place_effort, opts.seed)?;
-    check_legal(fabric, &flat, &placement)?;
-    let routed: RoutedDesign = route(fabric, &flat, &placement, opts.route_effort)?;
-    tel.add(names::PLACER_MOVES, placement.moves);
-    tel.add(names::PLACER_ACCEPTS, placement.accepted);
-    tel.add(names::ROUTER_ITERATIONS, routed.iterations as u64);
-    // PathFinder re-routes every multi-terminal net on each negotiation
-    // iteration after the first: those re-routes are the rip-ups.
-    let routable = routed.nets.iter().filter(|n| !n.edges.is_empty()).count() as u64;
-    tel.add(
-        names::ROUTER_RIPUPS,
-        routed.iterations.saturating_sub(1) as u64 * routable,
-    );
-    if routed.overflow > 0 {
-        return Err(Error::Cad(format!(
-            "unroutable: {} channels over capacity",
-            routed.overflow
-        )));
-    }
+    // A failure anywhere inside PAR (placement, legality, routing) has
+    // still paid the full PAR runtime: the tools die at the end of the
+    // stage, not before starting it.
     let par_ratio = PAR_RATIO_MIN + (PAR_RATIO_MAX - PAR_RATIO_MIN) * norm;
     let par_t = SimTime::from_secs_f64(
         (map_s * par_ratio * (1.0 + 0.02 * jitter(&project.name, 5))) * scale,
     );
+    let mut par_span = tel.span("cad.par");
     par_span.set_sim_time(par_t);
+    spent.par += par_t;
+    let par_stage = || -> Result<(Placement, RoutedDesign)> {
+        let placement: Placement = place(fabric, &flat, opts.place_effort, opts.seed)?;
+        check_legal(fabric, &flat, &placement)?;
+        if let Some(e) = injected_failure(tel, &opts.faults, FaultSite::CadPlace, &project.name) {
+            return Err(e);
+        }
+        let routed: RoutedDesign = route(fabric, &flat, &placement, opts.route_effort)?;
+        tel.add(names::PLACER_MOVES, placement.moves);
+        tel.add(names::PLACER_ACCEPTS, placement.accepted);
+        tel.add(names::ROUTER_ITERATIONS, routed.iterations as u64);
+        // PathFinder re-routes every multi-terminal net on each negotiation
+        // iteration after the first: those re-routes are the rip-ups.
+        let routable = routed.nets.iter().filter(|n| !n.edges.is_empty()).count() as u64;
+        tel.add(
+            names::ROUTER_RIPUPS,
+            routed.iterations.saturating_sub(1) as u64 * routable,
+        );
+        if routed.overflow > 0 {
+            return Err(Error::Cad(format!(
+                "unroutable: {} channels over capacity",
+                routed.overflow
+            )));
+        }
+        if let Some(e) = injected_failure(tel, &opts.faults, FaultSite::CadRoute, &project.name) {
+            return Err(e);
+        }
+        Ok((placement, routed))
+    };
+    let (placement, routed) = match par_stage() {
+        Ok(v) => v,
+        Err(e) => {
+            drop(par_span);
+            return Err(fail(e, spent));
+        }
+    };
     par_span.field("wirelength", TelValue::U64(routed.wirelength));
     drop(par_span);
 
     // 6. Timing + bitgen.
     let mut bitgen_span = tel.span("cad.bitgen");
     let timing = analyze(fabric, &flat, &placement, &routed);
+    if let Some(e) = injected_failure(tel, &opts.faults, FaultSite::CadTiming, &project.name) {
+        drop(bitgen_span);
+        return Err(fail(e, spent));
+    }
     let bitstream = bitgen(fabric, &flat, &placement, &routed, opts.eapr);
     let bitgen_t = if opts.eapr {
         stage(BITGEN_EAPR_S, BITGEN_JITTER, 6)
@@ -405,6 +547,52 @@ mod tests {
             (got - expect).abs() / expect < 0.01,
             "expected ~{expect}, got {got}"
         );
+    }
+
+    #[test]
+    fn zero_rate_injector_is_transparent() {
+        use jitise_faults::{FaultInjector, FaultPlan};
+        let fabric = Fabric::pr_region();
+        let p = small_project();
+        let plain = run_flow(&fabric, &p, &FlowOptions::fast()).unwrap();
+        let zeroed = run_flow(
+            &fabric,
+            &p,
+            &FlowOptions {
+                faults: FaultInjector::from_plan(FaultPlan::uniform(0.0, 99)).scope(1, 1),
+                ..FlowOptions::fast()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.bitstream, zeroed.bitstream);
+        assert_eq!(plain.total(), zeroed.total());
+    }
+
+    #[test]
+    fn injected_fault_charges_wasted_tool_time() {
+        use jitise_faults::{FaultInjector, FaultPlan, FaultSite};
+        let fabric = Fabric::pr_region();
+        let p = small_project();
+        let clean = run_flow(&fabric, &p, &FlowOptions::fast()).unwrap();
+        // A certain map fault: flow dies after syntax+xst+translate+map.
+        let plan = FaultPlan::none(3).with_rate(FaultSite::CadMap, 1.0);
+        let err = run_flow_accounted(
+            &fabric,
+            &p,
+            &FlowOptions {
+                faults: FaultInjector::from_plan(plan).scope(7, 1),
+                ..FlowOptions::fast()
+            },
+        )
+        .unwrap_err();
+        assert!(err.error.to_string().contains("injected"));
+        assert_eq!(err.spent.map, clean.map, "map ran before dying");
+        assert_eq!(
+            err.spent.constant,
+            clean.syntax + clean.xst + clean.translate,
+            "bitgen never ran"
+        );
+        assert_eq!(err.spent.par, SimTime::ZERO, "PAR never started");
     }
 
     #[test]

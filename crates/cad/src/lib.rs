@@ -32,7 +32,7 @@ pub mod timing;
 
 pub use bitgen::{bitgen, crc32, Bitstream};
 pub use fabric::{Fabric, SiteKind};
-pub use flow::{run_flow, FlowOptions, FlowReport};
+pub use flow::{run_flow, run_flow_accounted, FlowCost, FlowError, FlowOptions, FlowReport};
 pub use place::{check_legal, place, PlaceEffort, Placement};
 pub use route::{check_connected, route, RouteEffort, RoutedDesign};
 pub use techmap::{netlist_complexity, synthesize_top};

@@ -65,6 +65,12 @@ impl BitstreamCache {
         self.map.write().insert(entry.signature, entry);
     }
 
+    /// Drops an entry (poisoned-bitstream eviction). Returns `true` if the
+    /// signature was present.
+    pub fn remove(&self, signature: u64) -> bool {
+        self.map.write().remove(&signature).is_some()
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (*self.hits.read(), *self.misses.read())
@@ -113,7 +119,27 @@ impl BitstreamCache {
     }
 
     /// Restores a cache image produced by [`Self::to_bytes`].
+    ///
+    /// Strict: any structural damage (truncation, trailing garbage, bad
+    /// magic) *or* a CRC-failed entry rejects the whole image with a typed
+    /// [`Error::Codec`]. Use [`Self::from_bytes_resilient`] to salvage the
+    /// intact entries of a partially poisoned image instead.
     pub fn from_bytes(data: &[u8]) -> Result<BitstreamCache> {
+        let (cache, dropped) = Self::decode(data, false)?;
+        debug_assert_eq!(dropped, 0, "strict decode never drops entries");
+        Ok(cache)
+    }
+
+    /// Restores a cache image, *dropping* entries whose bitstream fails
+    /// its CRC instead of rejecting the image. Returns the cache and the
+    /// number of poisoned entries dropped. Structural damage (truncation,
+    /// trailing garbage, bad magic) is still a hard [`Error::Codec`]: a
+    /// mangled framing means nothing after the damage can be trusted.
+    pub fn from_bytes_resilient(data: &[u8]) -> Result<(BitstreamCache, usize)> {
+        Self::decode(data, true)
+    }
+
+    fn decode(data: &[u8], drop_poisoned: bool) -> Result<(BitstreamCache, usize)> {
         let mut dec = Decoder::new(data);
         let magic = dec.get_str()?;
         if magic != "JITISE-BSCACHE-1" {
@@ -121,6 +147,7 @@ impl BitstreamCache {
         }
         let n = dec.get_varu64()?;
         let cache = BitstreamCache::new();
+        let mut dropped = 0usize;
         for _ in 0..n {
             let signature = dec.get_u64()?;
             let bytes = dec.get_bytes()?.to_vec();
@@ -139,6 +166,10 @@ impl BitstreamCache {
                 partial,
             };
             if !bitstream.verify() {
+                if drop_poisoned {
+                    dropped += 1;
+                    continue;
+                }
                 return Err(Error::Codec(format!(
                     "cache entry {signature:#018x} failed CRC"
                 )));
@@ -155,7 +186,13 @@ impl BitstreamCache {
                 generation_time,
             });
         }
-        Ok(cache)
+        if !dec.is_at_end() {
+            return Err(Error::Codec(format!(
+                "{} bytes of trailing garbage after {n} cache entries",
+                dec.remaining()
+            )));
+        }
+        Ok((cache, dropped))
     }
 }
 
@@ -215,6 +252,74 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         assert!(BitstreamCache::from_bytes(b"NOT-A-CACHE").is_err());
+    }
+
+    #[test]
+    fn truncated_image_rejected_with_typed_error() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(3));
+        let bytes = c.to_bytes();
+        // Every prefix must fail cleanly (no panic, no silent misparse).
+        for cut in [0, 1, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            match BitstreamCache::from_bytes(&bytes[..cut]) {
+                Err(Error::Codec(_)) => {}
+                other => panic!("truncation at {cut} must yield Error::Codec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_with_typed_error() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(4));
+        let mut bytes = c.to_bytes();
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        match BitstreamCache::from_bytes(&bytes) {
+            Err(Error::Codec(msg)) => assert!(msg.contains("trailing"), "got {msg:?}"),
+            other => panic!("trailing garbage must yield Error::Codec, got {other:?}"),
+        }
+        match BitstreamCache::from_bytes_resilient(&bytes) {
+            Err(Error::Codec(_)) => {}
+            other => panic!("resilient decode must also reject framing damage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_decode_drops_poisoned_entries_keeps_good_ones() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(1));
+        c.put(sample_entry(2));
+        c.put(sample_entry(3));
+        let mut bytes = c.to_bytes();
+        // Poison the middle entry's bitstream payload: flip a byte well
+        // inside its data region so only the CRC check can catch it.
+        let good = BitstreamCache::from_bytes(&bytes).unwrap();
+        assert_eq!(good.len(), 3);
+        let payload = c.get(2).unwrap().bitstream.bytes;
+        let pos = bytes
+            .windows(payload.len())
+            .position(|w| w == payload)
+            .expect("entry 2 payload present in image");
+        bytes[pos + payload.len() / 2] ^= 0x40;
+        assert!(
+            BitstreamCache::from_bytes(&bytes).is_err(),
+            "strict decode rejects the poisoned image"
+        );
+        let (salvaged, dropped) = BitstreamCache::from_bytes_resilient(&bytes).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(salvaged.len(), 2);
+        assert!(salvaged.get(1).is_some());
+        assert!(salvaged.get(2).is_none(), "poisoned entry dropped");
+        assert!(salvaged.get(3).is_some());
+    }
+
+    #[test]
+    fn remove_evicts_entry() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(8));
+        assert!(c.remove(8));
+        assert!(!c.remove(8));
+        assert!(c.get(8).is_none());
     }
 
     #[test]

@@ -27,5 +27,9 @@ pub use breakeven::{break_even_scaled, break_even_simplistic, BreakEvenInputs};
 pub use cache::{BitstreamCache, CachedCi};
 pub use evaluation::{break_even_basis, evaluate_app, AppEvaluation, BreakEvenBasis, EvalContext};
 pub use extrapolate::{average_break_even, table_iv, CACHE_RATES, TOOL_SPEEDUPS};
-pub use pipeline::{specialize, CandidateOutcome, SpecializeConfig, SpecializeReport};
-pub use runtime::{run_adaptive, AdaptiveOutcome};
+pub use pipeline::{
+    specialize, CandidateOutcome, FailedCandidate, SpecializeConfig, SpecializeReport,
+};
+pub use runtime::{
+    run_adaptive, run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, DegradedReason,
+};

@@ -16,14 +16,16 @@
 //! The bitstream cache short-circuits phases 2–3 per candidate (§VI-A).
 
 use crate::cache::{BitstreamCache, CachedCi};
-use jitise_base::{Result, SimTime};
-use jitise_cad::{run_flow, Fabric, FlowOptions};
-use jitise_ir::{Dfg, Module};
+use jitise_base::{Error, Result, SimTime};
+use jitise_cad::{run_flow_accounted, Fabric, FlowOptions};
+use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
+use jitise_ir::{Dfg, Function, Module};
 use jitise_ise::{candidate_search, Candidate, SearchConfig, SearchOutcome};
 use jitise_pivpav::{create_project_with, CircuitDb, NetlistCache, PivPavEstimator};
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::{BlockKey, Profile};
-use jitise_woolcano::{patch_candidate, Woolcano};
+use jitise_woolcano::{patch_candidate, ReconfigController, Woolcano};
+use std::sync::Arc;
 
 /// Configuration of the whole specialization process.
 pub struct SpecializeConfig {
@@ -38,6 +40,18 @@ pub struct SpecializeConfig {
     /// Observability handle; propagated into the search and flow configs
     /// (their own `telemetry` fields are overridden when this is enabled).
     pub telemetry: Telemetry,
+    /// Fault injection handle (disabled by default; zero overhead). The
+    /// pipeline re-scopes it per `(candidate signature, attempt)` and
+    /// overrides `flow.faults` with the scoped handle.
+    pub faults: FaultInjector,
+    /// Retry policy for failed candidate attempts (CAD crashes, poisoned
+    /// cache entries, ICAP transfer corruption). Backoff is charged in
+    /// simulated time, never slept.
+    pub retry: RetryPolicy,
+    /// Signatures that exhausted their retries; quarantined candidates are
+    /// skipped without burning tool time. Share one `Arc` across sessions
+    /// to persist the blacklist.
+    pub quarantine: Arc<Quarantine>,
 }
 
 impl Default for SpecializeConfig {
@@ -48,6 +62,9 @@ impl Default for SpecializeConfig {
             fabric: Fabric::pr_region(),
             use_cache: true,
             telemetry: Telemetry::disabled(),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
+            quarantine: Arc::new(Quarantine::new()),
         }
     }
 }
@@ -77,6 +94,12 @@ pub struct CandidateOutcome {
     pub saved_per_exec: u64,
     /// Block executions in the profile.
     pub exec_count: u64,
+    /// Attempts taken (1 = first try succeeded).
+    pub attempts: u32,
+    /// Simulated time burned by this candidate's *failed* attempts
+    /// (wasted tool time + failed ICAP transfers + retry backoff). Zero
+    /// when `attempts == 1`. Not part of [`Self::total`].
+    pub time_lost: SimTime,
 }
 
 impl CandidateOutcome {
@@ -84,6 +107,28 @@ impl CandidateOutcome {
     pub fn total(&self) -> SimTime {
         self.c2v + self.const_stages + self.map + self.par
     }
+}
+
+/// A candidate whose implementation failed after exhausting its retries
+/// (or was skipped because its signature is quarantined). Failure is
+/// isolated: the pipeline records it here and moves on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedCandidate {
+    /// The candidate's block.
+    pub key: BlockKey,
+    /// Instructions covered.
+    pub size: usize,
+    /// Candidate signature.
+    pub signature: u64,
+    /// Attempts burned (0 = skipped via the quarantine list).
+    pub attempts: u32,
+    /// The last error observed.
+    pub error: String,
+    /// Simulated time wasted on this candidate (tool time of failed flow
+    /// runs + failed ICAP transfers + retry backoff).
+    pub time_lost: SimTime,
+    /// True if the signature is on the quarantine list.
+    pub quarantined: bool,
 }
 
 /// Result of one specialization run.
@@ -105,6 +150,247 @@ pub struct SpecializeReport {
     pub reconfig_time: SimTime,
     /// Cache hits during this run.
     pub cache_hits: usize,
+    /// Candidates that failed after exhausting retries (or were skipped
+    /// as quarantined). Never aborts the run.
+    pub failed: Vec<FailedCandidate>,
+    /// Retries performed across all candidates (attempts beyond each
+    /// candidate's first).
+    pub retries: u64,
+    /// Constant-stage tool time (C2V + Syn + Xst + Tra + Bitgen) burned by
+    /// failed attempts. Kept out of `const_time` so the Table II columns
+    /// describe successful work only.
+    pub fault_const_time: SimTime,
+    /// Map time burned by failed attempts.
+    pub fault_map_time: SimTime,
+    /// PAR time burned by failed attempts.
+    pub fault_par_time: SimTime,
+    /// ICAP transfer time burned by failed (CRC-rejected) loads.
+    pub fault_icap_time: SimTime,
+    /// Simulated retry-backoff waits.
+    pub backoff_time: SimTime,
+}
+
+impl SpecializeReport {
+    /// Total simulated time lost to faults (wasted tool time + failed
+    /// ICAP transfers + backoff).
+    pub fn fault_time(&self) -> SimTime {
+        self.fault_const_time
+            + self.fault_map_time
+            + self.fault_par_time
+            + self.fault_icap_time
+            + self.backoff_time
+    }
+
+    /// Deterministic digest of every observable field. Two runs are
+    /// byte-identical iff their fingerprints match — the chaos harness
+    /// uses this to prove a zero-rate injector is observationally
+    /// transparent.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "sel={} ratio={:016x} hits={} retries={} const={} map={} par={} sum={} \
+             reconfig={} f_const={} f_map={} f_par={} f_icap={} backoff={} \
+             candidates={:?} failed={:?}",
+            self.search.selection.selected.len(),
+            self.search.asip_ratio.to_bits(),
+            self.cache_hits,
+            self.retries,
+            self.const_time.as_nanos(),
+            self.map_time.as_nanos(),
+            self.par_time.as_nanos(),
+            self.sum_time.as_nanos(),
+            self.reconfig_time.as_nanos(),
+            self.fault_const_time.as_nanos(),
+            self.fault_map_time.as_nanos(),
+            self.fault_par_time.as_nanos(),
+            self.fault_icap_time.as_nanos(),
+            self.backoff_time.as_nanos(),
+            self.candidates,
+            self.failed,
+        )
+    }
+}
+
+/// Simulated time burned by one candidate's failed attempts, split the way
+/// the report splits its fault columns.
+#[derive(Debug, Clone, Copy, Default)]
+struct Loss {
+    constant: SimTime,
+    map: SimTime,
+    par: SimTime,
+    icap: SimTime,
+    backoff: SimTime,
+}
+
+impl Loss {
+    fn absorb(&mut self, other: Loss) {
+        self.constant += other.constant;
+        self.map += other.map;
+        self.par += other.par;
+        self.icap += other.icap;
+        self.backoff += other.backoff;
+    }
+
+    fn total(&self) -> SimTime {
+        self.constant + self.map + self.par + self.icap + self.backoff
+    }
+}
+
+/// One candidate's generated (or cache-served) implementation, carried
+/// across install retries so an ICAP failure never regenerates it.
+struct Produced {
+    entry: CachedCi,
+    cache_hit: bool,
+    c2v: SimTime,
+    const_stages: SimTime,
+    map: SimTime,
+    par: SimTime,
+}
+
+impl Produced {
+    fn total(&self) -> SimTime {
+        self.c2v + self.const_stages + self.map + self.par
+    }
+}
+
+/// Obtains the candidate's implementation: a CRC-validated cache hit, or a
+/// fresh run of phases 2–3. A poisoned cache entry is evicted and counted,
+/// then regeneration proceeds within the same attempt. On failure returns
+/// the simulated tool time the attempt wasted.
+#[allow(clippy::too_many_arguments)]
+fn obtain_entry(
+    db: &CircuitDb,
+    netlist_cache: &NetlistCache,
+    bitstream_cache: &BitstreamCache,
+    config: &SpecializeConfig,
+    inj: &FaultInjector,
+    pf: &Function,
+    dfg: &Dfg,
+    cand: &Candidate,
+    signature: u64,
+    tel: &Telemetry,
+) -> std::result::Result<Produced, (Error, Loss)> {
+    if config.use_cache {
+        if let Some(mut hit) = bitstream_cache.get(signature) {
+            if let Some(kind) = inj.corrupt(FaultSite::CacheEntry, &mut hit.bitstream.bytes) {
+                tel.add(names::FAULTS_INJECTED, 1);
+                tel.event(
+                    "fault.injected",
+                    &[
+                        ("site", TelValue::Str(FaultSite::CacheEntry.name().into())),
+                        ("kind", TelValue::Str(kind.name().into())),
+                    ],
+                );
+            }
+            if hit.bitstream.verify() {
+                return Ok(Produced {
+                    entry: hit,
+                    cache_hit: true,
+                    c2v: SimTime::ZERO,
+                    const_stages: SimTime::ZERO,
+                    map: SimTime::ZERO,
+                    par: SimTime::ZERO,
+                });
+            }
+            // Poisoned entry: evict it and regenerate from scratch.
+            bitstream_cache.remove(signature);
+            tel.add(names::BITSTREAM_CACHE_POISONED, 1);
+            tel.event("cache.poisoned", &[("signature", TelValue::U64(signature))]);
+        }
+    }
+    // Phase 2: Netlist Generation.
+    let (project, c2v) = create_project_with(db, netlist_cache, pf, dfg, cand, tel)
+        .map_err(|e| (e, Loss::default()))?;
+    // Phase 3: Instruction Implementation.
+    let mut flow_cfg = config.flow.clone();
+    flow_cfg.telemetry = tel.clone();
+    flow_cfg.faults = inj.clone();
+    let flow = run_flow_accounted(&config.fabric, &project, &flow_cfg).map_err(|fe| {
+        let loss = Loss {
+            // The netlist-generation work preceding the dead flow is
+            // wasted too (its netlists stay cached, so a retry re-derives
+            // them cheaply — but the time was spent).
+            constant: fe.spent.constant + c2v.total(),
+            map: fe.spent.map,
+            par: fe.spent.par,
+            ..Loss::default()
+        };
+        (fe.error, loss)
+    })?;
+    let entry = CachedCi {
+        signature,
+        bitstream: flow.bitstream.clone(),
+        timing: flow.timing.clone(),
+        generation_time: c2v.total() + flow.total(),
+    };
+    bitstream_cache.put(entry.clone());
+    Ok(Produced {
+        entry,
+        cache_hit: false,
+        c2v: c2v.total(),
+        const_stages: flow.constant_share(),
+        map: flow.map,
+        par: flow.par,
+    })
+}
+
+/// One attempt at implementing and installing a candidate. Reuses a
+/// previously produced entry (generation survives install retries).
+#[allow(clippy::too_many_arguments)]
+fn attempt_candidate(
+    produced: &mut Option<Produced>,
+    db: &CircuitDb,
+    netlist_cache: &NetlistCache,
+    bitstream_cache: &BitstreamCache,
+    config: &SpecializeConfig,
+    inj: &FaultInjector,
+    pf: &Function,
+    dfg: &Dfg,
+    cand: &Candidate,
+    signature: u64,
+    machine: &Woolcano,
+    hw_cycles: u64,
+    tel: &Telemetry,
+) -> std::result::Result<u32, (Error, Loss)> {
+    if produced.is_none() {
+        *produced = Some(obtain_entry(
+            db,
+            netlist_cache,
+            bitstream_cache,
+            config,
+            inj,
+            pf,
+            dfg,
+            cand,
+            signature,
+            tel,
+        )?);
+    }
+    let p = produced.as_ref().expect("entry just produced");
+    // Adaptation: transfer the bitstream over the ICAP, possibly corrupted
+    // in flight (caught by the controller's CRC check).
+    let mut bitstream = p.entry.bitstream.clone();
+    if let Some(kind) = inj.corrupt(FaultSite::IcapTransfer, &mut bitstream.bytes) {
+        tel.add(names::FAULTS_INJECTED, 1);
+        tel.event(
+            "fault.injected",
+            &[
+                ("site", TelValue::Str(FaultSite::IcapTransfer.name().into())),
+                ("kind", TelValue::Str(kind.name().into())),
+            ],
+        );
+    }
+    machine
+        .install(pf, dfg, cand, hw_cycles, bitstream)
+        .map_err(|e| {
+            // The rejected transfer still occupied the ICAP for the full
+            // bitstream length; the controller refuses to count it, so the
+            // fault ledger does.
+            let loss = Loss {
+                icap: ReconfigController::reconfig_time(&p.entry.bitstream),
+                ..Loss::default()
+            };
+            (e, loss)
+        })
 }
 
 /// Runs the complete ASIP specialization process on `module` (profiled by
@@ -140,10 +426,13 @@ pub fn specialize(
     let pristine = module.clone();
 
     let mut outcomes = Vec::with_capacity(search.selection.selected.len());
+    let mut failed: Vec<FailedCandidate> = Vec::new();
     let mut const_time = SimTime::ZERO;
     let mut map_time = SimTime::ZERO;
     let mut par_time = SimTime::ZERO;
     let mut cache_hits = 0usize;
+    let mut retries = 0u64;
+    let mut fault = Loss::default();
 
     // Group candidates by block so each block's DFG is built once.
     let selected: Vec<(Candidate, u64, u64, u64)> = search
@@ -166,90 +455,181 @@ pub fn specialize(
         let signature = cand.signature(pf, &dfg);
         let mut cand_span = tel.span("pipeline.candidate");
         let cand_tel = tel.under(&cand_span);
-
-        let (cached_entry, cache_hit, c2v_t, const_stages, map_t, par_t) =
-            match (config.use_cache, bitstream_cache.get(signature)) {
-                (true, Some(hit)) => {
-                    cache_hits += 1;
-                    (
-                        hit,
-                        true,
-                        SimTime::ZERO,
-                        SimTime::ZERO,
-                        SimTime::ZERO,
-                        SimTime::ZERO,
-                    )
-                }
-                _ => {
-                    // Phase 2: Netlist Generation.
-                    let (project, c2v) =
-                        create_project_with(db, netlist_cache, pf, &dfg, &cand, &cand_tel)?;
-                    // Phase 3: Instruction Implementation.
-                    let flow = if cand_tel.is_enabled() {
-                        let mut flow_cfg = config.flow.clone();
-                        flow_cfg.telemetry = cand_tel.clone();
-                        run_flow(&config.fabric, &project, &flow_cfg)?
-                    } else {
-                        run_flow(&config.fabric, &project, &config.flow)?
-                    };
-                    let entry = CachedCi {
-                        signature,
-                        bitstream: flow.bitstream.clone(),
-                        timing: flow.timing.clone(),
-                        generation_time: c2v.total() + flow.total(),
-                    };
-                    bitstream_cache.put(entry.clone());
-                    (
-                        entry,
-                        false,
-                        c2v.total(),
-                        flow.constant_share(),
-                        flow.map,
-                        flow.par,
-                    )
-                }
-            };
-
-        if cache_hit {
-            tel.add(names::BITSTREAM_CACHE_HITS, 1);
-        } else {
-            tel.add(names::BITSTREAM_CACHE_MISSES, 1);
-        }
-        const_time += c2v_t + const_stages;
-        map_time += map_t;
-        par_time += par_t;
-
-        // Adaptation: load the CI (at the estimator-calibrated latency)
-        // and patch the binary.
-        let slot = machine.install(pf, &dfg, &cand, hw_cycles, cached_entry.bitstream)?;
-        patch_candidate(module.func_mut(cand.key.func), &cand, slot)?;
-
-        cand_span.set_sim_time(c2v_t + const_stages + map_t + par_t);
         cand_span.field("signature", TelValue::U64(signature));
         cand_span.field("size", TelValue::U64(cand.len() as u64));
-        cand_span.field("cache_hit", TelValue::Bool(cache_hit));
-        cand_span.field("slot", TelValue::U64(slot as u64));
-        drop(cand_span);
 
-        outcomes.push(CandidateOutcome {
-            key: cand.key,
-            size: cand.len(),
-            signature,
-            cache_hit,
-            c2v: c2v_t,
-            const_stages,
-            map: map_t,
-            par: par_t,
-            slot,
-            saved_per_exec,
-            exec_count,
+        // A quarantined signature is skipped outright: it exhausted its
+        // retries in a previous run and would only burn tool time again.
+        if config.quarantine.contains(signature) {
+            let reason = config
+                .quarantine
+                .reason(signature)
+                .unwrap_or_else(|| "unknown".into());
+            tel.add(names::CANDIDATES_FAILED, 1);
+            cand_tel.event(
+                "candidate.quarantine_skip",
+                &[("signature", TelValue::U64(signature))],
+            );
+            cand_span.set_sim_time(SimTime::ZERO);
+            cand_span.field("failed", TelValue::Bool(true));
+            cand_span.field("attempts", TelValue::U64(0));
+            drop(cand_span);
+            failed.push(FailedCandidate {
+                key: cand.key,
+                size: cand.len(),
+                signature,
+                attempts: 0,
+                error: format!("quarantined: {reason}"),
+                time_lost: SimTime::ZERO,
+                quarantined: true,
+            });
+            continue;
+        }
+
+        // Bounded retry loop. Generation (phases 2-3) survives an install
+        // failure: only the ICAP transfer is re-attempted.
+        let mut attempt = 0u32;
+        let mut loss = Loss::default();
+        let mut produced: Option<Produced> = None;
+        let max_attempts = config.retry.max_attempts.max(1);
+        let result: std::result::Result<u32, Error> = loop {
+            attempt += 1;
+            let inj = config.faults.scope(signature, attempt);
+            match attempt_candidate(
+                &mut produced,
+                db,
+                netlist_cache,
+                bitstream_cache,
+                config,
+                &inj,
+                pf,
+                &dfg,
+                &cand,
+                signature,
+                machine,
+                hw_cycles,
+                &cand_tel,
+            ) {
+                Ok(slot) => break Ok(slot),
+                Err((e, waste)) => {
+                    loss.absorb(waste);
+                    if attempt >= max_attempts {
+                        break Err(e);
+                    }
+                    let backoff = config.retry.backoff_for(attempt);
+                    loss.backoff += backoff;
+                    retries += 1;
+                    tel.add(names::PIPELINE_RETRIES, 1);
+                    cand_tel.event(
+                        "candidate.retry",
+                        &[
+                            ("signature", TelValue::U64(signature)),
+                            ("attempt", TelValue::U64(attempt as u64)),
+                            ("backoff_ns", TelValue::U64(backoff.as_nanos())),
+                            ("error", TelValue::Str(e.to_string())),
+                        ],
+                    );
+                }
+            }
+        };
+
+        // Patching is deterministic IR surgery: an error there is not
+        // retryable, but it is still isolated to this candidate.
+        let result: std::result::Result<u32, Error> = result.and_then(|slot| {
+            patch_candidate(module.func_mut(cand.key.func), &cand, slot).map(|_| slot)
         });
+
+        match result {
+            Ok(slot) => {
+                let p = produced
+                    .take()
+                    .expect("successful attempt produced an entry");
+                if p.cache_hit {
+                    cache_hits += 1;
+                    tel.add(names::BITSTREAM_CACHE_HITS, 1);
+                } else {
+                    tel.add(names::BITSTREAM_CACHE_MISSES, 1);
+                }
+                const_time += p.c2v + p.const_stages;
+                map_time += p.map;
+                par_time += p.par;
+                fault.absorb(loss);
+                cand_span.set_sim_time(p.total() + loss.total());
+                cand_span.field("cache_hit", TelValue::Bool(p.cache_hit));
+                cand_span.field("slot", TelValue::U64(slot as u64));
+                cand_span.field("attempts", TelValue::U64(attempt as u64));
+                drop(cand_span);
+                outcomes.push(CandidateOutcome {
+                    key: cand.key,
+                    size: cand.len(),
+                    signature,
+                    cache_hit: p.cache_hit,
+                    c2v: p.c2v,
+                    const_stages: p.const_stages,
+                    map: p.map,
+                    par: p.par,
+                    slot,
+                    saved_per_exec,
+                    exec_count,
+                    attempts: attempt,
+                    time_lost: loss.total(),
+                });
+            }
+            Err(e) => {
+                // Exhausted: everything this candidate burned — including
+                // a successful generation whose install then failed — is
+                // wasted time, charged to the fault ledger so the journal
+                // still reconciles exactly.
+                if let Some(p) = produced.take() {
+                    loss.constant += p.c2v + p.const_stages;
+                    loss.map += p.map;
+                    loss.par += p.par;
+                }
+                let error = e.to_string();
+                let newly = config.quarantine.insert(signature, &error);
+                tel.add(names::CANDIDATES_FAILED, 1);
+                if newly {
+                    tel.add(names::CANDIDATES_QUARANTINED, 1);
+                    cand_tel.event(
+                        "candidate.quarantined",
+                        &[
+                            ("signature", TelValue::U64(signature)),
+                            ("error", TelValue::Str(error.clone())),
+                        ],
+                    );
+                }
+                cand_tel.event(
+                    "candidate.failed",
+                    &[
+                        ("signature", TelValue::U64(signature)),
+                        ("attempts", TelValue::U64(attempt as u64)),
+                        ("error", TelValue::Str(error.clone())),
+                    ],
+                );
+                fault.absorb(loss);
+                cand_span.set_sim_time(loss.total());
+                cand_span.field("failed", TelValue::Bool(true));
+                cand_span.field("attempts", TelValue::U64(attempt as u64));
+                drop(cand_span);
+                failed.push(FailedCandidate {
+                    key: cand.key,
+                    size: cand.len(),
+                    signature,
+                    attempts: attempt,
+                    error,
+                    time_lost: loss.total(),
+                    quarantined: newly,
+                });
+            }
+        }
     }
 
     let sum_time = const_time + map_time + par_time;
-    root.set_sim_time(sum_time);
+    root.set_sim_time(sum_time + fault.total());
     root.field("candidates", TelValue::U64(outcomes.len() as u64));
     root.field("cache_hits", TelValue::U64(cache_hits as u64));
+    root.field("failed", TelValue::U64(failed.len() as u64));
+    root.field("retries", TelValue::U64(retries));
     drop(root);
     Ok(SpecializeReport {
         search,
@@ -260,6 +640,13 @@ pub fn specialize(
         sum_time,
         reconfig_time: machine.total_reconfig_time(),
         cache_hits,
+        failed,
+        retries,
+        fault_const_time: fault.constant,
+        fault_map_time: fault.map,
+        fault_par_time: fault.par,
+        fault_icap_time: fault.icap,
+        backoff_time: fault.backoff,
     })
 }
 
@@ -366,5 +753,198 @@ mod tests {
         assert_eq!(per_cand, r.sum_time);
         assert_eq!(r.sum_time, r.const_time + r.map_time + r.par_time);
         assert!(r.reconfig_time > SimTime::ZERO);
+        assert!(r.failed.is_empty());
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.fault_time(), SimTime::ZERO);
+    }
+
+    use jitise_faults::{FaultPlan, FaultSite};
+
+    fn faulty_config(plan: FaultPlan) -> SpecializeConfig {
+        SpecializeConfig {
+            faults: FaultInjector::from_plan(plan),
+            ..SpecializeConfig::default()
+        }
+    }
+
+    fn specialize_with(
+        ctx: &Ctx,
+        m: &mut Module,
+        p: &Profile,
+        machine: &Woolcano,
+        config: &SpecializeConfig,
+    ) -> SpecializeReport {
+        specialize(
+            m,
+            p,
+            machine,
+            &ctx.estimator,
+            &ctx.db,
+            &ctx.netlists,
+            &ctx.bitstreams,
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_rate_injector_leaves_report_byte_identical() {
+        let mk = || {
+            let ctx = Ctx::new();
+            let m = hot_module();
+            let p = run_profile(&m, 2_000);
+            let machine = Woolcano::new(16);
+            (ctx, m, p, machine)
+        };
+        let (ctx_a, mut m_a, p_a, machine_a) = mk();
+        let base = ctx_a.specialize(&mut m_a, &p_a, &machine_a);
+        let (ctx_b, mut m_b, p_b, machine_b) = mk();
+        let cfg = faulty_config(FaultPlan::uniform(0.0, 42));
+        let zeroed = specialize_with(&ctx_b, &mut m_b, &p_b, &machine_b, &cfg);
+        assert_eq!(base.fingerprint(), zeroed.fingerprint());
+        assert_eq!(m_a, m_b, "patched modules identical");
+    }
+
+    #[test]
+    fn persistent_fault_isolates_and_quarantines_candidate() {
+        let ctx = Ctx::new();
+        let base = hot_module();
+        let mut m = base.clone();
+        let p = run_profile(&m, 2_000);
+        let machine = Woolcano::new(16);
+        let mut plan = FaultPlan::none(7).with_rate(FaultSite::CadMap, 1.0);
+        plan.persistent_frac = 1.0; // every fault is persistent
+        let cfg = faulty_config(plan);
+        let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+        assert!(r.candidates.is_empty(), "every candidate fails");
+        assert!(!r.failed.is_empty());
+        for f in &r.failed {
+            assert!(f.quarantined);
+            assert_eq!(f.attempts, cfg.retry.max_attempts);
+            assert!(f.error.contains("injected"));
+            assert!(f.time_lost > SimTime::ZERO);
+        }
+        assert_eq!(
+            r.retries,
+            r.failed.len() as u64 * (cfg.retry.max_attempts as u64 - 1)
+        );
+        assert_eq!(cfg.quarantine.len(), r.failed.len());
+        assert!(
+            r.fault_map_time > SimTime::ZERO,
+            "map ran before each death"
+        );
+        assert!(r.backoff_time > SimTime::ZERO);
+        assert_eq!(r.sum_time, SimTime::ZERO, "no successful generation");
+
+        // The unpatched module still computes the original answer.
+        let mut vm_base = Interpreter::new(&base);
+        let want = vm_base.run("main", &[Value::I(500)]).unwrap();
+        let mut vm = Interpreter::new(&m);
+        let got = vm.run("main", &[Value::I(500)]).unwrap();
+        assert_eq!(want.ret, got.ret);
+
+        // A second session sharing the quarantine skips without tool time.
+        let mut m2 = hot_module();
+        let p2 = run_profile(&m2, 2_000);
+        let machine2 = Woolcano::new(16);
+        let cfg2 = SpecializeConfig {
+            quarantine: Arc::clone(&cfg.quarantine),
+            ..SpecializeConfig::default()
+        };
+        let r2 = specialize_with(&ctx, &mut m2, &p2, &machine2, &cfg2);
+        assert!(r2.candidates.is_empty());
+        assert!(r2.failed.iter().all(|f| f.attempts == 0 && f.quarantined));
+        assert_eq!(r2.fault_time(), SimTime::ZERO, "skip burns nothing");
+    }
+
+    #[test]
+    fn transient_fault_retries_then_succeeds() {
+        let ctx = Ctx::new();
+        let base = hot_module();
+        let mut m = base.clone();
+        let p = run_profile(&m, 5_000);
+        let machine = Woolcano::new(16);
+        let mut plan = FaultPlan::none(11).with_rate(FaultSite::CadMap, 1.0);
+        plan.persistent_frac = 0.0; // every fault clears within the budget
+        let cfg = faulty_config(plan);
+        let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+        assert!(
+            r.failed.is_empty(),
+            "transients always clear: {:?}",
+            r.failed
+        );
+        assert!(!r.candidates.is_empty());
+        assert!(r.candidates.iter().all(|c| c.attempts > 1));
+        assert!(r.retries > 0);
+        assert!(r.fault_map_time > SimTime::ZERO);
+        assert!(r.backoff_time > SimTime::ZERO);
+        assert!(cfg.quarantine.is_empty());
+
+        let meas =
+            jitise_woolcano::measure_speedup(&base, &m, &machine, "main", &[Value::I(5_000)])
+                .unwrap();
+        assert!(meas.speedup > 1.0, "speedup {}", meas.speedup);
+    }
+
+    #[test]
+    fn icap_corruption_is_caught_and_retried_without_regeneration() {
+        let ctx = Ctx::new();
+        let base = hot_module();
+        let mut m = base.clone();
+        let p = run_profile(&m, 2_000);
+        let machine = Woolcano::new(16);
+        let mut plan = FaultPlan::none(13).with_rate(FaultSite::IcapTransfer, 1.0);
+        plan.persistent_frac = 0.0;
+        let cfg = faulty_config(plan);
+        let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+        assert!(r.failed.is_empty(), "{:?}", r.failed);
+        for c in &r.candidates {
+            assert!(c.attempts > 1, "first transfer was corrupted");
+            assert!(!c.cache_hit);
+            assert!(c.total() > SimTime::ZERO, "generation time still reported");
+        }
+        assert!(r.fault_icap_time > SimTime::ZERO, "dead transfers ledgered");
+        assert_eq!(
+            r.fault_const_time + r.fault_map_time + r.fault_par_time,
+            SimTime::ZERO,
+            "generation ran exactly once per candidate"
+        );
+
+        let meas =
+            jitise_woolcano::measure_speedup(&base, &m, &machine, "main", &[Value::I(2_000)])
+                .unwrap();
+        assert!(meas.speedup > 1.0);
+    }
+
+    #[test]
+    fn poisoned_cache_entry_is_evicted_and_regenerated() {
+        let ctx = Ctx::new();
+        // Populate the cache fault-free.
+        let mut m1 = hot_module();
+        let p1 = run_profile(&m1, 2_000);
+        let machine1 = Woolcano::new(16);
+        let r1 = ctx.specialize(&mut m1, &p1, &machine1);
+        assert_eq!(r1.cache_hits, 0);
+
+        // Second run: every cache read comes back corrupted (transient, so
+        // only attempt 1 is poisoned — but regeneration happens within the
+        // same attempt and replaces the entry).
+        let base = hot_module();
+        let mut m2 = base.clone();
+        let p2 = run_profile(&m2, 2_000);
+        let machine2 = Woolcano::new(16);
+        let mut plan = FaultPlan::none(17).with_rate(FaultSite::CacheEntry, 1.0);
+        plan.persistent_frac = 0.0;
+        let cfg = faulty_config(plan);
+        let r2 = specialize_with(&ctx, &mut m2, &p2, &machine2, &cfg);
+        assert!(r2.failed.is_empty(), "{:?}", r2.failed);
+        assert_eq!(r2.cache_hits, 0, "poisoned hits do not count as hits");
+        assert!(r2.sum_time > SimTime::ZERO, "regeneration happened");
+        assert!(r2.candidates.iter().all(|c| !c.cache_hit));
+
+        let meas =
+            jitise_woolcano::measure_speedup(&base, &m2, &machine2, "main", &[Value::I(999)])
+                .unwrap();
+        assert!(meas.speedup > 1.0);
     }
 }

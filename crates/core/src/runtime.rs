@@ -11,16 +11,66 @@
 //! specializes; on completion the main loop hot-swaps to the specialized
 //! binary and the loaded Woolcano machine. §VI-B's observation that one
 //! can "run the FPGA tool concurrently" is realized by the worker pool.
+//!
+//! The runtime never depends on the worker's health: a dead, panicked, or
+//! stalled worker degrades the session to software-only execution
+//! (correct results, speedup 1.0) instead of hanging or crashing the
+//! application — see [`DegradedReason`] and DESIGN.md §9.
 
 use crate::cache::BitstreamCache;
 use crate::evaluation::EvalContext;
 use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
-use jitise_base::{Result, SimTime};
+use jitise_base::hash::SigHasher;
+use jitise_base::{Error, Result, SimTime};
+use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::Module;
-use jitise_telemetry::Value as TelValue;
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::{Interpreter, Profile, Value};
 use jitise_woolcano::Woolcano;
-use std::sync::mpsc::sync_channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a session fell back to software-only execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The worker thread died (or was killed) without reporting.
+    WorkerDisconnected,
+    /// The worker missed the watchdog deadline and was abandoned.
+    WorkerStalled,
+    /// Specialization itself returned an error.
+    SpecializeFailed(String),
+}
+
+/// Robustness knobs for [`run_adaptive_with`].
+pub struct AdaptiveOptions {
+    /// Wall-clock budget the main loop grants the worker before abandoning
+    /// it and degrading to software-only execution. This is *host* time —
+    /// the one place the runtime must bound a real thread, not a simulated
+    /// clock.
+    pub watchdog: Duration,
+    /// Fault injection handle, threaded through to the pipeline and used
+    /// for worker stall/death injection (disabled by default).
+    pub faults: FaultInjector,
+    /// Retry policy for the specialization pipeline.
+    pub retry: RetryPolicy,
+    /// Quarantine list shared with the pipeline (and, if the caller keeps
+    /// the `Arc`, across sessions).
+    pub quarantine: Arc<Quarantine>,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            watchdog: Duration::from_secs(30),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
+            quarantine: Arc::new(Quarantine::new()),
+        }
+    }
+}
 
 /// Outcome of an adaptive execution session.
 pub struct AdaptiveOutcome {
@@ -34,11 +84,98 @@ pub struct AdaptiveOutcome {
     pub cycles_after: u64,
     /// Observed speedup (before / after).
     pub observed_speedup: f64,
-    /// The specialization report from the worker.
-    pub report: SpecializeReport,
+    /// The specialization report from the worker; `None` when the session
+    /// degraded before the worker reported.
+    pub report: Option<SpecializeReport>,
+    /// Why the session fell back to software-only execution, if it did.
+    pub degraded: Option<DegradedReason>,
+    /// Return value of every workload run, in order (profiling run first).
+    /// Degraded or not, these must match a fault-free session: the
+    /// workload's answers are never allowed to change.
+    pub results: Vec<Option<Value>>,
     /// Simulated specialization overhead (what a real deployment would
-    /// wait for; the worker's wall time is irrelevant here).
+    /// wait for; the worker's wall time is irrelevant here). Includes the
+    /// fault ledger: wasted tool time and retry backoff are real waiting.
     pub overhead: SimTime,
+}
+
+impl AdaptiveOutcome {
+    /// Deterministic digest of every observable field (see
+    /// [`SpecializeReport::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "rb={} ra={} cb={} ca={} sp={:016x} ov={} degraded={:?} results={:?} report={}",
+            self.runs_before,
+            self.runs_after,
+            self.cycles_before,
+            self.cycles_after,
+            self.observed_speedup.to_bits(),
+            self.overhead.as_nanos(),
+            self.degraded,
+            self.results,
+            self.report
+                .as_ref()
+                .map(|r| r.fingerprint())
+                .unwrap_or_else(|| "none".into()),
+        )
+    }
+}
+
+/// Sets the cancel flag when dropped, releasing a stalled worker so
+/// `thread::scope` can join it — on *every* exit path, including panics.
+struct CancelGuard(Arc<AtomicBool>);
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+fn wait_for_worker(
+    rx: &Receiver<Result<(Module, Woolcano, SpecializeReport)>>,
+    watchdog: Duration,
+) -> std::result::Result<(Module, Woolcano, SpecializeReport), DegradedReason> {
+    match rx.recv_timeout(watchdog) {
+        Ok(Ok(t)) => Ok(t),
+        Ok(Err(e)) => Err(DegradedReason::SpecializeFailed(e.to_string())),
+        Err(RecvTimeoutError::Timeout) => Err(DegradedReason::WorkerStalled),
+        Err(RecvTimeoutError::Disconnected) => Err(DegradedReason::WorkerDisconnected),
+    }
+}
+
+fn note_degraded(tel: &Telemetry, reason: DegradedReason) -> DegradedReason {
+    tel.add(names::RUNTIME_DEGRADED, 1);
+    tel.event(
+        "runtime.degraded",
+        &[("reason", TelValue::Str(format!("{reason:?}")))],
+    );
+    reason
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".into()
+    }
+}
+
+/// Records a worker-level injector firing (counter + journal event).
+fn injected_worker_fault(tel: &Telemetry, inj: &FaultInjector, site: FaultSite) -> bool {
+    let Some(kind) = inj.decide(site) else {
+        return false;
+    };
+    tel.add(names::FAULTS_INJECTED, 1);
+    tel.event(
+        "fault.injected",
+        &[
+            ("site", TelValue::Str(site.name().into())),
+            ("kind", TelValue::Str(kind.name().into())),
+        ],
+    );
+    true
 }
 
 /// Runs `total_runs` executions of `entry(args)`, specializing in the
@@ -47,6 +184,8 @@ pub struct AdaptiveOutcome {
 /// `ready_after_runs` models the tool-flow latency in units of workload
 /// runs: the swap happens once specialization has finished *and* at least
 /// that many runs have completed (deterministic tests set it explicitly).
+///
+/// Equivalent to [`run_adaptive_with`] under [`AdaptiveOptions::default`].
 pub fn run_adaptive(
     ctx: &EvalContext,
     cache: &BitstreamCache,
@@ -56,6 +195,35 @@ pub fn run_adaptive(
     total_runs: u32,
     ready_after_runs: u32,
 ) -> Result<AdaptiveOutcome> {
+    run_adaptive_with(
+        ctx,
+        cache,
+        module,
+        entry,
+        args,
+        total_runs,
+        ready_after_runs,
+        &AdaptiveOptions::default(),
+    )
+}
+
+/// [`run_adaptive`] with explicit robustness options.
+///
+/// The session *always* terminates with correct workload results: a
+/// worker that dies, panics, stalls past the watchdog, or fails
+/// specialization degrades the session to software-only execution and
+/// records the [`DegradedReason`] instead of propagating the failure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_with(
+    ctx: &EvalContext,
+    cache: &BitstreamCache,
+    module: &Module,
+    entry: &str,
+    args: &[Value],
+    total_runs: u32,
+    ready_after_runs: u32,
+    options: &AdaptiveOptions,
+) -> Result<AdaptiveOutcome> {
     assert!(total_runs >= 2, "need at least profiling + one more run");
 
     let mut root = ctx.telemetry.span("runtime.adaptive");
@@ -64,55 +232,116 @@ pub fn run_adaptive(
     // Profiling run.
     let mut vm = Interpreter::new(module);
     vm.set_telemetry(tel.clone());
-    vm.run(entry, args)?;
+    let first = vm.run(entry, args)?;
     let profile: Profile = vm.take_profile();
     let first_cycles = profile.total_cycles();
+
+    // Worker-level faults are keyed by the session entry point so stall
+    // and death decisions are deterministic per (plan seed, workload).
+    let worker_key = {
+        let mut h = SigHasher::new();
+        h.write_str("runtime.worker");
+        h.write_str(entry);
+        h.finish()
+    };
+    let winj = options.faults.scope(worker_key, 1);
+    let cancel = Arc::new(AtomicBool::new(false));
 
     let (tx, rx) = sync_channel::<Result<(Module, Woolcano, SpecializeReport)>>(1);
 
     let outcome = std::thread::scope(|scope| -> Result<AdaptiveOutcome> {
+        // Whatever happens below — success, error propagation, even a
+        // panicking test assertion — the guard releases a stalled worker
+        // so the scope can join it.
+        let _release_worker = CancelGuard(Arc::clone(&cancel));
+
         // Background specialization worker. Its spans stitch under this
         // session's root span even though they run on another thread.
         let worker_module = module.clone();
         let worker_profile = profile;
         let worker_tel = tel.clone();
+        let worker_cancel = Arc::clone(&cancel);
+        let worker_inj = winj.clone();
+        let worker_faults = options.faults.clone();
+        let worker_retry = options.retry;
+        let worker_quarantine = Arc::clone(&options.quarantine);
+        let watchdog = options.watchdog;
         scope.spawn(move || {
             let wspan = worker_tel.span("runtime.worker");
             let wtel = worker_tel.under(&wspan);
-            let mut m = worker_module;
-            let machine = Woolcano::with_telemetry(512, wtel.clone());
-            let result = specialize(
-                &mut m,
-                &worker_profile,
-                &machine,
-                &ctx.estimator,
-                &ctx.db,
-                &ctx.netlists,
-                cache,
-                &SpecializeConfig {
-                    telemetry: wtel,
-                    ..SpecializeConfig::default()
-                },
-            )
-            .map(|report| (m, machine, report));
+            // An injected death: the worker exits without ever reporting,
+            // which the main loop sees as a disconnected channel.
+            if injected_worker_fault(&wtel, &worker_inj, FaultSite::WorkerDeath) {
+                return;
+            }
+            // An injected stall: the worker hangs (a wedged CAD tool)
+            // until the main loop abandons it and flips the cancel flag.
+            // The hard cap keeps a lost flag from hanging the scope.
+            if injected_worker_fault(&wtel, &worker_inj, FaultSite::WorkerStall) {
+                let cap = watchdog.saturating_mul(20).max(Duration::from_millis(100));
+                let start = std::time::Instant::now();
+                while !worker_cancel.load(Ordering::Relaxed) && start.elapsed() < cap {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return;
+            }
+            // A panic anywhere in the pipeline must not tear down the
+            // process: convert it into an error the main loop can handle.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut m = worker_module;
+                let machine = Woolcano::with_telemetry(512, wtel.clone());
+                specialize(
+                    &mut m,
+                    &worker_profile,
+                    &machine,
+                    &ctx.estimator,
+                    &ctx.db,
+                    &ctx.netlists,
+                    cache,
+                    &SpecializeConfig {
+                        telemetry: wtel.clone(),
+                        faults: worker_faults,
+                        retry: worker_retry,
+                        quarantine: worker_quarantine,
+                        ..SpecializeConfig::default()
+                    },
+                )
+                .map(|report| (m, machine, report))
+            }));
+            let message = match result {
+                Ok(r) => r,
+                Err(payload) => Err(Error::Arch(format!(
+                    "worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            };
             drop(wspan);
-            let _ = tx.send(result);
+            let _ = tx.send(message);
         });
 
         // Main loop: keep running the workload; swap when the worker is
-        // done and the latency gate has passed.
+        // done and the latency gate has passed. A degraded session stops
+        // waiting and keeps executing the unmodified binary.
         let mut specialized: Option<(Module, Woolcano, SpecializeReport)> = None;
+        let mut degraded: Option<DegradedReason> = None;
         let mut runs_before = 1u32; // the profiling run
         let mut runs_after = 0u32;
         let mut cycles_before = first_cycles;
         let mut cycles_after = 0u64;
+        let mut results: Vec<Option<Value>> = Vec::with_capacity(total_runs as usize);
+        results.push(first.ret);
 
         for run in 1..total_runs {
-            if specialized.is_none() && run >= ready_after_runs {
+            if specialized.is_none() && degraded.is_none() && run >= ready_after_runs {
                 // Block for the worker the first time we are allowed to
                 // swap; afterwards the specialized binary is in place.
-                specialized = Some(rx.recv().expect("worker alive")?);
-                tel.event("runtime.swap", &[("run", TelValue::U64(run as u64))]);
+                match wait_for_worker(&rx, options.watchdog) {
+                    Ok(t) => {
+                        specialized = Some(t);
+                        tel.event("runtime.swap", &[("run", TelValue::U64(run as u64))]);
+                    }
+                    Err(reason) => degraded = Some(note_degraded(&tel, reason)),
+                }
             }
             match &specialized {
                 Some((m, machine, _)) => {
@@ -122,6 +351,7 @@ pub fn run_adaptive(
                     let out = vm.run(entry, args)?;
                     cycles_after += out.cycles;
                     runs_after += 1;
+                    results.push(out.ret);
                 }
                 None => {
                     let mut vm = Interpreter::new(module);
@@ -129,14 +359,22 @@ pub fn run_adaptive(
                     let out = vm.run(entry, args)?;
                     cycles_before += out.cycles;
                     runs_before += 1;
+                    results.push(out.ret);
                 }
             }
         }
-        // If the gate never opened (all runs before readiness), join now so
-        // the report is still returned.
-        let (_, _, report) = match specialized {
-            Some(t) => t,
-            None => rx.recv().expect("worker alive")?,
+        // If the gate never opened (all runs before readiness), collect
+        // the report now — unless the session already degraded.
+        let report = match specialized {
+            Some((_, _, report)) => Some(report),
+            None if degraded.is_none() => match wait_for_worker(&rx, options.watchdog) {
+                Ok((_, _, report)) => Some(report),
+                Err(reason) => {
+                    degraded = Some(note_degraded(&tel, reason));
+                    None
+                }
+            },
+            None => None,
         };
 
         let avg_before = cycles_before / runs_before.max(1) as u64;
@@ -151,13 +389,21 @@ pub fn run_adaptive(
             cycles_before: avg_before,
             cycles_after: avg_after,
             observed_speedup: avg_before as f64 / avg_after.max(1) as f64,
-            overhead: report.sum_time,
+            overhead: report
+                .as_ref()
+                .map(|r| r.sum_time + r.fault_time())
+                .unwrap_or(SimTime::ZERO),
             report,
+            degraded,
+            results,
         })
     })?;
 
     root.field("runs_before", TelValue::U64(outcome.runs_before as u64));
     root.field("runs_after", TelValue::U64(outcome.runs_after as u64));
+    if let Some(reason) = &outcome.degraded {
+        root.field("degraded", TelValue::Str(format!("{reason:?}")));
+    }
     root.set_sim_time(outcome.overhead);
     drop(root);
     Ok(outcome)
@@ -167,6 +413,7 @@ pub fn run_adaptive(
 mod tests {
     use super::*;
     use crate::testfix::hot_module;
+    use jitise_faults::FaultPlan;
 
     #[test]
     fn adapts_and_speeds_up() {
@@ -181,7 +428,10 @@ mod tests {
             out.observed_speedup
         );
         assert!(out.overhead > SimTime::ZERO);
-        assert!(!out.report.candidates.is_empty());
+        assert!(out.degraded.is_none());
+        assert!(!out.report.as_ref().unwrap().candidates.is_empty());
+        assert_eq!(out.results.len(), 6);
+        assert!(out.results.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]
@@ -195,7 +445,8 @@ mod tests {
         assert_eq!(out.runs_after, 0);
         assert_eq!(out.runs_before, 3);
         assert!((out.observed_speedup - 1.0).abs() < 1e-9);
-        assert!(!out.report.candidates.is_empty());
+        assert!(out.degraded.is_none());
+        assert!(!out.report.as_ref().unwrap().candidates.is_empty());
     }
 
     #[test]
@@ -204,13 +455,83 @@ mod tests {
         let cache = BitstreamCache::new();
         let m = hot_module();
         let first = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2).unwrap();
-        assert_eq!(first.report.cache_hits, 0);
+        assert_eq!(first.report.as_ref().unwrap().cache_hits, 0);
         let second = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2).unwrap();
+        let report = second.report.as_ref().unwrap();
         assert_eq!(
-            second.report.cache_hits,
-            second.report.candidates.len(),
+            report.cache_hits,
+            report.candidates.len(),
             "second session must be served from the bitstream cache"
         );
         assert_eq!(second.overhead, SimTime::ZERO);
+    }
+
+    fn degraded_options(site: FaultSite, watchdog_ms: u64) -> AdaptiveOptions {
+        AdaptiveOptions {
+            watchdog: Duration::from_millis(watchdog_ms),
+            faults: FaultInjector::from_plan(FaultPlan::none(23).with_rate(site, 1.0)),
+            ..AdaptiveOptions::default()
+        }
+    }
+
+    fn software_results(m: &Module, n: i64, runs: usize) -> Vec<Option<Value>> {
+        let mut vm = Interpreter::new(m);
+        let want = vm.run("main", &[Value::I(n)]).unwrap().ret;
+        vec![want; runs]
+    }
+
+    #[test]
+    fn dead_worker_degrades_to_software_only() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        let opts = degraded_options(FaultSite::WorkerDeath, 2_000);
+        let out =
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(800)], 4, 2, &opts).unwrap();
+        assert_eq!(out.degraded, Some(DegradedReason::WorkerDisconnected));
+        assert!(out.report.is_none());
+        assert_eq!(out.runs_after, 0);
+        assert_eq!(out.runs_before, 4);
+        assert!((out.observed_speedup - 1.0).abs() < 1e-9);
+        assert_eq!(out.overhead, SimTime::ZERO);
+        assert_eq!(out.results, software_results(&m, 800, 4));
+    }
+
+    #[test]
+    fn stalled_worker_is_abandoned_by_the_watchdog() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        let opts = degraded_options(FaultSite::WorkerStall, 200);
+        let start = std::time::Instant::now();
+        let out =
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(800)], 4, 2, &opts).unwrap();
+        assert_eq!(out.degraded, Some(DegradedReason::WorkerStalled));
+        assert!(out.report.is_none());
+        assert_eq!(out.runs_before, 4);
+        assert_eq!(out.results, software_results(&m, 800, 4));
+        // One watchdog expiry plus the joined (cancelled) worker — never
+        // the stall cap.
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn degraded_session_matches_healthy_results() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        let healthy = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(600)], 4, 2).unwrap();
+        let cache2 = BitstreamCache::new();
+        let opts = degraded_options(FaultSite::WorkerDeath, 2_000);
+        let degraded =
+            run_adaptive_with(&ctx, &cache2, &m, "main", &[Value::I(600)], 4, 2, &opts).unwrap();
+        assert_eq!(
+            healthy.results, degraded.results,
+            "degradation must never change workload answers"
+        );
     }
 }

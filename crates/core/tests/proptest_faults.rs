@@ -1,0 +1,127 @@
+//! Property tests for the fault-injection contract (DESIGN.md §9):
+//!
+//! 1. a **zero-rate** fault plan is observationally transparent — the
+//!    pipeline produces byte-identical reports and patched modules with
+//!    and without the injector wired in;
+//! 2. under **any** seeded fault plan, the adaptive runtime terminates
+//!    and returns bit-identical workload results to plain software
+//!    execution — faults may cost time, never correctness.
+
+use jitise_core::{
+    run_adaptive_with, specialize, AdaptiveOptions, BitstreamCache, EvalContext, SpecializeConfig,
+    SpecializeReport,
+};
+use jitise_faults::{FaultInjector, FaultPlan};
+use jitise_ir::{FunctionBuilder, Module, Operand as Op, Type};
+use jitise_pivpav::{CircuitDb, NetlistCache, PivPavEstimator};
+use jitise_vm::{Interpreter, Profile, Value};
+use jitise_woolcano::Woolcano;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A module whose hot loop body is a chain of ops drawn from the seed.
+fn module_of(ops: &[u8]) -> Module {
+    let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+    let cell = b.alloca(4);
+    b.store(Op::ci32(1), cell);
+    b.counted_loop("i", Op::ci32(0), Op::Arg(0), |b, i| {
+        let mut v = b.load(Type::I32, cell);
+        for (k, op) in ops.iter().enumerate() {
+            let c = Op::ci32(k as i32 * 7 + 3);
+            v = match op % 5 {
+                0 => b.add(v, i),
+                1 => b.mul(v, c),
+                2 => b.xor(v, c),
+                3 => b.sub(v, i),
+                _ => {
+                    let t = b.mul(v, i);
+                    b.add(t, c)
+                }
+            };
+        }
+        b.store(v, cell);
+    });
+    let out = b.load(Type::I32, cell);
+    b.ret(out);
+    let mut m = Module::new("prop");
+    m.add_func(b.finish());
+    m
+}
+
+fn profile_of(m: &Module, n: i64) -> Profile {
+    let mut vm = Interpreter::new(m);
+    vm.run("main", &[Value::I(n)]).unwrap();
+    vm.take_profile()
+}
+
+/// One specialization on fresh caches, returning the patched module and
+/// report.
+fn specialize_once(m: &Module, n: i64, faults: FaultInjector) -> (Module, SpecializeReport) {
+    let db = CircuitDb::build();
+    let netlists = NetlistCache::new();
+    let bitstreams = BitstreamCache::new();
+    let estimator = PivPavEstimator::new();
+    let profile = profile_of(m, n);
+    let machine = Woolcano::new(64);
+    let mut patched = m.clone();
+    let report = specialize(
+        &mut patched,
+        &profile,
+        &machine,
+        &estimator,
+        &db,
+        &netlists,
+        &bitstreams,
+        &SpecializeConfig {
+            faults,
+            ..SpecializeConfig::default()
+        },
+    )
+    .unwrap();
+    (patched, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn zero_rate_plan_is_observationally_transparent(
+        ops in prop::collection::vec(0u8..5, 2..6),
+        n in 500i64..2500,
+        seed in any::<u64>(),
+    ) {
+        let m = module_of(&ops);
+        let (p_off, r_off) = specialize_once(&m, n, FaultInjector::disabled());
+        let injector = FaultInjector::from_plan(FaultPlan::uniform(0.0, seed));
+        let (p_on, r_on) = specialize_once(&m, n, injector);
+        prop_assert_eq!(&p_off, &p_on, "patched modules must be identical");
+        prop_assert_eq!(r_off.fingerprint(), r_on.fingerprint());
+    }
+
+    #[test]
+    fn any_fault_plan_preserves_workload_results(
+        ops in prop::collection::vec(0u8..5, 2..6),
+        n in 500i64..1500,
+        seed in any::<u64>(),
+        rate in 0.0f64..1.0,
+    ) {
+        let m = module_of(&ops);
+        let mut vm = Interpreter::new(&m);
+        let want = vm.run("main", &[Value::I(n)]).unwrap().ret;
+
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let options = AdaptiveOptions {
+            watchdog: Duration::from_millis(300),
+            faults: FaultInjector::from_plan(FaultPlan::uniform(rate, seed)),
+            ..AdaptiveOptions::default()
+        };
+        let out = run_adaptive_with(
+            &ctx, &cache, &m, "main", &[Value::I(n)], 3, 2, &options,
+        ).unwrap();
+        prop_assert_eq!(out.results.len(), 3);
+        for got in &out.results {
+            prop_assert_eq!(got, &want, "fault plan changed a workload answer");
+        }
+    }
+}

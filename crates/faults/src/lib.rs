@@ -1,0 +1,491 @@
+//! # jitise-faults — deterministic fault injection for the ASIP-SP pipeline
+//!
+//! The paper's feasibility argument hinges on the JIT system surviving a
+//! slow *or unreliable* runtime CAD flow: whenever specialization cannot
+//! complete, the application must keep running on the plain PowerPC. This
+//! crate provides the adversary that exercises that property — a seeded,
+//! fully deterministic fault injector — plus the two policy pieces the
+//! pipeline uses to absorb the faults it throws:
+//!
+//! * [`FaultPlan`] / [`FaultInjector`] — decide, as a *pure function* of
+//!   `(seed, site, key, attempt)`, whether a fault fires at a given
+//!   [`FaultSite`]. Determinism is total: no global state, no call-order
+//!   dependence, identical decisions across threads and re-runs. A fault
+//!   is either [`FaultKind::Transient`] (clears after a bounded number of
+//!   retry attempts) or [`FaultKind::Persistent`] (fires on every attempt,
+//!   forcing the quarantine path).
+//! * [`RetryPolicy`] — bounded retries with exponential backoff counted in
+//!   simulated time (the tool re-run a real deployment would wait for).
+//! * [`Quarantine`] — a thread-safe set of candidate signatures whose
+//!   implementation failed persistently; the pipeline skips them outright
+//!   instead of burning tool time on known-bad candidates.
+//!
+//! The disabled injector ([`FaultInjector::disabled`]) is a no-op handle
+//! in the same style as `jitise_telemetry::Telemetry::disabled()`: one
+//! `Option` check per call site, no allocation, and — the bar enforced by
+//! the `chaos` binary — a zero-rate plan is *observationally transparent*
+//! (byte-identical reports to a run without any injector).
+
+use jitise_base::hash::SigHasher;
+use jitise_base::sync::RwLock;
+use jitise_base::SimTime;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where in the pipeline a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Synthesis front-end (syntax check + XST) of the CAD flow.
+    CadSynthesis,
+    /// The map (slice packing) stage.
+    CadMap,
+    /// The placer.
+    CadPlace,
+    /// The router.
+    CadRoute,
+    /// Static timing analysis.
+    CadTiming,
+    /// ICAP bitstream transfer — fires as a bit-flip that must trip the
+    /// reconfiguration controller's CRC check.
+    IcapTransfer,
+    /// A bitstream-cache entry read back corrupted (poisoned entry).
+    CacheEntry,
+    /// The background specialization worker hangs.
+    WorkerStall,
+    /// The background specialization worker dies without reporting.
+    WorkerDeath,
+}
+
+impl FaultSite {
+    /// Every site, in stable order (indexes [`FaultPlan`] rate storage).
+    pub const ALL: [FaultSite; 9] = [
+        FaultSite::CadSynthesis,
+        FaultSite::CadMap,
+        FaultSite::CadPlace,
+        FaultSite::CadRoute,
+        FaultSite::CadTiming,
+        FaultSite::IcapTransfer,
+        FaultSite::CacheEntry,
+        FaultSite::WorkerStall,
+        FaultSite::WorkerDeath,
+    ];
+
+    /// Stable short name (telemetry fields, error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::CadSynthesis => "cad.synthesis",
+            FaultSite::CadMap => "cad.map",
+            FaultSite::CadPlace => "cad.place",
+            FaultSite::CadRoute => "cad.route",
+            FaultSite::CadTiming => "cad.timing",
+            FaultSite::IcapTransfer => "icap.transfer",
+            FaultSite::CacheEntry => "cache.entry",
+            FaultSite::WorkerStall => "worker.stall",
+            FaultSite::WorkerDeath => "worker.death",
+        }
+    }
+
+    fn index(self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("site in ALL")
+    }
+}
+
+/// How long a fault lasts across retry attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Clears after a bounded number of attempts — retry succeeds.
+    Transient,
+    /// Fires on every attempt — retries are futile, quarantine the key.
+    Persistent,
+}
+
+impl FaultKind {
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Persistent => "persistent",
+        }
+    }
+}
+
+/// A seeded description of which faults fire where.
+///
+/// Decisions are pure functions of `(seed, site, key, attempt)`; two plans
+/// with the same seed and rates make identical decisions regardless of
+/// call order, thread, or process.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Decision seed.
+    pub seed: u64,
+    /// Per-site fire probability in `[0, 1]`.
+    rates: [f64; FaultSite::ALL.len()],
+    /// Fraction of fired faults that are persistent (default 0.3).
+    pub persistent_frac: f64,
+    /// Maximum attempts a transient fault keeps failing (default 2).
+    pub max_transient_failures: u32,
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero (injects nothing).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [0.0; FaultSite::ALL.len()],
+            persistent_frac: 0.3,
+            max_transient_failures: 2,
+        }
+    }
+
+    /// A plan with the same fire probability at every site.
+    pub fn uniform(rate: f64, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none(seed);
+        for r in plan.rates.iter_mut() {
+            *r = rate.clamp(0.0, 1.0);
+        }
+        plan
+    }
+
+    /// Sets one site's rate (builder style).
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
+        self.rates[site.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The fire probability at `site`.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        self.rates[site.index()]
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` from the plan seed and a
+    /// salt/site/key triple.
+    fn unit(&self, salt: u64, site: FaultSite, key: u64) -> f64 {
+        let mut h = SigHasher::new();
+        h.write_u64(self.seed)
+            .write_u64(salt)
+            .write_u64(site.index() as u64)
+            .write_u64(key);
+        (h.finish() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Does a fault fire at `site` for identity `key` on `attempt`
+    /// (1-based)? Persistent faults fire on every attempt; transient
+    /// faults fail the first `1..=max_transient_failures` attempts (the
+    /// exact count drawn deterministically per key) and then clear.
+    pub fn decide(&self, site: FaultSite, key: u64, attempt: u32) -> Option<FaultKind> {
+        let rate = self.rate(site);
+        if rate <= 0.0 || self.unit(1, site, key) >= rate {
+            return None;
+        }
+        if self.unit(2, site, key) < self.persistent_frac {
+            return Some(FaultKind::Persistent);
+        }
+        let max = self.max_transient_failures.max(1);
+        let fails = 1 + (self.unit(3, site, key) * max as f64) as u32;
+        if attempt <= fails.min(max) {
+            Some(FaultKind::Transient)
+        } else {
+            None
+        }
+    }
+}
+
+/// Cheap-clone injection handle threaded through the pipeline.
+///
+/// Like `Telemetry`, a handle is either *enabled* (shares one plan with
+/// all clones) or *disabled* (a pure no-op). [`FaultInjector::scope`]
+/// binds the key/attempt pair so that deep call sites (the CAD flow) only
+/// name the [`FaultSite`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: Option<Arc<FaultPlan>>,
+    key: u64,
+    attempt: u32,
+}
+
+impl FaultInjector {
+    /// The no-op handle: every decision is `None`.
+    pub fn disabled() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// An injector executing `plan`.
+    pub fn from_plan(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan: Some(Arc::new(plan)),
+            key: 0,
+            attempt: 1,
+        }
+    }
+
+    /// Whether this handle can ever fire.
+    pub fn is_enabled(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// A handle bound to `(key, attempt)` — the identity decisions are
+    /// keyed by (candidate signature, retry attempt number, 1-based).
+    pub fn scope(&self, key: u64, attempt: u32) -> FaultInjector {
+        FaultInjector {
+            plan: self.plan.clone(),
+            key,
+            attempt,
+        }
+    }
+
+    /// Does a fault fire at `site` under this handle's scope?
+    pub fn decide(&self, site: FaultSite) -> Option<FaultKind> {
+        self.plan
+            .as_ref()
+            .and_then(|p| p.decide(site, self.key, self.attempt))
+    }
+
+    /// If a fault fires at `site`, flips one deterministic bit in `bytes`
+    /// and reports the kind. Empty input still counts as fired (the
+    /// corruption then manifests as a structural decode error upstream).
+    pub fn corrupt(&self, site: FaultSite, bytes: &mut [u8]) -> Option<FaultKind> {
+        let kind = self.decide(site)?;
+        if let Some(plan) = &self.plan {
+            if !bytes.is_empty() {
+                let mut h = SigHasher::new();
+                h.write_u64(plan.seed)
+                    .write_u64(4)
+                    .write_u64(site.index() as u64)
+                    .write_u64(self.key)
+                    .write_u64(self.attempt as u64);
+                let bit = h.finish() as usize % (bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        Some(kind)
+    }
+}
+
+/// Bounded retry with exponential backoff in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per candidate, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Simulated wait before the first retry.
+    pub backoff_base: SimTime,
+    /// Backoff multiplier per further retry.
+    pub backoff_factor: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 5 s base backoff, doubling — small next to the
+    /// ~230 s a full CAD run costs, so retrying a transient tool crash is
+    /// always cheaper than regenerating from scratch later.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: SimTime::from_secs(5),
+            backoff_factor: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated backoff before retry number `retry` (1-based):
+    /// `base * factor^(retry-1)`, saturating.
+    pub fn backoff_for(&self, retry: u32) -> SimTime {
+        let factor = (self.backoff_factor.max(1) as u64).saturating_pow(retry.saturating_sub(1));
+        SimTime::from_nanos(self.backoff_base.as_nanos().saturating_mul(factor))
+    }
+}
+
+/// Thread-safe set of candidate signatures that failed persistently.
+///
+/// Shared across specialization sessions (an `Arc<Quarantine>` in the
+/// pipeline config) so a signature that exhausted its retries is never
+/// re-attempted — the candidate simply stays in software.
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    inner: RwLock<HashMap<u64, String>>,
+}
+
+impl Quarantine {
+    /// An empty quarantine.
+    pub fn new() -> Quarantine {
+        Quarantine::default()
+    }
+
+    /// Quarantines `signature` with a reason. Returns `true` if the
+    /// signature was newly inserted.
+    pub fn insert(&self, signature: u64, reason: &str) -> bool {
+        let mut map = self.inner.write();
+        if map.contains_key(&signature) {
+            return false;
+        }
+        map.insert(signature, reason.to_string());
+        true
+    }
+
+    /// Is `signature` quarantined?
+    pub fn contains(&self, signature: u64) -> bool {
+        self.inner.read().contains_key(&signature)
+    }
+
+    /// The recorded reason for a quarantined signature.
+    pub fn reason(&self, signature: u64) -> Option<String> {
+        self.inner.read().get(&signature).cloned()
+    }
+
+    /// Number of quarantined signatures.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        for site in FaultSite::ALL {
+            assert_eq!(inj.decide(site), None);
+            let mut bytes = vec![0u8; 16];
+            assert_eq!(inj.corrupt(site, &mut bytes), None);
+            assert_eq!(bytes, vec![0u8; 16]);
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_never_fires() {
+        let plan = FaultPlan::uniform(0.0, 42);
+        for site in FaultSite::ALL {
+            for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+                for attempt in 1..5 {
+                    assert_eq!(plan.decide(site, key, attempt), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_rate_plan_always_fires() {
+        let plan = FaultPlan::uniform(1.0, 7);
+        for site in FaultSite::ALL {
+            assert!(plan.decide(site, 99, 1).is_some());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let a = FaultPlan::uniform(0.5, 123);
+        let b = FaultPlan::uniform(0.5, 123);
+        // Query b in reverse order: decisions must still agree pointwise.
+        let keys: Vec<u64> = (0..200).map(|k| k * 7919).collect();
+        let from_a: Vec<_> = keys
+            .iter()
+            .map(|&k| a.decide(FaultSite::CadMap, k, 1))
+            .collect();
+        let from_b: Vec<_> = keys
+            .iter()
+            .rev()
+            .map(|&k| b.decide(FaultSite::CadMap, k, 1))
+            .collect();
+        assert_eq!(
+            from_a,
+            from_b.into_iter().rev().collect::<Vec<_>>(),
+            "same plan, same decisions, any order"
+        );
+    }
+
+    #[test]
+    fn persistent_faults_fire_on_every_attempt() {
+        let plan = FaultPlan::uniform(1.0, 5).with_rate(FaultSite::CadMap, 1.0);
+        let mut saw_persistent = false;
+        for key in 0..500u64 {
+            if plan.decide(FaultSite::CadMap, key, 1) == Some(FaultKind::Persistent) {
+                saw_persistent = true;
+                for attempt in 1..20 {
+                    assert_eq!(
+                        plan.decide(FaultSite::CadMap, key, attempt),
+                        Some(FaultKind::Persistent)
+                    );
+                }
+            }
+        }
+        assert!(saw_persistent, "with rate 1.0 some keys must be persistent");
+    }
+
+    #[test]
+    fn transient_faults_clear_within_the_bound() {
+        let plan = FaultPlan::uniform(1.0, 11);
+        let bound = plan.max_transient_failures;
+        let mut saw_transient = false;
+        for key in 0..500u64 {
+            if plan.decide(FaultSite::CadRoute, key, 1) == Some(FaultKind::Transient) {
+                saw_transient = true;
+                assert_eq!(
+                    plan.decide(FaultSite::CadRoute, key, bound + 1),
+                    None,
+                    "transient fault must clear after at most {bound} attempts"
+                );
+            }
+        }
+        assert!(saw_transient);
+    }
+
+    #[test]
+    fn rates_scale_fire_frequency() {
+        let lo = FaultPlan::uniform(0.1, 77);
+        let hi = FaultPlan::uniform(0.9, 77);
+        let count = |p: &FaultPlan| {
+            (0..1000u64)
+                .filter(|&k| p.decide(FaultSite::IcapTransfer, k, 1).is_some())
+                .count()
+        };
+        let (nlo, nhi) = (count(&lo), count(&hi));
+        assert!(nlo < nhi, "rate 0.1 fired {nlo}, rate 0.9 fired {nhi}");
+        assert!((50..200).contains(&nlo), "~10% of 1000, got {nlo}");
+        assert!((800..1000).contains(&nhi), "~90% of 1000, got {nhi}");
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit_deterministically() {
+        let inj = FaultInjector::from_plan(FaultPlan::uniform(1.0, 3)).scope(9, 1);
+        let mut a = vec![0xaau8; 32];
+        let mut b = a.clone();
+        assert!(inj.corrupt(FaultSite::IcapTransfer, &mut a).is_some());
+        assert!(inj.corrupt(FaultSite::IcapTransfer, &mut b).is_some());
+        assert_eq!(a, b, "same scope flips the same bit");
+        let flipped: u32 = a
+            .iter()
+            .zip([0xaau8; 32].iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(1), SimTime::from_secs(5));
+        assert_eq!(p.backoff_for(2), SimTime::from_secs(10));
+        assert_eq!(p.backoff_for(3), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn quarantine_inserts_once() {
+        let q = Quarantine::new();
+        assert!(q.is_empty());
+        assert!(q.insert(42, "cad: injected"));
+        assert!(!q.insert(42, "again"));
+        assert!(q.contains(42));
+        assert!(!q.contains(43));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.reason(42).as_deref(), Some("cad: injected"));
+    }
+}

@@ -105,6 +105,19 @@ pub mod names {
     pub const ICAP_LOADS: &str = "icap.loads";
     /// CIs evicted from Woolcano slots to make room.
     pub const ICAP_EVICTIONS: &str = "icap.evictions";
+    /// Faults fired by the deterministic injector (every firing counts,
+    /// including repeat firings of one persistent fault across retries).
+    pub const FAULTS_INJECTED: &str = "faults.injected";
+    /// Candidate implementation retries (attempts beyond the first).
+    pub const PIPELINE_RETRIES: &str = "pipeline.retries";
+    /// Candidates whose implementation failed (including quarantine skips).
+    pub const CANDIDATES_FAILED: &str = "pipeline.candidates_failed";
+    /// Candidates newly quarantined after exhausting their retry budget.
+    pub const CANDIDATES_QUARANTINED: &str = "pipeline.candidates_quarantined";
+    /// Bitstream-cache entries dropped because they failed CRC on read.
+    pub const BITSTREAM_CACHE_POISONED: &str = "bitstream_cache.poisoned";
+    /// Adaptive sessions degraded to software-only execution.
+    pub const RUNTIME_DEGRADED: &str = "runtime.degraded";
 }
 
 pub(crate) struct Inner {

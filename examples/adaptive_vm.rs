@@ -34,8 +34,8 @@ fn main() {
         "observed speedup {:.2}x, specialization overhead {} ({} candidates, {} cache hits)",
         out.observed_speedup,
         out.overhead,
-        out.report.candidates.len(),
-        out.report.cache_hits
+        out.report.as_ref().map_or(0, |r| r.candidates.len()),
+        out.report.as_ref().map_or(0, |r| r.cache_hits)
     );
 
     // Session 2: every candidate's bitstream is already cached.
@@ -46,8 +46,8 @@ fn main() {
         "observed speedup {:.2}x, specialization overhead {} ({} of {} candidates from cache)",
         out2.observed_speedup,
         out2.overhead,
-        out2.report.cache_hits,
-        out2.report.candidates.len()
+        out2.report.as_ref().map_or(0, |r| r.cache_hits),
+        out2.report.as_ref().map_or(0, |r| r.candidates.len())
     );
     let (hits, misses) = cache.stats();
     println!(
