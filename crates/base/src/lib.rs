@@ -19,9 +19,13 @@
 //!   cache format (hand-rolled to avoid a serde format dependency).
 //! * [`sync`] — poison-free `Mutex`/`RwLock` wrappers with `parking_lot`
 //!   ergonomics, so the workspace builds without network access.
+//! * [`par`] — an index-ordered parallel map used by the multi-worker CAD
+//!   scheduler: results return in input order regardless of completion
+//!   order.
 
 pub mod codec;
 pub mod hash;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod sync;

@@ -1,0 +1,100 @@
+//! Index-ordered parallel map over a shared slice.
+//!
+//! The CAD scheduler in `jitise-core` fans independent candidate
+//! implementations out to a small pool of OS threads, but every consumer
+//! of the results (report rows, telemetry finalization, IR patching)
+//! requires *selection order* — the order items appear in the input —
+//! regardless of which worker finished first. [`parallel_map_indexed`]
+//! provides exactly that contract: results come back indexed by input
+//! position, never by completion time, so the caller cannot observe the
+//! scheduling interleaving through the return value.
+
+use crate::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item of `items` on up to `workers` OS threads and
+/// returns the results **in input order**.
+///
+/// Work is handed out by an atomic index, so threads stay busy while long
+/// and short items mix; each result is stored at its input position. With
+/// `workers <= 1` (or fewer than two items) no thread is spawned and the
+/// map runs sequentially on the caller — the two paths are observationally
+/// identical for any pure `f`.
+///
+/// A panic inside `f` propagates to the caller once all threads have
+/// finished (via `std::thread::scope`).
+pub fn parallel_map_indexed<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = workers.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(f(i, &items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn maps_in_input_order_sequentially() {
+        let items = vec![3u64, 1, 4, 1, 5];
+        let out = parallel_map_indexed(1, &items, |i, &v| (i, v * 10));
+        assert_eq!(out, vec![(0, 30), (1, 10), (2, 40), (3, 10), (4, 50)]);
+    }
+
+    #[test]
+    fn shuffled_completion_order_does_not_reorder_results() {
+        // Earlier items sleep longest, so completion order is roughly the
+        // reverse of input order — results must still come back by index.
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map_indexed(4, &items, |i, &v| {
+            assert_eq!(i, v);
+            std::thread::sleep(Duration::from_millis(((8 - v) * 3) as u64));
+            v * 2
+        });
+        assert_eq!(out, (0..8).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let seq = parallel_map_indexed(1, &items, |i, &v| v.wrapping_mul(i as u64 + 7));
+        for workers in [2, 4, 16, 64] {
+            let par = parallel_map_indexed(workers, &items, |i, &v| v.wrapping_mul(i as u64 + 7));
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_take_the_sequential_path() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map_indexed(8, &none, |_, &v| v).is_empty());
+        assert_eq!(parallel_map_indexed(8, &[9u32], |i, &v| v + i as u32), [9]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Worker-lane sweep for the multi-worker CAD scheduler (DESIGN.md §10).
+//!
+//! Sweeps `cad_workers` over {1, 2, 4, 8} per application and reports the
+//! charged tool time (`cpu`, invariant), the per-lane critical path
+//! (`makespan`), the resulting schedule speedup, and the frequency-scaled
+//! break-even time that amortizes the makespan. The report fingerprint is
+//! checked to be identical across lane counts — the sweep doubles as a
+//! determinism smoke test.
+//!
+//! Usage: `cargo run --release -p jitise-bench --bin workers [app ...]`
+//! (defaults to the embedded benchmark set).
+
+use jitise_base::table::{fnum, TextTable};
+use jitise_core::{evaluate_app, EvalContext};
+
+const LANES: &[usize] = &[1, 2, 4, 8];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apps: Vec<String> = if args.is_empty() {
+        ["adpcm", "fft", "sor", "whetstone"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+
+    println!("=== CAD worker-lane sweep: makespan and break-even vs cad_workers ===\n");
+    for name in &apps {
+        let Some(_) = jitise_apps::App::build(name) else {
+            eprintln!("unknown app `{name}`, skipping");
+            continue;
+        };
+        let mut t = TextTable::new(vec![
+            "workers",
+            "cpu[min]",
+            "makespan[min]",
+            "speedup",
+            "break-even",
+        ]);
+        let mut fingerprint: Option<String> = None;
+        let mut seq_makespan = None;
+        for &lanes in LANES {
+            // A fresh context per point: shared caches across points would
+            // turn later sweeps into all-hit runs and zero their makespan.
+            let mut ctx = EvalContext::new();
+            ctx.cad_workers = lanes;
+            let app = jitise_apps::App::build(name).expect("checked above");
+            let ev = evaluate_app(&ctx, &app);
+            let fp = ev.report.fingerprint();
+            match &fingerprint {
+                None => fingerprint = Some(fp),
+                Some(first) => assert_eq!(
+                    *first, fp,
+                    "{name}: report must be identical for any worker count"
+                ),
+            }
+            let seq = *seq_makespan.get_or_insert(ev.report.makespan);
+            let speedup = if ev.report.makespan.as_nanos() > 0 {
+                seq.as_nanos() as f64 / ev.report.makespan.as_nanos() as f64
+            } else {
+                1.0
+            };
+            t.row(vec![
+                lanes.to_string(),
+                fnum(ev.report.cpu_time.as_secs_f64() / 60.0, 1),
+                fnum(ev.report.makespan.as_secs_f64() / 60.0, 1),
+                fnum(speedup, 2),
+                ev.break_even
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "never".into()),
+            ]);
+        }
+        println!("--- {name} (fingerprint identical across lane counts) ---");
+        println!("{}", t.render());
+    }
+}

@@ -61,21 +61,26 @@ pub fn break_even_scaled(inp: BreakEvenInputs) -> Option<SimTime> {
     let live_time = inp.live_time.as_nanos() as f64;
 
     if const_saved >= overhead {
-        // Amortized within the constant part of the very first run.
+        // Amortized within the constant part of the very first run. Round
+        // *up*: truncation would report a time at which the accumulated
+        // savings still fall a fraction of a nanosecond short of the
+        // overhead, i.e. a break-even earlier than true amortization.
         let frac = if const_saved > 0.0 {
             overhead / const_saved
         } else {
             0.0
         };
-        return Some(SimTime::from_nanos((const_time * frac) as u64));
+        return Some(SimTime::from_nanos((const_time * frac).ceil() as u64));
     }
     if live_saved <= 0.0 {
         return None;
     }
     // Scale alpha at which const_saved + alpha * live_saved == overhead.
+    // Ceil for the same reason as above: never report an execution time
+    // shorter than the point where savings actually cover the overhead.
     let alpha = (overhead - const_saved) / live_saved;
     let total = const_time + alpha * live_time;
-    Some(SimTime::from_nanos(total as u64))
+    Some(SimTime::from_nanos(total.ceil() as u64))
 }
 
 #[cfg(test)]
@@ -162,6 +167,59 @@ mod tests {
         .is_none());
     }
 
+    /// Savings accumulated after running for `t`: the constant section
+    /// pays out pro rata over `const_time`, then live savings scale with
+    /// the live time executed. Integer arithmetic (u128), so the check
+    /// cannot inherit the float rounding it is guarding against.
+    fn savings_at(inp: &BreakEvenInputs, t: SimTime) -> u128 {
+        let t = t.as_nanos() as u128;
+        let ct = inp.const_time.as_nanos() as u128;
+        if t <= ct || inp.live_time == SimTime::ZERO {
+            if ct == 0 {
+                return inp.const_saved.as_nanos() as u128;
+            }
+            return inp.const_saved.as_nanos() as u128 * t / ct;
+        }
+        inp.const_saved.as_nanos() as u128
+            + inp.live_saved.as_nanos() as u128 * (t - ct) / inp.live_time.as_nanos() as u128
+    }
+
+    #[test]
+    fn const_branch_rounds_up_not_down() {
+        // frac = 1/3 of a 10 s constant section: 3.333… s. Truncation
+        // reported 3_333_333_333 ns — one nanosecond *before* savings
+        // cover the overhead.
+        let inp = BreakEvenInputs {
+            const_time: s(10),
+            live_time: s(20),
+            const_saved: s(3),
+            live_saved: s(4),
+            overhead: s(1),
+        };
+        let t = break_even_scaled(inp).unwrap();
+        assert_eq!(t, SimTime::from_nanos(3_333_333_334));
+        assert!(
+            savings_at(&inp, t) >= inp.overhead.as_nanos() as u128,
+            "at the reported break-even the overhead must be covered"
+        );
+    }
+
+    #[test]
+    fn live_branch_rounds_up_not_down() {
+        // alpha = 1/3 over a 1 s live section: total 1.333… s; truncation
+        // landed short of amortization.
+        let inp = BreakEvenInputs {
+            const_time: s(1),
+            live_time: s(1),
+            const_saved: SimTime::ZERO,
+            live_saved: s(3),
+            overhead: s(1),
+        };
+        let t = break_even_scaled(inp).unwrap();
+        assert_eq!(t, SimTime::from_nanos(1_333_333_334));
+        assert!(savings_at(&inp, t) >= inp.overhead.as_nanos() as u128);
+    }
+
     #[test]
     fn paper_scale_example() {
         // Embedded-style numbers: ~50 min overhead, ~23 s VM run with 5x
@@ -181,5 +239,39 @@ mod tests {
             (0.25..6.0).contains(&hours),
             "embedded break-even should be order-hours, got {hours}"
         );
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// More overhead can never mean an *earlier* break-even, across
+        /// both model branches and the boundary between them.
+        #[test]
+        fn scaled_break_even_monotone_in_overhead(
+            const_time in 0u64..1_000_000_000_000,
+            live_time in 1u64..1_000_000_000_000,
+            const_saved in 0u64..1_000_000_000_000,
+            live_saved in 0u64..1_000_000_000_000,
+            overhead in 0u64..1_000_000_000_000,
+            extra in 0u64..1_000_000_000_000,
+        ) {
+            let inputs = |overhead: u64| BreakEvenInputs {
+                const_time: SimTime::from_nanos(const_time),
+                live_time: SimTime::from_nanos(live_time),
+                const_saved: SimTime::from_nanos(const_saved),
+                live_saved: SimTime::from_nanos(live_saved),
+                overhead: SimTime::from_nanos(overhead),
+            };
+            let lo = break_even_scaled(inputs(overhead));
+            let hi = break_even_scaled(inputs(overhead.saturating_add(extra)));
+            if let Some(hi_t) = hi {
+                let lo_t = lo.expect("if the larger overhead amortizes, the smaller must too");
+                prop_assert!(
+                    lo_t <= hi_t,
+                    "overhead {overhead} -> {lo_t}, overhead {} -> {hi_t}",
+                    overhead.saturating_add(extra)
+                );
+            }
+        }
     }
 }

@@ -36,6 +36,10 @@ pub struct EvalContext {
     /// Observability handle propagated into every specialization run this
     /// context drives (disabled by default).
     pub telemetry: Telemetry,
+    /// CAD worker lanes for every specialization run this context drives
+    /// (default 1 = the sequential pipeline). Only the report's `makespan`
+    /// — and hence the break-even overhead — depends on this.
+    pub cad_workers: usize,
 }
 
 impl Default for EvalContext {
@@ -59,6 +63,7 @@ impl EvalContext {
             estimator: PivPavEstimator::new(),
             cost: CostModel::ppc405(),
             telemetry,
+            cad_workers: 1,
         }
     }
 }
@@ -131,6 +136,7 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
         &ctx.bitstreams,
         &SpecializeConfig {
             telemetry: ctx.telemetry.clone(),
+            cad_workers: ctx.cad_workers,
             ..SpecializeConfig::default()
         },
     )
@@ -194,7 +200,10 @@ pub fn break_even_basis(
             live_time: ctx.cost.cycles_to_time(live_cycles),
             const_saved: ctx.cost.cycles_to_time(const_saved),
             live_saved: ctx.cost.cycles_to_time(live_saved),
-            overhead: report.sum_time,
+            // Amortize the wall-clock overhead: with one CAD worker the
+            // makespan is exactly the sequential `sum + fault` total, with
+            // more workers only the critical path must be paid off.
+            overhead: report.makespan,
         },
         candidate_times,
     }

@@ -14,17 +14,47 @@
 //! instructions (`jitise-woolcano`).
 //!
 //! The bitstream cache short-circuits phases 2–3 per candidate (§VI-A).
+//!
+//! ## The multi-worker CAD scheduler
+//!
+//! Phase 3 dominates the specialization overhead by minutes per candidate,
+//! and candidates with distinct signatures are independent — so the
+//! pipeline can farm their tool flows out to
+//! [`SpecializeConfig::cad_workers`] OS threads. The run is split into
+//! three stages (see `DESIGN.md` §10):
+//!
+//! * **dispatch** (serial, selection order) — quarantine checks, duplicate
+//!   signature dedup, the attempt-1 cache probe, and phase 2 (netlist
+//!   generation). These all touch shared state whose *outcome* depends on
+//!   processing order, so they stay in selection order to keep every cache
+//!   decision identical for any worker count;
+//! * **pool** — phase 3 (and any retries) for the dispatched candidates
+//!   runs on the worker pool, in any completion order;
+//! * **finalize** (serial, selection order) — ICAP installs (one
+//!   reconfiguration port), IR patching, quarantine updates, and report
+//!   accounting.
+//!
+//! Simulated time is charged to a per-worker-lane schedule: the report's
+//! `cpu_time` (total tool time, invariant across worker counts) and
+//! `makespan` (critical path across [`SpecializeConfig::cad_workers`]
+//! lanes) replace the single sequential total. Every other observable —
+//! report fingerprint, patched module, caches, quarantine, canonical
+//! telemetry journal — is bit-identical for any worker count.
 
 use crate::cache::{BitstreamCache, CachedCi};
+use jitise_base::par::parallel_map_indexed;
 use jitise_base::{Error, Result, SimTime};
 use jitise_cad::{run_flow_accounted, Fabric, FlowOptions};
 use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::{Dfg, Function, Module};
 use jitise_ise::{candidate_search, Candidate, SearchConfig, SearchOutcome};
-use jitise_pivpav::{create_project_with, CircuitDb, NetlistCache, PivPavEstimator};
-use jitise_telemetry::{names, Telemetry, Value as TelValue};
+use jitise_pivpav::{
+    create_project_with, C2vTiming, CadProject, CircuitDb, NetlistCache, PivPavEstimator,
+};
+use jitise_telemetry::{names, Span, Telemetry, Value as TelValue};
 use jitise_vm::{BlockKey, Profile};
 use jitise_woolcano::{patch_candidate, ReconfigController, Woolcano};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Configuration of the whole specialization process.
@@ -52,6 +82,12 @@ pub struct SpecializeConfig {
     /// skipped without burning tool time. Share one `Arc` across sessions
     /// to persist the blacklist.
     pub quarantine: Arc<Quarantine>,
+    /// CAD worker lanes for phases 2–3. `1` (the default) reproduces the
+    /// fully sequential pipeline. Higher counts implement independent
+    /// candidates concurrently — ICAP installs and IR patching stay
+    /// serialized in selection order — and shrink the report's `makespan`
+    /// while leaving every other observable bit-identical.
+    pub cad_workers: usize,
 }
 
 impl Default for SpecializeConfig {
@@ -65,6 +101,7 @@ impl Default for SpecializeConfig {
             faults: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             quarantine: Arc::new(Quarantine::new()),
+            cad_workers: 1,
         }
     }
 }
@@ -168,6 +205,18 @@ pub struct SpecializeReport {
     pub fault_icap_time: SimTime,
     /// Simulated retry-backoff waits.
     pub backoff_time: SimTime,
+    /// Total tool time charged across all candidates, successful and
+    /// failed (`sum_time + fault_time()`). Invariant across worker counts.
+    pub cpu_time: SimTime,
+    /// Critical-path tool time under the per-lane schedule: each
+    /// candidate's charge goes to the least-loaded of `cad_workers` lanes
+    /// in selection order. Equals `cpu_time` at one worker and never
+    /// exceeds it. This is the overhead a wall clock would see, and what
+    /// break-even analysis amortizes.
+    pub makespan: SimTime,
+    /// Worker-lane count the makespan was scheduled over (echo of
+    /// [`SpecializeConfig::cad_workers`], clamped to at least 1).
+    pub cad_workers: usize,
 }
 
 impl SpecializeReport {
@@ -184,11 +233,13 @@ impl SpecializeReport {
     /// Deterministic digest of every observable field. Two runs are
     /// byte-identical iff their fingerprints match — the chaos harness
     /// uses this to prove a zero-rate injector is observationally
-    /// transparent.
+    /// transparent, and the parallel-determinism suite to prove the
+    /// scheduler is schedule-oblivious. `makespan` and `cad_workers` are
+    /// deliberately excluded: they vary with the lane count by design.
     pub fn fingerprint(&self) -> String {
         format!(
             "sel={} ratio={:016x} hits={} retries={} const={} map={} par={} sum={} \
-             reconfig={} f_const={} f_map={} f_par={} f_icap={} backoff={} \
+             cpu={} reconfig={} f_const={} f_map={} f_par={} f_icap={} backoff={} \
              candidates={:?} failed={:?}",
             self.search.selection.selected.len(),
             self.search.asip_ratio.to_bits(),
@@ -198,6 +249,7 @@ impl SpecializeReport {
             self.map_time.as_nanos(),
             self.par_time.as_nanos(),
             self.sum_time.as_nanos(),
+            self.cpu_time.as_nanos(),
             self.reconfig_time.as_nanos(),
             self.fault_const_time.as_nanos(),
             self.fault_map_time.as_nanos(),
@@ -252,59 +304,62 @@ impl Produced {
     }
 }
 
-/// Obtains the candidate's implementation: a CRC-validated cache hit, or a
-/// fresh run of phases 2–3. A poisoned cache entry is evicted and counted,
-/// then regeneration proceeds within the same attempt. On failure returns
-/// the simulated tool time the attempt wasted.
-#[allow(clippy::too_many_arguments)]
-fn obtain_entry(
-    db: &CircuitDb,
-    netlist_cache: &NetlistCache,
+/// Attempt-scoped bitstream-cache probe: a CRC-validated hit (the injector
+/// may corrupt it in flight), or `None` after a miss or the eviction of a
+/// poisoned entry.
+fn probe_cache(
     bitstream_cache: &BitstreamCache,
     config: &SpecializeConfig,
     inj: &FaultInjector,
-    pf: &Function,
-    dfg: &Dfg,
-    cand: &Candidate,
+    signature: u64,
+    tel: &Telemetry,
+) -> Option<Produced> {
+    if !config.use_cache {
+        return None;
+    }
+    let mut hit = bitstream_cache.get(signature)?;
+    if let Some(kind) = inj.corrupt(FaultSite::CacheEntry, &mut hit.bitstream.bytes) {
+        tel.add(names::FAULTS_INJECTED, 1);
+        tel.event(
+            "fault.injected",
+            &[
+                ("site", TelValue::Str(FaultSite::CacheEntry.name().into())),
+                ("kind", TelValue::Str(kind.name().into())),
+            ],
+        );
+    }
+    if hit.bitstream.verify() {
+        return Some(Produced {
+            entry: hit,
+            cache_hit: true,
+            c2v: SimTime::ZERO,
+            const_stages: SimTime::ZERO,
+            map: SimTime::ZERO,
+            par: SimTime::ZERO,
+        });
+    }
+    // Poisoned entry: evict it and regenerate from scratch.
+    bitstream_cache.remove(signature);
+    tel.add(names::BITSTREAM_CACHE_POISONED, 1);
+    tel.event("cache.poisoned", &[("signature", TelValue::U64(signature))]);
+    None
+}
+
+/// Phase 3 (the CAD flow) on an already-created project, then the cache
+/// insert. On failure returns the simulated tool time the attempt wasted.
+fn implement_project(
+    bitstream_cache: &BitstreamCache,
+    config: &SpecializeConfig,
+    inj: &FaultInjector,
+    project: &CadProject,
+    c2v: C2vTiming,
     signature: u64,
     tel: &Telemetry,
 ) -> std::result::Result<Produced, (Error, Loss)> {
-    if config.use_cache {
-        if let Some(mut hit) = bitstream_cache.get(signature) {
-            if let Some(kind) = inj.corrupt(FaultSite::CacheEntry, &mut hit.bitstream.bytes) {
-                tel.add(names::FAULTS_INJECTED, 1);
-                tel.event(
-                    "fault.injected",
-                    &[
-                        ("site", TelValue::Str(FaultSite::CacheEntry.name().into())),
-                        ("kind", TelValue::Str(kind.name().into())),
-                    ],
-                );
-            }
-            if hit.bitstream.verify() {
-                return Ok(Produced {
-                    entry: hit,
-                    cache_hit: true,
-                    c2v: SimTime::ZERO,
-                    const_stages: SimTime::ZERO,
-                    map: SimTime::ZERO,
-                    par: SimTime::ZERO,
-                });
-            }
-            // Poisoned entry: evict it and regenerate from scratch.
-            bitstream_cache.remove(signature);
-            tel.add(names::BITSTREAM_CACHE_POISONED, 1);
-            tel.event("cache.poisoned", &[("signature", TelValue::U64(signature))]);
-        }
-    }
-    // Phase 2: Netlist Generation.
-    let (project, c2v) = create_project_with(db, netlist_cache, pf, dfg, cand, tel)
-        .map_err(|e| (e, Loss::default()))?;
-    // Phase 3: Instruction Implementation.
     let mut flow_cfg = config.flow.clone();
     flow_cfg.telemetry = tel.clone();
     flow_cfg.faults = inj.clone();
-    let flow = run_flow_accounted(&config.fabric, &project, &flow_cfg).map_err(|fe| {
+    let flow = run_flow_accounted(&config.fabric, project, &flow_cfg).map_err(|fe| {
         let loss = Loss {
             // The netlist-generation work preceding the dead flow is
             // wasted too (its netlists stay cached, so a retry re-derives
@@ -333,11 +388,11 @@ fn obtain_entry(
     })
 }
 
-/// One attempt at implementing and installing a candidate. Reuses a
-/// previously produced entry (generation survives install retries).
+/// Obtains the candidate's implementation: a CRC-validated cache hit, or a
+/// fresh run of phases 2–3. A poisoned cache entry is evicted and counted,
+/// then regeneration proceeds within the same attempt.
 #[allow(clippy::too_many_arguments)]
-fn attempt_candidate(
-    produced: &mut Option<Produced>,
+fn obtain_entry(
     db: &CircuitDb,
     netlist_cache: &NetlistCache,
     bitstream_cache: &BitstreamCache,
@@ -347,27 +402,32 @@ fn attempt_candidate(
     dfg: &Dfg,
     cand: &Candidate,
     signature: u64,
+    tel: &Telemetry,
+) -> std::result::Result<Produced, (Error, Loss)> {
+    if let Some(hit) = probe_cache(bitstream_cache, config, inj, signature, tel) {
+        return Ok(hit);
+    }
+    // Phase 2: Netlist Generation.
+    let (project, c2v) = create_project_with(db, netlist_cache, pf, dfg, cand, tel)
+        .map_err(|e| (e, Loss::default()))?;
+    // Phase 3: Instruction Implementation.
+    implement_project(bitstream_cache, config, inj, &project, c2v, signature, tel)
+}
+
+/// Installs a produced bitstream over the ICAP. The transfer may be
+/// corrupted in flight (caught by the controller's CRC check); a rejected
+/// transfer is charged its full reconfiguration time.
+#[allow(clippy::too_many_arguments)]
+fn install_produced(
+    p: &Produced,
+    inj: &FaultInjector,
+    pf: &Function,
+    dfg: &Dfg,
+    cand: &Candidate,
     machine: &Woolcano,
     hw_cycles: u64,
     tel: &Telemetry,
 ) -> std::result::Result<u32, (Error, Loss)> {
-    if produced.is_none() {
-        *produced = Some(obtain_entry(
-            db,
-            netlist_cache,
-            bitstream_cache,
-            config,
-            inj,
-            pf,
-            dfg,
-            cand,
-            signature,
-            tel,
-        )?);
-    }
-    let p = produced.as_ref().expect("entry just produced");
-    // Adaptation: transfer the bitstream over the ICAP, possibly corrupted
-    // in flight (caught by the controller's CRC check).
     let mut bitstream = p.entry.bitstream.clone();
     if let Some(kind) = inj.corrupt(FaultSite::IcapTransfer, &mut bitstream.bytes) {
         tel.add(names::FAULTS_INJECTED, 1);
@@ -391,6 +451,168 @@ fn attempt_candidate(
             };
             (e, loss)
         })
+}
+
+/// Attempt-1 state a dispatched candidate carries to its worker. The
+/// serial pre-pass already probed the cache (miss) and ran phase 2 —
+/// netlist-cache miss accounting is order-sensitive, so it must happen in
+/// selection order.
+enum FirstAttempt {
+    /// Project created; the worker starts with the tool flow.
+    Ready(Box<(CadProject, C2vTiming)>),
+    /// Project creation failed; attempt 1 is charged as a plain failure.
+    Failed(Error),
+}
+
+/// What the bounded generation retry loop yielded for one candidate.
+struct Generated {
+    /// The implementation, if any attempt succeeded (or the cache hit).
+    produced: Option<Produced>,
+    /// Attempt generation succeeded at; `max_attempts` on exhaustion. The
+    /// install loop continues the attempt numbering from here.
+    attempt: u32,
+    /// Fault ledger accumulated so far (failed flows + backoff).
+    loss: Loss,
+    /// Retries burned (attempts beyond the first).
+    retries: u64,
+    /// Last error, set iff every attempt failed.
+    error: Option<Error>,
+}
+
+/// The generation retry loop for one candidate: attempts `1..=max` of
+/// cache probe + phases 2–3, charging failures and backoff to the loss
+/// ledger. `first` carries dispatch-time attempt-1 state (cache already
+/// probed, project already created); `None` makes every attempt go through
+/// [`obtain_entry`] — the duplicate-signature path. Installing is *not*
+/// part of this loop: the caller resumes the attempt numbering at
+/// [`Generated::attempt`] on the serial side.
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    db: &CircuitDb,
+    netlist_cache: &NetlistCache,
+    bitstream_cache: &BitstreamCache,
+    config: &SpecializeConfig,
+    pf: &Function,
+    dfg: &Dfg,
+    cand: &Candidate,
+    signature: u64,
+    mut first: Option<&FirstAttempt>,
+    tel: &Telemetry,
+) -> Generated {
+    let max_attempts = config.retry.max_attempts.max(1);
+    let mut attempt = 0u32;
+    let mut loss = Loss::default();
+    let mut retries = 0u64;
+    loop {
+        attempt += 1;
+        let inj = config.faults.scope(signature, attempt);
+        let result = match first.take() {
+            Some(FirstAttempt::Ready(pair)) => {
+                let (project, c2v) = pair.as_ref();
+                implement_project(bitstream_cache, config, &inj, project, *c2v, signature, tel)
+            }
+            Some(FirstAttempt::Failed(e)) => Err((e.clone(), Loss::default())),
+            None => obtain_entry(
+                db,
+                netlist_cache,
+                bitstream_cache,
+                config,
+                &inj,
+                pf,
+                dfg,
+                cand,
+                signature,
+                tel,
+            ),
+        };
+        match result {
+            Ok(p) => {
+                return Generated {
+                    produced: Some(p),
+                    attempt,
+                    loss,
+                    retries,
+                    error: None,
+                }
+            }
+            Err((e, waste)) => {
+                loss.absorb(waste);
+                if attempt >= max_attempts {
+                    return Generated {
+                        produced: None,
+                        attempt,
+                        loss,
+                        retries,
+                        error: Some(e),
+                    };
+                }
+                let backoff = config.retry.backoff_for(attempt);
+                loss.backoff += backoff;
+                retries += 1;
+                tel.add(names::PIPELINE_RETRIES, 1);
+                tel.event(
+                    "candidate.retry",
+                    &[
+                        ("signature", TelValue::U64(signature)),
+                        ("attempt", TelValue::U64(attempt as u64)),
+                        ("backoff_ns", TelValue::U64(backoff.as_nanos())),
+                        ("error", TelValue::Str(e.to_string())),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Greedy lane schedule: each charge is placed on the least-loaded of
+/// `lanes` lanes (lowest index on ties), in selection order. Returns the
+/// maximum lane load — the modeled critical path ("makespan") of running
+/// the candidates on `lanes` CAD workers. One lane degenerates to the
+/// plain sum; the result never exceeds it.
+fn lane_makespan(lanes: usize, charges: &[SimTime]) -> SimTime {
+    let mut load = vec![SimTime::ZERO; lanes.max(1)];
+    for &charge in charges {
+        if let Some(min) = load.iter_mut().min_by_key(|l| **l) {
+            *min += charge;
+        }
+    }
+    load.into_iter().max().unwrap_or(SimTime::ZERO)
+}
+
+/// How the dispatch pre-pass settled one selected candidate.
+enum Disposition {
+    /// Signature was quarantined before the run: recorded at dispatch,
+    /// charged nothing.
+    Skip(String),
+    /// Settled entirely at dispatch (a clean attempt-1 cache hit).
+    Resolved(Generated),
+    /// Phases 2–3 handed to the worker pool; index into the job list.
+    Pool(usize),
+    /// Same signature as an earlier candidate of this run. Deferred to the
+    /// finalize pass (after its twin settled) and resolved inline there —
+    /// the per-signature in-flight dedup that keeps cache timing identical
+    /// to the sequential schedule.
+    Dup,
+}
+
+/// One selected candidate, as staged by the dispatch pre-pass.
+struct Prepared {
+    cand: Candidate,
+    saved_per_exec: u64,
+    exec_count: u64,
+    hw_cycles: u64,
+    dfg: Dfg,
+    signature: u64,
+    disposition: Disposition,
+}
+
+/// A pool job: everything a worker needs to run the generation loop for
+/// one prepared candidate.
+struct Job<'m> {
+    prep: usize,
+    pf: &'m Function,
+    first: FirstAttempt,
+    tel: Telemetry,
 }
 
 /// Runs the complete ASIP specialization process on `module` (profiled by
@@ -425,16 +647,6 @@ pub fn specialize(
     // must see the unpatched IR even while we patch candidate by candidate.
     let pristine = module.clone();
 
-    let mut outcomes = Vec::with_capacity(search.selection.selected.len());
-    let mut failed: Vec<FailedCandidate> = Vec::new();
-    let mut const_time = SimTime::ZERO;
-    let mut map_time = SimTime::ZERO;
-    let mut par_time = SimTime::ZERO;
-    let mut cache_hits = 0usize;
-    let mut retries = 0u64;
-    let mut fault = Loss::default();
-
-    // Group candidates by block so each block's DFG is built once.
     let selected: Vec<(Candidate, u64, u64, u64)> = search
         .selection
         .selected
@@ -449,6 +661,17 @@ pub fn specialize(
         })
         .collect();
 
+    // ---- Dispatch pre-pass (serial, selection order) ----
+    // Quarantine checks, duplicate dedup, the attempt-1 cache probe, and
+    // phase 2 all observe shared state whose outcome depends on processing
+    // order; running them here, in selection order, makes every hit/miss
+    // decision identical for any worker count. Only the order-free tool
+    // flow leaves this thread.
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(selected.len());
+    let mut spans: Vec<Option<Span>> = Vec::with_capacity(selected.len());
+    let mut jobs: Vec<Job<'_>> = Vec::new();
+    let mut dispatched: HashSet<u64> = HashSet::new();
+
     for (cand, saved_per_exec, exec_count, hw_cycles) in selected {
         let pf = pristine.func(cand.key.func);
         let dfg = Dfg::build(pf, cand.key.block);
@@ -460,7 +683,7 @@ pub fn specialize(
 
         // A quarantined signature is skipped outright: it exhausted its
         // retries in a previous run and would only burn tool time again.
-        if config.quarantine.contains(signature) {
+        let disposition = if config.quarantine.contains(signature) {
             let reason = config
                 .quarantine
                 .reason(signature)
@@ -474,61 +697,206 @@ pub fn specialize(
             cand_span.field("failed", TelValue::Bool(true));
             cand_span.field("attempts", TelValue::U64(0));
             drop(cand_span);
-            failed.push(FailedCandidate {
-                key: cand.key,
-                size: cand.len(),
-                signature,
-                attempts: 0,
-                error: format!("quarantined: {reason}"),
-                time_lost: SimTime::ZERO,
-                quarantined: true,
-            });
-            continue;
-        }
+            spans.push(None);
+            Disposition::Skip(reason)
+        } else if !dispatched.insert(signature) {
+            spans.push(Some(cand_span));
+            Disposition::Dup
+        } else {
+            let inj = config.faults.scope(signature, 1);
+            if let Some(hit) = probe_cache(bitstream_cache, config, &inj, signature, &cand_tel) {
+                spans.push(Some(cand_span));
+                Disposition::Resolved(Generated {
+                    produced: Some(hit),
+                    attempt: 1,
+                    loss: Loss::default(),
+                    retries: 0,
+                    error: None,
+                })
+            } else {
+                // Phase 2 stays on this thread: netlist extraction time is
+                // charged by first-touch misses, which must be observed in
+                // selection order to stay schedule-oblivious.
+                let first = match create_project_with(db, netlist_cache, pf, &dfg, &cand, &cand_tel)
+                {
+                    Ok(pair) => FirstAttempt::Ready(Box::new(pair)),
+                    Err(e) => FirstAttempt::Failed(e),
+                };
+                jobs.push(Job {
+                    prep: prepared.len(),
+                    pf,
+                    first,
+                    tel: cand_tel,
+                });
+                spans.push(Some(cand_span));
+                Disposition::Pool(jobs.len() - 1)
+            }
+        };
+        prepared.push(Prepared {
+            cand,
+            saved_per_exec,
+            exec_count,
+            hw_cycles,
+            dfg,
+            signature,
+            disposition,
+        });
+    }
 
-        // Bounded retry loop. Generation (phases 2-3) survives an install
-        // failure: only the ICAP transfer is re-attempted.
-        let mut attempt = 0u32;
-        let mut loss = Loss::default();
-        let mut produced: Option<Produced> = None;
-        let max_attempts = config.retry.max_attempts.max(1);
-        let result: std::result::Result<u32, Error> = loop {
-            attempt += 1;
-            let inj = config.faults.scope(signature, attempt);
-            match attempt_candidate(
-                &mut produced,
-                db,
-                netlist_cache,
-                bitstream_cache,
-                config,
-                &inj,
-                pf,
-                &dfg,
-                &cand,
-                signature,
-                machine,
-                hw_cycles,
-                &cand_tel,
-            ) {
-                Ok(slot) => break Ok(slot),
-                Err((e, waste)) => {
-                    loss.absorb(waste);
-                    if attempt >= max_attempts {
-                        break Err(e);
-                    }
-                    let backoff = config.retry.backoff_for(attempt);
-                    loss.backoff += backoff;
-                    retries += 1;
-                    tel.add(names::PIPELINE_RETRIES, 1);
+    // ---- Pool: phases 2–3 retries + the tool flow, any completion order ----
+    let pooled = parallel_map_indexed(config.cad_workers, &jobs, |_, job| {
+        let prep = &prepared[job.prep];
+        run_generation(
+            db,
+            netlist_cache,
+            bitstream_cache,
+            config,
+            job.pf,
+            &prep.dfg,
+            &prep.cand,
+            prep.signature,
+            Some(&job.first),
+            &job.tel,
+        )
+    });
+    let mut pooled: Vec<Option<Generated>> = pooled.into_iter().map(Some).collect();
+    drop(jobs);
+
+    // ---- Finalize (serial, selection order) ----
+    // The single ICAP port and the IR patcher impose a serial adaptation
+    // phase anyway; doing all result accounting here too makes the report
+    // independent of worker completion order.
+    let mut outcomes = Vec::with_capacity(prepared.len());
+    let mut failed: Vec<FailedCandidate> = Vec::new();
+    let mut const_time = SimTime::ZERO;
+    let mut map_time = SimTime::ZERO;
+    let mut par_time = SimTime::ZERO;
+    let mut cache_hits = 0usize;
+    let mut retries = 0u64;
+    let mut fault = Loss::default();
+    let mut charges: Vec<SimTime> = Vec::with_capacity(prepared.len());
+    let max_attempts = config.retry.max_attempts.max(1);
+
+    for (prep, mut cand_span) in prepared.into_iter().zip(spans) {
+        let Prepared {
+            cand,
+            saved_per_exec,
+            exec_count,
+            hw_cycles,
+            dfg,
+            signature,
+            disposition,
+        } = prep;
+        let pf = pristine.func(cand.key.func);
+        let cand_tel = match &cand_span {
+            Some(span) => tel.under(span),
+            None => tel.clone(),
+        };
+
+        let generated = match disposition {
+            Disposition::Skip(reason) => {
+                failed.push(FailedCandidate {
+                    key: cand.key,
+                    size: cand.len(),
+                    signature,
+                    attempts: 0,
+                    error: format!("quarantined: {reason}"),
+                    time_lost: SimTime::ZERO,
+                    quarantined: true,
+                });
+                charges.push(SimTime::ZERO);
+                continue;
+            }
+            Disposition::Resolved(g) => g,
+            Disposition::Pool(idx) => pooled[idx].take().expect("pool result consumed once"),
+            Disposition::Dup => {
+                // The twin settled at its own finalize turn. Re-check the
+                // quarantine — it may have grown this run — then run the
+                // generation loop inline: in the common case a clean hit
+                // on the entry the twin just cached.
+                if config.quarantine.contains(signature) {
+                    let reason = config
+                        .quarantine
+                        .reason(signature)
+                        .unwrap_or_else(|| "unknown".into());
+                    tel.add(names::CANDIDATES_FAILED, 1);
                     cand_tel.event(
-                        "candidate.retry",
-                        &[
-                            ("signature", TelValue::U64(signature)),
-                            ("attempt", TelValue::U64(attempt as u64)),
-                            ("backoff_ns", TelValue::U64(backoff.as_nanos())),
-                            ("error", TelValue::Str(e.to_string())),
-                        ],
+                        "candidate.quarantine_skip",
+                        &[("signature", TelValue::U64(signature))],
                     );
+                    if let Some(mut span) = cand_span.take() {
+                        span.set_sim_time(SimTime::ZERO);
+                        span.field("failed", TelValue::Bool(true));
+                        span.field("attempts", TelValue::U64(0));
+                    }
+                    failed.push(FailedCandidate {
+                        key: cand.key,
+                        size: cand.len(),
+                        signature,
+                        attempts: 0,
+                        error: format!("quarantined: {reason}"),
+                        time_lost: SimTime::ZERO,
+                        quarantined: true,
+                    });
+                    charges.push(SimTime::ZERO);
+                    continue;
+                }
+                run_generation(
+                    db,
+                    netlist_cache,
+                    bitstream_cache,
+                    config,
+                    pf,
+                    &dfg,
+                    &cand,
+                    signature,
+                    None,
+                    &cand_tel,
+                )
+            }
+        };
+
+        let Generated {
+            mut produced,
+            mut attempt,
+            mut loss,
+            retries: gen_retries,
+            error,
+        } = generated;
+        retries += gen_retries;
+
+        // Adaptation: the ICAP install, serialized here behind the single
+        // reconfiguration port, continuing the attempt numbering where
+        // generation stopped. Generation survives an install failure: only
+        // the transfer is re-attempted.
+        let result: std::result::Result<u32, Error> = if let Some(e) = error {
+            Err(e)
+        } else {
+            loop {
+                let p = produced.as_ref().expect("generation succeeded");
+                let inj = config.faults.scope(signature, attempt);
+                match install_produced(p, &inj, pf, &dfg, &cand, machine, hw_cycles, &cand_tel) {
+                    Ok(slot) => break Ok(slot),
+                    Err((e, waste)) => {
+                        loss.absorb(waste);
+                        if attempt >= max_attempts {
+                            break Err(e);
+                        }
+                        let backoff = config.retry.backoff_for(attempt);
+                        loss.backoff += backoff;
+                        retries += 1;
+                        tel.add(names::PIPELINE_RETRIES, 1);
+                        cand_tel.event(
+                            "candidate.retry",
+                            &[
+                                ("signature", TelValue::U64(signature)),
+                                ("attempt", TelValue::U64(attempt as u64)),
+                                ("backoff_ns", TelValue::U64(backoff.as_nanos())),
+                                ("error", TelValue::Str(e.to_string())),
+                            ],
+                        );
+                        attempt += 1;
+                    }
                 }
             }
         };
@@ -554,11 +922,14 @@ pub fn specialize(
                 map_time += p.map;
                 par_time += p.par;
                 fault.absorb(loss);
-                cand_span.set_sim_time(p.total() + loss.total());
-                cand_span.field("cache_hit", TelValue::Bool(p.cache_hit));
-                cand_span.field("slot", TelValue::U64(slot as u64));
-                cand_span.field("attempts", TelValue::U64(attempt as u64));
-                drop(cand_span);
+                let charge = p.total() + loss.total();
+                if let Some(mut span) = cand_span.take() {
+                    span.set_sim_time(charge);
+                    span.field("cache_hit", TelValue::Bool(p.cache_hit));
+                    span.field("slot", TelValue::U64(slot as u64));
+                    span.field("attempts", TelValue::U64(attempt as u64));
+                }
+                charges.push(charge);
                 outcomes.push(CandidateOutcome {
                     key: cand.key,
                     size: cand.len(),
@@ -607,10 +978,12 @@ pub fn specialize(
                     ],
                 );
                 fault.absorb(loss);
-                cand_span.set_sim_time(loss.total());
-                cand_span.field("failed", TelValue::Bool(true));
-                cand_span.field("attempts", TelValue::U64(attempt as u64));
-                drop(cand_span);
+                if let Some(mut span) = cand_span.take() {
+                    span.set_sim_time(loss.total());
+                    span.field("failed", TelValue::Bool(true));
+                    span.field("attempts", TelValue::U64(attempt as u64));
+                }
+                charges.push(loss.total());
                 failed.push(FailedCandidate {
                     key: cand.key,
                     size: cand.len(),
@@ -625,11 +998,17 @@ pub fn specialize(
     }
 
     let sum_time = const_time + map_time + par_time;
-    root.set_sim_time(sum_time + fault.total());
+    let cpu_time: SimTime = charges.iter().copied().sum();
+    debug_assert_eq!(cpu_time, sum_time + fault.total());
+    let lanes = config.cad_workers.max(1);
+    let makespan = lane_makespan(lanes, &charges);
+    root.set_sim_time(cpu_time);
     root.field("candidates", TelValue::U64(outcomes.len() as u64));
     root.field("cache_hits", TelValue::U64(cache_hits as u64));
     root.field("failed", TelValue::U64(failed.len() as u64));
     root.field("retries", TelValue::U64(retries));
+    root.field("cad_workers", TelValue::U64(lanes as u64));
+    root.field("makespan_ns", TelValue::U64(makespan.as_nanos()));
     drop(root);
     Ok(SpecializeReport {
         search,
@@ -647,6 +1026,9 @@ pub fn specialize(
         fault_par_time: fault.par,
         fault_icap_time: fault.icap,
         backoff_time: fault.backoff,
+        cpu_time,
+        makespan,
+        cad_workers: lanes,
     })
 }
 
@@ -752,10 +1134,56 @@ mod tests {
         let per_cand: SimTime = r.candidates.iter().map(|c| c.total()).sum();
         assert_eq!(per_cand, r.sum_time);
         assert_eq!(r.sum_time, r.const_time + r.map_time + r.par_time);
+        assert_eq!(r.cpu_time, r.sum_time + r.fault_time());
+        assert_eq!(r.makespan, r.cpu_time, "one lane: makespan is the sum");
+        assert_eq!(r.cad_workers, 1);
         assert!(r.reconfig_time > SimTime::ZERO);
         assert!(r.failed.is_empty());
         assert_eq!(r.retries, 0);
         assert_eq!(r.fault_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn lane_makespan_schedules_greedily() {
+        let c = SimTime::from_secs;
+        let charges = [c(4), c(3), c(2), c(1)];
+        assert_eq!(lane_makespan(1, &charges), c(10));
+        // Two lanes: 4 | 3, then 2 joins the 3-lane, 1 the 4-lane.
+        assert_eq!(lane_makespan(2, &charges), c(5));
+        assert_eq!(lane_makespan(4, &charges), c(4));
+        assert_eq!(lane_makespan(8, &charges), c(4), "idle lanes are free");
+        assert_eq!(lane_makespan(0, &charges), c(10), "clamped to one lane");
+        assert_eq!(lane_makespan(3, &[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn worker_count_leaves_everything_but_makespan_identical() {
+        let run = |workers: usize| {
+            let ctx = Ctx::new();
+            let mut m = hot_module();
+            let p = run_profile(&m, 2_000);
+            let machine = Woolcano::new(16);
+            let cfg = SpecializeConfig {
+                cad_workers: workers,
+                ..SpecializeConfig::default()
+            };
+            let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+            (r, m)
+        };
+        let (r1, m1) = run(1);
+        let (r4, m4) = run(4);
+        assert_eq!(r1.fingerprint(), r4.fingerprint());
+        assert_eq!(m1, m4, "patched modules identical");
+        assert_eq!(r1.cpu_time, r4.cpu_time);
+        assert!(r4.makespan <= r4.cpu_time);
+        if r4.candidates.len() >= 2 {
+            assert!(
+                r4.makespan < r4.cpu_time,
+                "two lanes must overlap: makespan {} cpu {}",
+                r4.makespan,
+                r4.cpu_time
+            );
+        }
     }
 
     use jitise_faults::{FaultPlan, FaultSite};
@@ -835,6 +1263,7 @@ mod tests {
         );
         assert!(r.backoff_time > SimTime::ZERO);
         assert_eq!(r.sum_time, SimTime::ZERO, "no successful generation");
+        assert_eq!(r.cpu_time, r.fault_time(), "all charged time is waste");
 
         // The unpatched module still computes the original answer.
         let mut vm_base = Interpreter::new(&base);
@@ -855,6 +1284,7 @@ mod tests {
         assert!(r2.candidates.is_empty());
         assert!(r2.failed.iter().all(|f| f.attempts == 0 && f.quarantined));
         assert_eq!(r2.fault_time(), SimTime::ZERO, "skip burns nothing");
+        assert_eq!(r2.makespan, SimTime::ZERO, "skips occupy no lane");
     }
 
     #[test]

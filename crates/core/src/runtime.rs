@@ -59,6 +59,10 @@ pub struct AdaptiveOptions {
     /// Quarantine list shared with the pipeline (and, if the caller keeps
     /// the `Arc`, across sessions).
     pub quarantine: Arc<Quarantine>,
+    /// CAD worker lanes for the specialization pipeline (default 1 = the
+    /// sequential pipeline). More lanes shrink the simulated adaptation
+    /// overhead; every other observable stays bit-identical.
+    pub cad_workers: usize,
 }
 
 impl Default for AdaptiveOptions {
@@ -68,6 +72,7 @@ impl Default for AdaptiveOptions {
             faults: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             quarantine: Arc::new(Quarantine::new()),
+            cad_workers: 1,
         }
     }
 }
@@ -94,8 +99,10 @@ pub struct AdaptiveOutcome {
     /// workload's answers are never allowed to change.
     pub results: Vec<Option<Value>>,
     /// Simulated specialization overhead (what a real deployment would
-    /// wait for; the worker's wall time is irrelevant here). Includes the
-    /// fault ledger: wasted tool time and retry backoff are real waiting.
+    /// wait for; the worker's wall time is irrelevant here). This is the
+    /// pipeline's makespan: with one CAD lane, the sum of all tool time
+    /// plus the fault ledger — wasted tool time and retry backoff are real
+    /// waiting — and with more lanes, the critical path.
     pub overhead: SimTime,
 }
 
@@ -264,6 +271,7 @@ pub fn run_adaptive_with(
         let worker_inj = winj.clone();
         let worker_faults = options.faults.clone();
         let worker_retry = options.retry;
+        let worker_lanes = options.cad_workers;
         let worker_quarantine = Arc::clone(&options.quarantine);
         let watchdog = options.watchdog;
         scope.spawn(move || {
@@ -303,6 +311,7 @@ pub fn run_adaptive_with(
                         faults: worker_faults,
                         retry: worker_retry,
                         quarantine: worker_quarantine,
+                        cad_workers: worker_lanes,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -389,10 +398,7 @@ pub fn run_adaptive_with(
             cycles_before: avg_before,
             cycles_after: avg_after,
             observed_speedup: avg_before as f64 / avg_after.max(1) as f64,
-            overhead: report
-                .as_ref()
-                .map(|r| r.sum_time + r.fault_time())
-                .unwrap_or(SimTime::ZERO),
+            overhead: report.as_ref().map(|r| r.makespan).unwrap_or(SimTime::ZERO),
             report,
             degraded,
             results,

@@ -334,6 +334,14 @@ impl Quarantine {
         self.inner.read().get(&signature).cloned()
     }
 
+    /// All quarantined signatures, sorted — a deterministic view of the
+    /// set, used to compare quarantine contents across runs.
+    pub fn signatures(&self) -> Vec<u64> {
+        let mut sigs: Vec<u64> = self.inner.read().keys().copied().collect();
+        sigs.sort_unstable();
+        sigs
+    }
+
     /// Number of quarantined signatures.
     pub fn len(&self) -> usize {
         self.inner.read().len()
@@ -487,5 +495,14 @@ mod tests {
         assert!(!q.contains(43));
         assert_eq!(q.len(), 1);
         assert_eq!(q.reason(42).as_deref(), Some("cad: injected"));
+    }
+
+    #[test]
+    fn quarantine_signatures_sorted() {
+        let q = Quarantine::new();
+        for sig in [9u64, 3, 7, 1] {
+            q.insert(sig, "x");
+        }
+        assert_eq!(q.signatures(), vec![1, 3, 7, 9]);
     }
 }

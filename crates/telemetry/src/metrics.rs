@@ -47,7 +47,10 @@ impl Histogram {
 pub struct HistogramSnapshot {
     /// Histogram name.
     pub name: String,
-    /// Per-bucket counts; bucket `i` holds values in `[2^(i-1), 2^i)`.
+    /// Per-bucket counts. Bucket 0 holds only the value `0`; bucket
+    /// `i >= 1` holds values in `[2^(i-1), 2^i)`; the last bucket
+    /// additionally absorbs everything at or beyond its lower bound
+    /// (`value >= 2^(HISTOGRAM_BUCKETS-2)` all land in the final bucket).
     pub counts: Vec<u64>,
     /// Total observations.
     pub count: u64,
@@ -147,6 +150,30 @@ mod tests {
         assert_eq!(h.count, 6);
         assert_eq!(h.min, 0);
         assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries() {
+        // Exact powers of two sit at bucket *lower* bounds: bucket 0 holds
+        // only 0, bucket i >= 1 holds [2^(i-1), 2^i), and the final bucket
+        // absorbs everything from 2^(HISTOGRAM_BUCKETS-2) upward.
+        let mut h = Histogram::default();
+        h.observe(1); // [2^0, 2^1) -> bucket 1
+        h.observe(2); // [2^1, 2^2) -> bucket 2
+        h.observe(1 << 62); // beyond the last bound -> catch-all
+        h.observe(u64::MAX); // catch-all
+        assert_eq!(h.counts[0], 0, "bucket 0 is reserved for the value 0");
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 1);
+        assert_eq!(h.counts[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(h.count, 4);
+
+        // The catch-all's lower bound itself, and the value just below it.
+        let mut edge = Histogram::default();
+        edge.observe((1 << (HISTOGRAM_BUCKETS - 2)) - 1);
+        edge.observe(1 << (HISTOGRAM_BUCKETS - 2));
+        assert_eq!(edge.counts[HISTOGRAM_BUCKETS - 2], 1);
+        assert_eq!(edge.counts[HISTOGRAM_BUCKETS - 1], 1);
     }
 
     #[test]

@@ -85,6 +85,26 @@ impl Snapshot {
             .sum()
     }
 
+    /// Canonical rendering of the event journal for determinism
+    /// comparisons: host timestamps and thread ids vary run to run (and
+    /// with thread interleaving), so each event is rendered as its name
+    /// plus JSON fields only, and the lines are sorted. Two runs that
+    /// record the same *multiset* of events — regardless of completion
+    /// order or worker count — produce byte-identical output.
+    pub fn canonical_journal(&self) -> String {
+        let mut lines: Vec<String> = self
+            .events
+            .iter()
+            .map(|event| {
+                let mut line = String::from(event.name);
+                write_fields(&mut line, &event.fields);
+                line
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    }
+
     /// Writes the journal as JSON-lines: one object per span, event, and
     /// metric, in that order. Machine-diffable and `jq`-friendly.
     pub fn write_jsonl(&self, out: &mut dyn Write) -> io::Result<()> {
@@ -420,6 +440,29 @@ mod tests {
         assert!(text.contains("\n  cad.map"), "children indented:\n{text}");
         assert!(text.contains("== phase totals =="));
         assert!(text.contains("bitstream_cache.hits"));
+    }
+
+    #[test]
+    fn canonical_journal_ignores_thread_and_time() {
+        // Record the same events in different orders from different
+        // threads: the canonical form must come out byte-identical.
+        let a = Telemetry::enabled();
+        a.event("x", &[("k", Value::U64(1))]);
+        a.event("y", &[("k", Value::U64(2))]);
+        let b = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            let tel = b.clone();
+            scope.spawn(move || tel.event("y", &[("k", Value::U64(2))]));
+        });
+        b.event("x", &[("k", Value::U64(1))]);
+        let ca = a.snapshot().canonical_journal();
+        let cb = b.snapshot().canonical_journal();
+        assert_eq!(ca, cb);
+        assert!(ca.contains("\"k\":1"));
+
+        // A differing multiset must be visible.
+        b.event("x", &[("k", Value::U64(1))]);
+        assert_ne!(b.snapshot().canonical_journal(), ca);
     }
 
     #[test]
