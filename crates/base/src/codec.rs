@@ -4,8 +4,94 @@
 //! enough to audit, with explicit error handling on decode. This keeps the
 //! workspace free of a serde *format* dependency while still allowing the
 //! bitstream cache to round-trip through disk.
+//!
+//! The [`frame`]/[`read_frame`] pair adds crash-consistent record framing
+//! on top: each record is `[len: u32 LE][crc32(payload): u32 LE][payload]`,
+//! so a reader scanning an append-only log can distinguish a *torn tail*
+//! (the writer died mid-record — fewer bytes on disk than the header
+//! promises) from *corruption* (all bytes present but the checksum fails)
+//! and recover exactly the committed prefix. `jitise-store` builds its
+//! write-ahead log on these helpers.
 
 use crate::{Error, Result};
+
+/// CRC32 (IEEE polynomial, bitwise — framed payloads are small).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Byte length of a frame header (`len` + `crc`, both `u32` LE).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Frames `payload` as `[len][crc32(payload)][payload]` (see module docs).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of scanning one frame off the front of a byte slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameRead<'a> {
+    /// A complete, checksum-verified frame. `consumed` is the total frame
+    /// size (header + payload); the next frame starts there.
+    Frame {
+        /// The verified payload.
+        payload: &'a [u8],
+        /// Bytes this frame occupied, header included.
+        consumed: usize,
+    },
+    /// Input ended mid-frame: a writer died between starting and finishing
+    /// this record. Everything before it is intact; the tail is garbage.
+    TornTail,
+    /// The frame is structurally complete but its payload fails the CRC
+    /// (or its declared length exceeds `max_len`) — bit rot or an
+    /// in-flight corruption, not a clean truncation.
+    Corrupt,
+    /// Clean end of input: no bytes remain.
+    End,
+}
+
+/// Reads one frame from the front of `data`.
+///
+/// `max_len` bounds the declared payload length; anything larger is
+/// reported as [`FrameRead::Corrupt`] rather than trusted (a flipped bit
+/// in the length field must not drive a multi-gigabyte read).
+pub fn read_frame(data: &[u8], max_len: u32) -> FrameRead<'_> {
+    if data.is_empty() {
+        return FrameRead::End;
+    }
+    if data.len() < FRAME_HEADER_LEN {
+        return FrameRead::TornTail;
+    }
+    let len = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if len > max_len {
+        return FrameRead::Corrupt;
+    }
+    let end = FRAME_HEADER_LEN + len as usize;
+    if data.len() < end {
+        return FrameRead::TornTail;
+    }
+    let payload = &data[FRAME_HEADER_LEN..end];
+    if crc32(payload) != crc {
+        return FrameRead::Corrupt;
+    }
+    FrameRead::Frame {
+        payload,
+        consumed: end,
+    }
+}
 
 /// Append-only encoder.
 #[derive(Debug, Default, Clone)]
@@ -239,5 +325,60 @@ mod tests {
         let buf = [0x80u8; 11];
         let mut dec = Decoder::new(&buf);
         assert!(dec.get_varu64().is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let framed = frame(b"hello");
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + 5);
+        match read_frame(&framed, 1 << 20) {
+            FrameRead::Frame { payload, consumed } => {
+                assert_eq!(payload, b"hello");
+                assert_eq!(consumed, framed.len());
+            }
+            other => panic!("expected Frame, got {other:?}"),
+        }
+        assert_eq!(read_frame(&[], 1 << 20), FrameRead::End);
+    }
+
+    #[test]
+    fn frame_every_truncation_is_a_torn_tail() {
+        let framed = frame(b"payload bytes");
+        for cut in 1..framed.len() {
+            assert_eq!(
+                read_frame(&framed[..cut], 1 << 20),
+                FrameRead::TornTail,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_bit_flip_is_corrupt_or_torn() {
+        let framed = frame(b"sensitive");
+        for byte in 0..framed.len() {
+            let mut damaged = framed.clone();
+            damaged[byte] ^= 0x01;
+            match read_frame(&damaged, 1 << 20) {
+                // A flipped length byte may make the frame look longer
+                // than the input (TornTail) or oversized (Corrupt); a
+                // flipped CRC/payload byte must always be Corrupt.
+                FrameRead::Corrupt | FrameRead::TornTail => {}
+                other => panic!("flip at {byte} yielded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_oversized_length_rejected() {
+        let framed = frame(b"x");
+        assert_eq!(read_frame(&framed, 0), FrameRead::Corrupt);
     }
 }

@@ -59,6 +59,9 @@ pub enum Error {
     Arch(String),
     /// Binary decoding failure.
     Codec(String),
+    /// Persistent-store failure (dead store after a crash, unwritable
+    /// directory, snapshot/WAL I/O error).
+    Store(String),
 }
 
 impl std::fmt::Display for Error {
@@ -71,6 +74,7 @@ impl std::fmt::Display for Error {
             Error::Cad(m) => write!(f, "cad: {m}"),
             Error::Arch(m) => write!(f, "arch: {m}"),
             Error::Codec(m) => write!(f, "codec: {m}"),
+            Error::Store(m) => write!(f, "store: {m}"),
         }
     }
 }

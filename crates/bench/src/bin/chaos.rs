@@ -8,7 +8,12 @@
 //!    degraded session still computes the right answers;
 //! 3. **Zero overhead when off** — a session carrying a zero-rate plan is
 //!    byte-identical (same [`AdaptiveOutcome::fingerprint`]) to a session
-//!    with no injector at all.
+//!    with no injector at all;
+//! 4. **Store survives the storm** — every session journals to a
+//!    crash-consistent store whose WAL is hit by the same fault plan
+//!    ([`FaultSite::StoreWal`] media corruption); the store must never
+//!    change workload observables, and recovery after the session must
+//!    always succeed (corrupted records are CRC-dropped, not fatal).
 //!
 //! Usage: `cargo run --release -p jitise-bench --bin chaos [seed]`
 //!
@@ -19,8 +24,10 @@ use jitise_core::{
     run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, EvalContext,
 };
 use jitise_faults::{FaultInjector, FaultPlan};
+use jitise_store::{Store, StoreOptions, TempDir};
 use jitise_telemetry::{names, Telemetry};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const APPS: [&str; 3] = ["adpcm", "sor", "fft"];
@@ -30,7 +37,7 @@ const READY_AFTER: u32 = 2;
 
 /// One adaptive session under the given injector. Fresh context, cache,
 /// and quarantine per session: no state leaks between sweep points.
-fn session(app: &App, faults: FaultInjector) -> (AdaptiveOutcome, u64) {
+fn session(app: &App, faults: FaultInjector, store: Option<Arc<Store>>) -> (AdaptiveOutcome, u64) {
     let telemetry = Telemetry::enabled();
     let ctx = EvalContext::with_telemetry(telemetry.clone());
     let cache = BitstreamCache::new();
@@ -40,6 +47,7 @@ fn session(app: &App, faults: FaultInjector) -> (AdaptiveOutcome, u64) {
         // not 30 s of harness wall time.
         watchdog: Duration::from_millis(500),
         faults,
+        store,
         ..AdaptiveOptions::default()
     };
     let outcome = run_adaptive_with(
@@ -64,14 +72,14 @@ fn main() -> ExitCode {
         .unwrap_or(2011); // the paper's year
     println!("=== jitise chaos sweep (seed {seed}) ===\n");
     println!(
-        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9}  verdict",
-        "app", "rate", "injected", "failed", "retries", "degraded", "speedup"
+        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9} {:>7}  verdict",
+        "app", "rate", "injected", "failed", "retries", "degraded", "speedup", "rec'd"
     );
 
     let mut failures = 0u32;
     for app_name in APPS {
         let app = App::build(app_name).expect("paper app");
-        let (baseline, _) = session(&app, FaultInjector::disabled());
+        let (baseline, _) = session(&app, FaultInjector::disabled(), None);
         assert!(
             baseline.results.iter().all(|r| r.is_some()),
             "{app_name}: workload must return a value"
@@ -79,7 +87,33 @@ fn main() -> ExitCode {
 
         for rate in RATES {
             let plan = FaultPlan::uniform(rate, seed);
-            let (outcome, injected) = session(&app, FaultInjector::from_plan(plan));
+            // Every session journals to a store whose WAL sees the same
+            // fault plan (media corruption on the write path). A fresh
+            // temp dir per sweep point: nothing leaks, nothing lands in
+            // the repository.
+            let store_dir = TempDir::new("chaos");
+            let store = Arc::new(
+                Store::open_with(
+                    store_dir.path(),
+                    StoreOptions {
+                        faults: FaultInjector::from_plan(plan.clone()),
+                        ..StoreOptions::default()
+                    },
+                )
+                .expect("fresh store must open"),
+            );
+            let (outcome, injected) = session(
+                &app,
+                FaultInjector::from_plan(plan),
+                Some(Arc::clone(&store)),
+            );
+            drop(store);
+            // Post-mortem restart: recovery must succeed whatever the
+            // injector wrote; corrupted records are dropped, not fatal.
+            let recovered = match Store::open(store_dir.path()) {
+                Ok(s) => s.recovery().records_recovered,
+                Err(_) => u64::MAX,
+            };
 
             let mut verdict = Vec::new();
             if outcome.results != baseline.results {
@@ -91,6 +125,9 @@ fn main() -> ExitCode {
             if rate == 0.0 && injected != 0 {
                 verdict.push("ZERO-RATE INJECTED");
             }
+            if recovered == u64::MAX {
+                verdict.push("STORE RECOVERY FAILED");
+            }
             let ok = verdict.is_empty();
             failures += u32::from(!ok);
 
@@ -100,7 +137,7 @@ fn main() -> ExitCode {
                 .map(|r| (r.failed.len(), r.retries))
                 .unwrap_or((0, 0));
             println!(
-                "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9.2}  {}",
+                "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9.2} {:>7}  {}",
                 app_name,
                 rate,
                 injected,
@@ -112,6 +149,7 @@ fn main() -> ExitCode {
                     .map(|d| format!("{d:?}"))
                     .unwrap_or_else(|| "-".into()),
                 outcome.observed_speedup,
+                recovered,
                 if ok {
                     "ok".to_string()
                 } else {

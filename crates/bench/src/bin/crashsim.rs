@@ -1,0 +1,243 @@
+//! Crash-sim harness: sweeps the store's crash-point budget across a full
+//! adaptive session and proves the persistence contract of DESIGN.md §11:
+//!
+//! 1. **Recovery always succeeds** — whatever byte the process died at,
+//!    [`Store::open`] returns `Ok` on the survivor's first restart;
+//! 2. **Recovered = committed** — the reopened store's state fingerprint
+//!    equals the crashed session's in-memory fold of *acknowledged*
+//!    appends: never an uncommitted suffix, never a lost committed record;
+//! 3. **Warm restart is observationally honest** — a second session fed by
+//!    the recovered store is bit-identical (same report fingerprint) to a
+//!    session whose cache and quarantine were seeded by hand from the
+//!    recovered state;
+//! 4. **Break-even improves** (§VI-A) — the warm session's adaptation
+//!    overhead never exceeds the cold session's, and vanishes entirely
+//!    when the whole cache survived;
+//! 5. **Transparency** — a store-attached session is byte-identical
+//!    (same [`AdaptiveOutcome::fingerprint`]) to a storeless one, and a
+//!    mid-session store death never changes workload results.
+//!
+//! Usage: `cargo run --release -p jitise-bench --bin crashsim [app] [--full]`
+//!
+//! By default the budget axis is strided (~16 crash points plus the
+//! endpoints); `--full` sweeps every byte boundary. Exits non-zero on the
+//! first violated invariant. All store files live in the system temp dir —
+//! the harness never writes inside the repository.
+
+use jitise_apps::App;
+use jitise_core::{
+    run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, EvalContext,
+};
+use jitise_faults::{CrashSwitch, Quarantine, StoreCrash};
+use jitise_store::{Store, StoreOptions, TempDir};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const TOTAL_RUNS: u32 = 4;
+const READY_AFTER: u32 = 2;
+/// Interior crash points in the default (strided) sweep.
+const SWEEP_POINTS: u64 = 16;
+
+/// One adaptive session: fresh context and cache, explicit options.
+fn session(app: &App, cache: &BitstreamCache, options: &AdaptiveOptions) -> AdaptiveOutcome {
+    let ctx = EvalContext::new();
+    let args = app.datasets[0].args.clone();
+    run_adaptive_with(
+        &ctx,
+        cache,
+        &app.module,
+        app.entry,
+        &args,
+        TOTAL_RUNS,
+        READY_AFTER,
+        options,
+    )
+    .expect("session must terminate gracefully")
+}
+
+fn store_options(crash: CrashSwitch) -> StoreOptions {
+    StoreOptions {
+        crash,
+        ..StoreOptions::default()
+    }
+}
+
+fn options_with_store(store: Option<Arc<Store>>) -> AdaptiveOptions {
+    AdaptiveOptions {
+        store,
+        ..AdaptiveOptions::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut app_name = "adpcm".to_string();
+    let mut full = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--full" {
+            full = true;
+        } else {
+            app_name = arg;
+        }
+    }
+    let app = App::build(&app_name).expect("paper app");
+    println!("=== jitise crash-sim sweep ({app_name}) ===\n");
+
+    // Cold baseline: no store at all. Every sweep point is measured
+    // against this session's observables.
+    let base = session(&app, &BitstreamCache::new(), &AdaptiveOptions::default());
+    let base_report = base.report.as_ref().expect("baseline must specialize");
+    let candidates = base_report.candidates.len();
+    assert!(candidates > 0, "{app_name}: no specialization candidates");
+    println!(
+        "cold session: {candidates} candidates, overhead {} ns",
+        base.overhead.as_nanos()
+    );
+
+    // Transparency + write-volume probe: the same session with a store
+    // attached (never crashing) must be byte-identical, and tells us the
+    // total byte budget the sweep walks.
+    let probe_dir = TempDir::new("crashsim-probe");
+    let probe_store = Arc::new(
+        Store::open_with(probe_dir.path(), store_options(CrashSwitch::disabled()))
+            .expect("probe store"),
+    );
+    let probed = session(
+        &app,
+        &BitstreamCache::new(),
+        &options_with_store(Some(Arc::clone(&probe_store))),
+    );
+    let mut failures = 0u32;
+    if probed.fingerprint() != base.fingerprint() {
+        eprintln!("TRANSPARENCY VIOLATED: store-attached session diverged from storeless");
+        failures += 1;
+    }
+    let total = probe_store.bytes_written();
+    drop(probe_store);
+    println!("store-attached session: transparent, {total} bytes journaled\n");
+
+    let stride = if full {
+        1
+    } else {
+        (total / SWEEP_POINTS).max(1)
+    };
+    let budgets: Vec<u64> = (0..=total)
+        .step_by(stride as usize)
+        .chain(std::iter::once(total))
+        .collect();
+
+    println!(
+        "{:>7} {:>8} {:>7} {:>5} {:>4} {:>10} {:>12}  verdict",
+        "budget", "records", "entries", "torn", "crc", "warm hits", "warm ovh ns"
+    );
+    for budget in budgets {
+        let dir = TempDir::new("crashsim-sweep");
+        let crash = CrashSwitch::armed(StoreCrash {
+            after_bytes: budget,
+        });
+
+        // Crashed cold session. Opening the store can itself die (budget
+        // inside the WAL header) — then nothing was ever acknowledged.
+        let acked = match Store::open_with(dir.path(), store_options(crash)) {
+            Ok(store) => {
+                let store = Arc::new(store);
+                let out = session(
+                    &app,
+                    &BitstreamCache::new(),
+                    &options_with_store(Some(Arc::clone(&store))),
+                );
+                // A store death mid-session must never leak into the
+                // workload: the whole outcome stays byte-identical.
+                if out.fingerprint() != base.fingerprint() {
+                    eprintln!("budget {budget}: CRASHED SESSION DIVERGED FROM BASELINE");
+                    failures += 1;
+                }
+                store.fingerprint()
+            }
+            Err(_) => jitise_store::StoreState::default().fingerprint(),
+        };
+
+        // Invariants 1 + 2: recovery succeeds and restores exactly the
+        // acknowledged records.
+        let recovered = match Store::open(dir.path()) {
+            Ok(store) => Arc::new(store),
+            Err(e) => {
+                eprintln!("budget {budget}: RECOVERY FAILED: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let mut verdict = Vec::new();
+        if recovered.fingerprint() != acked {
+            verdict.push("RECOVERED != COMMITTED");
+        }
+        let rec = recovered.recovery().clone();
+        let state = recovered.state();
+
+        // Invariant 3: warm restart ≡ hand-seeded session.
+        let warm = session(
+            &app,
+            &BitstreamCache::new(),
+            &options_with_store(Some(Arc::clone(&recovered))),
+        );
+        let seeded_cache = BitstreamCache::new();
+        seeded_cache.absorb_store(&state);
+        let seeded_quarantine = Arc::new(Quarantine::new());
+        for (sig, reason) in &state.quarantine {
+            seeded_quarantine.insert(*sig, reason);
+        }
+        let reference = session(
+            &app,
+            &seeded_cache,
+            &AdaptiveOptions {
+                quarantine: seeded_quarantine,
+                ..AdaptiveOptions::default()
+            },
+        );
+        let warm_report = warm.report.as_ref().expect("warm session must specialize");
+        let ref_report = reference
+            .report
+            .as_ref()
+            .expect("reference must specialize");
+        if warm_report.fingerprint() != ref_report.fingerprint() {
+            verdict.push("WARM != SEEDED");
+        }
+
+        // Invariant 4: §VI-A break-even never regresses, and a fully
+        // recovered cache erases the adaptation overhead entirely.
+        if warm.overhead > base.overhead {
+            verdict.push("OVERHEAD REGRESSED");
+        }
+        if budget >= total
+            && (warm.overhead.as_nanos() != 0 || warm_report.cache_hits != candidates)
+        {
+            verdict.push("FULL CACHE NOT WARM");
+        }
+
+        let ok = verdict.is_empty();
+        failures += u32::from(!ok);
+        println!(
+            "{:>7} {:>8} {:>7} {:>5} {:>4} {:>10} {:>12}  {}",
+            budget,
+            rec.records_recovered,
+            rec.recovered_entries,
+            rec.torn_tails_dropped,
+            rec.crc_dropped,
+            warm_report.cache_hits,
+            warm.overhead.as_nanos(),
+            if ok {
+                "ok".to_string()
+            } else {
+                verdict.join(", ")
+            }
+        );
+    }
+
+    println!();
+    if failures == 0 {
+        println!("crash-sim sweep passed: every crash point recovered the committed prefix");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("crash-sim sweep FAILED: {failures} invariant violations");
+        ExitCode::FAILURE
+    }
+}

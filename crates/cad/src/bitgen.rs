@@ -30,18 +30,9 @@ pub struct Bitstream {
 /// Sync word opening every bitstream (Xilinx-style).
 const SYNC_WORD: u32 = 0xAA99_5566;
 
-/// Simple CRC32 (IEEE polynomial, bitwise; bitstreams are small).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC32 over bitstream frame payloads (the shared IEEE implementation
+/// from `jitise-base`, re-exported so cad callers keep their import path).
+pub use jitise_base::codec::crc32;
 
 /// Generates the partial bitstream for a routed design.
 pub fn bitgen(

@@ -16,6 +16,8 @@ use jitise_base::codec::{Decoder, Encoder};
 use jitise_base::sync::RwLock;
 use jitise_base::{Error, Result, SimTime};
 use jitise_cad::{Bitstream, TimingReport};
+use jitise_store::{CiRecord, StoreState};
+use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use std::collections::HashMap;
 
 /// A cached implementation of one custom instruction.
@@ -29,6 +31,28 @@ pub struct CachedCi {
     pub timing: TimingReport,
     /// Total generation time this entry saves on a hit (C2V + full flow).
     pub generation_time: SimTime,
+}
+
+impl From<CachedCi> for CiRecord {
+    fn from(e: CachedCi) -> CiRecord {
+        CiRecord {
+            signature: e.signature,
+            bitstream: e.bitstream,
+            timing: e.timing,
+            generation_time: e.generation_time,
+        }
+    }
+}
+
+impl From<CiRecord> for CachedCi {
+    fn from(r: CiRecord) -> CachedCi {
+        CachedCi {
+            signature: r.signature,
+            bitstream: r.bitstream,
+            timing: r.timing,
+            generation_time: r.generation_time,
+        }
+    }
 }
 
 /// Thread-safe signature-keyed bitstream cache.
@@ -139,6 +163,42 @@ impl BitstreamCache {
         Self::decode(data, true)
     }
 
+    /// [`Self::from_bytes_resilient`] with the dropped count surfaced to
+    /// telemetry: the `bitstream_cache.dropped` counter and a
+    /// `cache.load_dropped` journal event, so a disk-load that silently
+    /// loses poisoned entries is visible in the phase journal.
+    pub fn load_resilient(data: &[u8], tel: &Telemetry) -> Result<(BitstreamCache, usize)> {
+        let (cache, dropped) = Self::decode(data, true)?;
+        if dropped > 0 {
+            tel.add(names::BITSTREAM_CACHE_DROPPED, dropped as u64);
+            tel.event(
+                "cache.load_dropped",
+                &[
+                    ("dropped", TelValue::U64(dropped as u64)),
+                    ("kept", TelValue::U64(cache.len() as u64)),
+                ],
+            );
+        }
+        Ok((cache, dropped))
+    }
+
+    /// Hydrates this cache from a recovered [`StoreState`] (warm
+    /// restart). Existing entries win over recovered ones — the store is
+    /// a snapshot of a *previous* session, so anything already cached in
+    /// this one is at least as fresh. Returns the number of entries
+    /// absorbed.
+    pub fn absorb_store(&self, state: &StoreState) -> usize {
+        let mut map = self.map.write();
+        let mut absorbed = 0usize;
+        for (sig, rec) in &state.entries {
+            if !map.contains_key(sig) {
+                map.insert(*sig, CachedCi::from(rec.clone()));
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
     fn decode(data: &[u8], drop_poisoned: bool) -> Result<(BitstreamCache, usize)> {
         let mut dec = Decoder::new(data);
         let magic = dec.get_str()?;
@@ -199,21 +259,7 @@ impl BitstreamCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn sample_entry(sig: u64) -> CachedCi {
-        let fabric = jitise_cad::Fabric::tiny();
-        let nl = jitise_pivpav::netlist::synthesize_core("x", 4, 8, 2, 0, sig);
-        let p = jitise_cad::place(&fabric, &nl, jitise_cad::PlaceEffort::fast(), 1).unwrap();
-        let r = jitise_cad::route(&fabric, &nl, &p, jitise_cad::RouteEffort::fast()).unwrap();
-        let bitstream = jitise_cad::bitgen(&fabric, &nl, &p, &r, true);
-        let timing = jitise_cad::analyze(&fabric, &nl, &p, &r);
-        CachedCi {
-            signature: sig,
-            bitstream,
-            timing,
-            generation_time: SimTime::from_secs(220),
-        }
-    }
+    use crate::testfix::sample_cached_ci as sample_entry;
 
     #[test]
     fn get_put_and_stats() {
@@ -330,5 +376,72 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn cached_ci_converts_to_store_record_and_back() {
+        let entry = sample_entry(11);
+        let rec = CiRecord::from(entry.clone());
+        assert!(rec.bitstream.verify(), "fixture bitstreams are valid");
+        let back = CachedCi::from(rec);
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn load_resilient_surfaces_dropped_count_in_telemetry() {
+        let c = BitstreamCache::new();
+        c.put(sample_entry(1));
+        c.put(sample_entry(2));
+        let mut bytes = c.to_bytes();
+        let payload = c.get(2).unwrap().bitstream.bytes;
+        let pos = bytes
+            .windows(payload.len())
+            .position(|w| w == payload)
+            .expect("entry 2 payload present in image");
+        bytes[pos + payload.len() / 2] ^= 0x40;
+
+        let tel = Telemetry::enabled();
+        let (salvaged, dropped) = BitstreamCache::load_resilient(&bytes, &tel).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(salvaged.len(), 1);
+        let snap = tel.snapshot();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(n, v)| n == names::BITSTREAM_CACHE_DROPPED && *v == 1),
+            "counters: {:?}",
+            snap.counters
+        );
+        assert!(
+            snap.events.iter().any(|e| e.name == "cache.load_dropped"),
+            "journal must record the lossy load"
+        );
+
+        // A clean image records nothing.
+        let tel2 = Telemetry::enabled();
+        let (_, dropped) = BitstreamCache::load_resilient(&c.to_bytes(), &tel2).unwrap();
+        assert_eq!(dropped, 0);
+        assert!(tel2.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn absorb_store_hydrates_without_clobbering_fresh_entries() {
+        let fresh = sample_entry(1);
+        let mut stale = sample_entry(1);
+        stale.generation_time = SimTime::from_secs(999);
+        let state = StoreState::from_records(vec![
+            jitise_store::Record::CacheEntry(stale.into()),
+            jitise_store::Record::CacheEntry(sample_entry(2).into()),
+        ]);
+        let c = BitstreamCache::new();
+        c.put(fresh.clone());
+        assert_eq!(c.absorb_store(&state), 1, "only the new signature lands");
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.get(1).unwrap().generation_time,
+            fresh.generation_time,
+            "the in-session entry wins over the recovered one"
+        );
+        assert!(c.get(2).is_some());
     }
 }

@@ -51,6 +51,7 @@ use jitise_ise::{candidate_search, Candidate, SearchConfig, SearchOutcome};
 use jitise_pivpav::{
     create_project_with, C2vTiming, CadProject, CircuitDb, NetlistCache, PivPavEstimator,
 };
+use jitise_store::{FaultTotals, Record, Store};
 use jitise_telemetry::{names, Span, Telemetry, Value as TelValue};
 use jitise_vm::{BlockKey, Profile};
 use jitise_woolcano::{patch_candidate, ReconfigController, Woolcano};
@@ -88,6 +89,14 @@ pub struct SpecializeConfig {
     /// serialized in selection order — and shrink the report's `makespan`
     /// while leaving every other observable bit-identical.
     pub cad_workers: usize,
+    /// Optional crash-consistent store. When set, every *freshly*
+    /// generated candidate, every newly quarantined signature, and the
+    /// session's fault totals are journaled at commit time (the serial
+    /// finalize pass), so a warm restart recovers them. Journaling is
+    /// fire-and-forget: a dead store never fails the pipeline (append
+    /// failures are counted by the store's own telemetry), and `None`
+    /// (the default) is byte-identical to a storeless run.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for SpecializeConfig {
@@ -102,6 +111,7 @@ impl Default for SpecializeConfig {
             retry: RetryPolicy::default(),
             quarantine: Arc::new(Quarantine::new()),
             cad_workers: 1,
+            store: None,
         }
     }
 }
@@ -773,6 +783,7 @@ pub fn specialize(
     let mut par_time = SimTime::ZERO;
     let mut cache_hits = 0usize;
     let mut retries = 0u64;
+    let mut newly_quarantined = 0u64;
     let mut fault = Loss::default();
     let mut charges: Vec<SimTime> = Vec::with_capacity(prepared.len());
     let max_attempts = config.retry.max_attempts.max(1);
@@ -917,6 +928,13 @@ pub fn specialize(
                     tel.add(names::BITSTREAM_CACHE_HITS, 1);
                 } else {
                     tel.add(names::BITSTREAM_CACHE_MISSES, 1);
+                    // Commit the freshly generated implementation to the
+                    // persistent store (cache hits were journaled by the
+                    // session that generated them). Fire-and-forget: a
+                    // dead store must never fail the candidate.
+                    if let Some(store) = &config.store {
+                        let _ = store.append(Record::CacheEntry(p.entry.clone().into()));
+                    }
                 }
                 const_time += p.c2v + p.const_stages;
                 map_time += p.map;
@@ -968,6 +986,13 @@ pub fn specialize(
                             ("error", TelValue::Str(error.clone())),
                         ],
                     );
+                    newly_quarantined += 1;
+                    if let Some(store) = &config.store {
+                        let _ = store.append(Record::Quarantine {
+                            signature,
+                            reason: error.clone(),
+                        });
+                    }
                 }
                 cand_tel.event(
                     "candidate.failed",
@@ -1000,6 +1025,17 @@ pub fn specialize(
     let sum_time = const_time + map_time + par_time;
     let cpu_time: SimTime = charges.iter().copied().sum();
     debug_assert_eq!(cpu_time, sum_time + fault.total());
+
+    // Journal the cumulative fault-ledger totals (latest-wins on replay).
+    if let Some(store) = &config.store {
+        let prior = store.state().totals;
+        let _ = store.append(Record::FaultTotals(FaultTotals {
+            sessions: prior.sessions + 1,
+            retries: prior.retries + retries,
+            quarantined: prior.quarantined + newly_quarantined,
+            fault_time_ns: prior.fault_time_ns.saturating_add(fault.total().as_nanos()),
+        }));
+    }
     let lanes = config.cad_workers.max(1);
     let makespan = lane_makespan(lanes, &charges);
     root.set_sim_time(cpu_time);

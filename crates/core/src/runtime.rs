@@ -24,6 +24,7 @@ use jitise_base::hash::SigHasher;
 use jitise_base::{Error, Result, SimTime};
 use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::Module;
+use jitise_store::Store;
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::{Interpreter, Profile, Value};
 use jitise_woolcano::Woolcano;
@@ -63,6 +64,13 @@ pub struct AdaptiveOptions {
     /// sequential pipeline). More lanes shrink the simulated adaptation
     /// overhead; every other observable stays bit-identical.
     pub cad_workers: usize,
+    /// Optional crash-consistent store (opened/recovered by the caller).
+    /// At session start its recovered cache entries hydrate the bitstream
+    /// cache (a warm restart: they count as cache hits) and its recovered
+    /// quarantine signatures are honored; during the session every fresh
+    /// implementation and quarantine decision is journaled back. `None`
+    /// (the default) leaves the session byte-identical to today.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for AdaptiveOptions {
@@ -73,6 +81,7 @@ impl Default for AdaptiveOptions {
             retry: RetryPolicy::default(),
             quarantine: Arc::new(Quarantine::new()),
             cad_workers: 1,
+            store: None,
         }
     }
 }
@@ -236,6 +245,32 @@ pub fn run_adaptive_with(
     let mut root = ctx.telemetry.span("runtime.adaptive");
     let tel = ctx.telemetry.under(&root);
 
+    // Warm restart: hydrate the bitstream cache and the quarantine from
+    // the store's recovered state before any specialization work. The
+    // recovered entries then count as ordinary cache hits, so a second
+    // session after a restart pays zero regeneration overhead (§VI-A's
+    // break-even improves exactly as if the process had never died).
+    if let Some(store) = &options.store {
+        let state = store.state();
+        if !state.is_empty() {
+            let absorbed = cache.absorb_store(&state);
+            let mut quarantined = 0u64;
+            for (sig, reason) in &state.quarantine {
+                if options.quarantine.insert(*sig, reason) {
+                    quarantined += 1;
+                }
+            }
+            tel.add(names::STORE_WARM_RESTARTS, 1);
+            tel.event(
+                "runtime.warm_restart",
+                &[
+                    ("entries_absorbed", TelValue::U64(absorbed as u64)),
+                    ("quarantine_absorbed", TelValue::U64(quarantined)),
+                ],
+            );
+        }
+    }
+
     // Profiling run.
     let mut vm = Interpreter::new(module);
     vm.set_telemetry(tel.clone());
@@ -273,6 +308,7 @@ pub fn run_adaptive_with(
         let worker_retry = options.retry;
         let worker_lanes = options.cad_workers;
         let worker_quarantine = Arc::clone(&options.quarantine);
+        let worker_store = options.store.clone();
         let watchdog = options.watchdog;
         scope.spawn(move || {
             let wspan = worker_tel.span("runtime.worker");
@@ -312,6 +348,7 @@ pub fn run_adaptive_with(
                         retry: worker_retry,
                         quarantine: worker_quarantine,
                         cad_workers: worker_lanes,
+                        store: worker_store,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -522,6 +559,118 @@ mod tests {
             start.elapsed() < Duration::from_secs(3),
             "took {:?}",
             start.elapsed()
+        );
+    }
+
+    #[test]
+    fn warm_restart_serves_recovered_entries_as_cache_hits() {
+        use jitise_store::{Store, StoreOptions, TempDir};
+        let tmp = TempDir::new("runtime-warm");
+        let m = hot_module();
+
+        // Session 1: fresh process, store-backed. Everything is a miss and
+        // gets journaled.
+        {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+            let opts = AdaptiveOptions {
+                store: Some(Arc::clone(&store)),
+                ..AdaptiveOptions::default()
+            };
+            let out = run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2, &opts)
+                .unwrap();
+            let report = out.report.as_ref().unwrap();
+            assert_eq!(report.cache_hits, 0);
+            assert!(!report.candidates.is_empty());
+            assert!(
+                !store.state().entries.is_empty(),
+                "commits must be journaled"
+            );
+        }
+
+        // Session 2: simulated process restart — fresh cache, fresh store
+        // handle recovered from disk. Every candidate must be a cache hit
+        // and the adaptation overhead must vanish.
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+        assert!(!store.recovery().wal_stale);
+        let opts = AdaptiveOptions {
+            store: Some(Arc::clone(&store)),
+            ..AdaptiveOptions::default()
+        };
+        let out =
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2, &opts).unwrap();
+        let report = out.report.as_ref().unwrap();
+        assert_eq!(
+            report.cache_hits,
+            report.candidates.len(),
+            "warm restart must serve every candidate from the recovered cache"
+        );
+        assert_eq!(out.overhead, SimTime::ZERO);
+    }
+
+    #[test]
+    fn warm_restart_matches_session_seeded_with_recovered_cache() {
+        use jitise_store::{Store, StoreOptions, TempDir};
+        let tmp = TempDir::new("runtime-warm-ident");
+        let m = hot_module();
+        {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+            let opts = AdaptiveOptions {
+                store: Some(store),
+                ..AdaptiveOptions::default()
+            };
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(700)], 4, 2, &opts).unwrap();
+        }
+        let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+
+        // Reference: a storeless session whose cache was seeded by hand
+        // from the recovered state.
+        let ctx = EvalContext::new();
+        let seeded = BitstreamCache::new();
+        seeded.absorb_store(&store.state());
+        let want = run_adaptive(&ctx, &seeded, &m, "main", &[Value::I(700)], 4, 2).unwrap();
+
+        // Warm restart through the store must be observationally identical.
+        let ctx2 = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let opts = AdaptiveOptions {
+            store: Some(store),
+            ..AdaptiveOptions::default()
+        };
+        let got =
+            run_adaptive_with(&ctx2, &cache, &m, "main", &[Value::I(700)], 4, 2, &opts).unwrap();
+        assert_eq!(
+            got.report.as_ref().unwrap().fingerprint(),
+            want.report.as_ref().unwrap().fingerprint(),
+            "warm restart must be bit-identical to a hand-seeded session"
+        );
+        assert_eq!(got.fingerprint(), want.fingerprint());
+    }
+
+    #[test]
+    fn storeless_session_is_byte_identical_to_default() {
+        let m = hot_module();
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let base = run_adaptive(&ctx, &cache, &m, "main", &[Value::I(900)], 4, 2).unwrap();
+
+        let ctx2 = EvalContext::new();
+        let cache2 = BitstreamCache::new();
+        let opts = AdaptiveOptions {
+            store: None,
+            ..AdaptiveOptions::default()
+        };
+        let out =
+            run_adaptive_with(&ctx2, &cache2, &m, "main", &[Value::I(900)], 4, 2, &opts).unwrap();
+        assert_eq!(
+            out.fingerprint(),
+            base.fingerprint(),
+            "store: None must leave the session untouched"
         );
     }
 

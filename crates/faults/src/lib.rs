@@ -27,7 +27,7 @@
 //! (byte-identical reports to a run without any injector).
 
 use jitise_base::hash::SigHasher;
-use jitise_base::sync::RwLock;
+use jitise_base::sync::{Mutex, RwLock};
 use jitise_base::SimTime;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -54,11 +54,15 @@ pub enum FaultSite {
     WorkerStall,
     /// The background specialization worker dies without reporting.
     WorkerDeath,
+    /// A persistent-store WAL record corrupted between the commit and the
+    /// platters (silent media corruption): the in-session write succeeds,
+    /// but recovery must CRC-drop the record instead of trusting it.
+    StoreWal,
 }
 
 impl FaultSite {
     /// Every site, in stable order (indexes [`FaultPlan`] rate storage).
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::CadSynthesis,
         FaultSite::CadMap,
         FaultSite::CadPlace,
@@ -68,6 +72,7 @@ impl FaultSite {
         FaultSite::CacheEntry,
         FaultSite::WorkerStall,
         FaultSite::WorkerDeath,
+        FaultSite::StoreWal,
     ];
 
     /// Stable short name (telemetry fields, error messages).
@@ -82,6 +87,7 @@ impl FaultSite {
             FaultSite::CacheEntry => "cache.entry",
             FaultSite::WorkerStall => "worker.stall",
             FaultSite::WorkerDeath => "worker.death",
+            FaultSite::StoreWal => "store.wal",
         }
     }
 
@@ -261,6 +267,84 @@ impl FaultInjector {
             }
         }
         Some(kind)
+    }
+}
+
+/// A deterministic crash point for the persistent store: the backing
+/// files stop accepting writes after exactly `after_bytes` further bytes
+/// — mid-record, mid-snapshot, wherever the budget lands. This models a
+/// process kill (power loss, OOM-kill, SIGKILL) at an arbitrary write
+/// boundary; the crash-sim harness sweeps `after_bytes` across a full
+/// app run and asserts that recovery always restores exactly the
+/// committed prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreCrash {
+    /// Write budget in bytes; the write that would exceed it is truncated
+    /// at the boundary and every later write is refused.
+    pub after_bytes: u64,
+}
+
+#[derive(Debug)]
+struct CrashState {
+    remaining: Mutex<u64>,
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+/// Cheap-clone write-budget switch the store consults on every file
+/// write. Disabled (the default) it admits everything; armed with a
+/// [`StoreCrash`] it admits bytes until the budget runs dry, then "kills"
+/// the store: the offending write is cut at the exact byte boundary and
+/// all subsequent writes are refused, exactly as a dead process would
+/// leave the file system.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSwitch {
+    state: Option<Arc<CrashState>>,
+}
+
+impl CrashSwitch {
+    /// The no-op switch: every write is admitted in full.
+    pub fn disabled() -> CrashSwitch {
+        CrashSwitch::default()
+    }
+
+    /// A switch armed with a crash point.
+    pub fn armed(plan: StoreCrash) -> CrashSwitch {
+        CrashSwitch {
+            state: Some(Arc::new(CrashState {
+                remaining: Mutex::new(plan.after_bytes),
+                tripped: std::sync::atomic::AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Asks to write `want` bytes; returns how many may actually reach
+    /// the file. A short return means the crash fired *during* this
+    /// write: the caller must persist exactly that prefix and then treat
+    /// the store as dead.
+    pub fn admit(&self, want: usize) -> usize {
+        let Some(state) = &self.state else {
+            return want;
+        };
+        if state.tripped.load(std::sync::atomic::Ordering::Relaxed) {
+            return 0;
+        }
+        let mut remaining = state.remaining.lock();
+        let allowed = (*remaining).min(want as u64) as usize;
+        *remaining -= allowed as u64;
+        if allowed < want {
+            state
+                .tripped
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        allowed
+    }
+
+    /// True once the crash has fired (some write was cut short).
+    pub fn is_tripped(&self) -> bool {
+        self.state
+            .as_ref()
+            .map(|s| s.tripped.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(false)
     }
 }
 
@@ -495,6 +579,44 @@ mod tests {
         assert!(!q.contains(43));
         assert_eq!(q.len(), 1);
         assert_eq!(q.reason(42).as_deref(), Some("cad: injected"));
+    }
+
+    #[test]
+    fn crash_switch_disabled_admits_everything() {
+        let sw = CrashSwitch::disabled();
+        assert_eq!(sw.admit(usize::MAX), usize::MAX);
+        assert!(!sw.is_tripped());
+    }
+
+    #[test]
+    fn crash_switch_cuts_at_the_exact_byte_boundary() {
+        let sw = CrashSwitch::armed(StoreCrash { after_bytes: 10 });
+        assert_eq!(sw.admit(4), 4);
+        assert!(!sw.is_tripped());
+        // 6 bytes left; a 9-byte write is cut to 6 and trips the switch.
+        assert_eq!(sw.admit(9), 6);
+        assert!(sw.is_tripped());
+        // Dead store: nothing further is admitted.
+        assert_eq!(sw.admit(1), 0);
+        assert_eq!(sw.admit(0), 0);
+    }
+
+    #[test]
+    fn crash_switch_exact_budget_write_succeeds_then_dies() {
+        let sw = CrashSwitch::armed(StoreCrash { after_bytes: 8 });
+        assert_eq!(sw.admit(8), 8);
+        assert!(!sw.is_tripped(), "budget spent exactly is not a crash yet");
+        assert_eq!(sw.admit(1), 0);
+        assert!(sw.is_tripped());
+    }
+
+    #[test]
+    fn crash_switch_clones_share_the_budget() {
+        let sw = CrashSwitch::armed(StoreCrash { after_bytes: 5 });
+        let other = sw.clone();
+        assert_eq!(sw.admit(3), 3);
+        assert_eq!(other.admit(3), 2);
+        assert!(sw.is_tripped() && other.is_tripped());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Shared test fixtures for the jitise-store unit tests.
+
+use crate::record::CiRecord;
+use jitise_base::codec::{crc32, Encoder};
+use jitise_base::SimTime;
+use jitise_cad::{Bitstream, TimingReport};
+
+/// A minimal structurally valid bitstream (sync word, one frame, CRC
+/// trailer) whose payload varies with `seed`, so `Bitstream::verify`
+/// passes without running the CAD flow.
+pub fn tiny_bitstream(seed: u64) -> Bitstream {
+    let payload = {
+        let mut enc = Encoder::new();
+        enc.put_varu32(0); // column header
+        enc.put_u64(seed);
+        enc.finish()
+    };
+    let crc = crc32(&payload);
+    let mut out = Encoder::new();
+    out.put_u64(0xAA99_5566); // bitgen sync word
+    out.put_varu32(1);
+    out.put_varu32(payload.len() as u32);
+    out.put_bytes(&payload);
+    out.put_u64(crc as u64);
+    Bitstream {
+        bytes: out.finish(),
+        frames: 1,
+        crc,
+        partial: true,
+    }
+}
+
+/// A cache-entry record around [`tiny_bitstream`].
+pub fn sample_entry(sig: u64) -> CiRecord {
+    CiRecord {
+        signature: sig,
+        bitstream: tiny_bitstream(sig ^ 0xD1CE),
+        timing: TimingReport {
+            critical_path_ns: 2.5,
+            fmax_mhz: 400.0,
+            critical_cells: 3,
+            meets_300mhz: true,
+        },
+        generation_time: SimTime::from_secs(220),
+    }
+}

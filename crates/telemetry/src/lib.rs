@@ -118,6 +118,26 @@ pub mod names {
     pub const BITSTREAM_CACHE_POISONED: &str = "bitstream_cache.poisoned";
     /// Adaptive sessions degraded to software-only execution.
     pub const RUNTIME_DEGRADED: &str = "runtime.degraded";
+    /// Cache entries dropped by a resilient image load or a store
+    /// recovery because their bitstream failed its CRC.
+    pub const BITSTREAM_CACHE_DROPPED: &str = "bitstream_cache.dropped";
+    /// Persistent-store recoveries performed (one per `Store::open`).
+    pub const STORE_RECOVERIES: &str = "store.recoveries";
+    /// Records replayed from snapshot + WAL during recovery.
+    pub const STORE_RECORDS_RECOVERED: &str = "store.records_recovered";
+    /// Torn tail records dropped during recovery (writer died mid-write).
+    pub const STORE_TORN_TAILS: &str = "store.torn_tails_dropped";
+    /// WAL records dropped during recovery because their CRC failed.
+    pub const STORE_CRC_DROPS: &str = "store.crc_dropped";
+    /// Snapshot compactions performed (WAL folded into an atomic image).
+    pub const STORE_COMPACTIONS: &str = "store.compactions";
+    /// Records durably appended to the store's WAL.
+    pub const STORE_RECORDS_APPENDED: &str = "store.records_appended";
+    /// Store appends that failed (dead or crashed store); the pipeline
+    /// keeps running — persistence is best-effort, never load-bearing.
+    pub const STORE_APPEND_FAILURES: &str = "store.append_failures";
+    /// Warm restarts: sessions hydrated from a recovered store.
+    pub const STORE_WARM_RESTARTS: &str = "store.warm_restarts";
 }
 
 pub(crate) struct Inner {
