@@ -1,0 +1,182 @@
+//! Candidate-search sweep: workers × memo (DESIGN.md §12).
+//!
+//! Runs the parallel, memoizable `candidate_search` over a synthetic
+//! multi-block module (many hot loops → many pruned blocks) and sweeps
+//! `SearchConfig::workers` over {1, 2, 8} with the identification memo
+//! off, cold, and warm. Per point it reports the schedule-model makespan
+//! of the identification stage (`identify_makespan` over the outcome's
+//! per-block work vector — machine-independent, like the CAD sweep's
+//! makespan), the modeled speedup vs one lane, the measured wall-clock of
+//! the whole search (min over repeats), and the memo counters. The
+//! `SearchOutcome` fingerprint is asserted identical across every point —
+//! the sweep doubles as a determinism smoke test.
+//!
+//! Usage: `cargo run --release -p jitise-bench --bin search [-- --smoke]`
+//! (`--smoke` shrinks the module and skips repeats, for CI).
+
+use jitise_base::table::{fnum, TextTable};
+use jitise_ir::{FunctionBuilder, Module, Operand as Op, Type};
+use jitise_ise::{
+    candidate_search, identify_makespan, Algorithm, DepthEstimator, PruneFilter, SearchConfig,
+    SearchMemo, SearchOutcome,
+};
+use jitise_vm::{Interpreter, Profile, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+const LANES: &[usize] = &[1, 2, 8];
+
+/// A module with `loops` hot loops, each a ~14-op feasible body: enough
+/// blocks for lanes to matter and enough per-block enumeration for the
+/// memo to matter.
+fn bench_module(loops: i32) -> Module {
+    let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+    let cell = b.alloca(4);
+    b.store(Op::ci32(1), cell);
+    for k in 0..loops {
+        b.counted_loop(&format!("i{k}"), Op::ci32(0), Op::Arg(0), |b, i| {
+            let acc = b.load(Type::I32, cell);
+            let x = b.mul(acc, i);
+            let y = b.mul(x, Op::ci32(3 + k));
+            let z = b.add(y, i);
+            let s = b.sub(z, Op::ci32(k));
+            let t = b.xor(s, Op::ci32(0x5a ^ k));
+            let u = b.and(t, Op::ci32(0xffff));
+            let v = b.or(u, Op::ci32(1));
+            let w = b.shl(v, Op::ci32(1));
+            let q = b.add(w, x);
+            let r = b.xor(q, z);
+            let e = b.add(r, s);
+            let g = b.mul(e, Op::ci32(7));
+            let h = b.xor(g, i);
+            b.store(h, cell);
+        });
+    }
+    let out = b.load(Type::I32, cell);
+    b.ret(out);
+    let mut m = Module::new("searchbench");
+    m.add_func(b.finish());
+    m
+}
+
+fn profile_of(m: &Module, iters: i64) -> Profile {
+    let mut vm = Interpreter::new(m);
+    vm.run("main", &[Value::I(iters)]).unwrap();
+    vm.take_profile()
+}
+
+fn run_search(
+    m: &Module,
+    p: &Profile,
+    workers: usize,
+    memo: Option<Arc<SearchMemo>>,
+) -> SearchOutcome {
+    let cfg = SearchConfig {
+        filter: PruneFilter::none(),
+        algorithm: Algorithm::SingleCut,
+        workers,
+        memo,
+        ..SearchConfig::default()
+    };
+    candidate_search(m, p, &DepthEstimator::default(), &cfg)
+}
+
+/// Minimum wall-clock over `repeats` identical searches.
+fn timed(
+    m: &Module,
+    p: &Profile,
+    workers: usize,
+    memo: Option<&Arc<SearchMemo>>,
+    repeats: usize,
+) -> (SearchOutcome, Duration) {
+    let mut best: Option<(SearchOutcome, Duration)> = None;
+    for _ in 0..repeats.max(1) {
+        let out = run_search(m, p, workers, memo.cloned());
+        let t = out.real_time;
+        if best.as_ref().is_none_or(|(_, b)| t < *b) {
+            best = Some((out, t));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (loops, iters, repeats) = if smoke { (6, 200, 1) } else { (24, 2_000, 5) };
+
+    let module = bench_module(loops);
+    let profile = profile_of(&module, iters);
+
+    println!("=== candidate-search sweep: workers x memo (SINGLECUT, unpruned) ===");
+    println!(
+        "module: {} blocks, {} insts; identify work is modeled in units\n\
+         (explored subsets + DFG nodes per block), real[ms] is measured\n\
+         wall-clock (min of {repeats} run(s))\n",
+        module.num_blocks(),
+        module.num_insts(),
+    );
+
+    let mut t = TextTable::new(vec![
+        "workers",
+        "memo",
+        "ident[units]",
+        "makespan[units]",
+        "speedup",
+        "real[ms]",
+        "hits",
+        "misses",
+    ]);
+    let mut fingerprint: Option<u64> = None;
+    let mut seq_makespan: Option<u64> = None;
+    let mut check = |out: &SearchOutcome| {
+        let fp = out.fingerprint();
+        match fingerprint {
+            None => fingerprint = Some(fp),
+            Some(first) => assert_eq!(
+                first, fp,
+                "outcome must be identical for any worker count and memo state"
+            ),
+        }
+    };
+    for &workers in LANES {
+        // Memo off.
+        let (out, real) = timed(&module, &profile, workers, None, repeats);
+        check(&out);
+        let total: u64 = out.identify_work.iter().map(|&(_, w)| w).sum();
+        let makespan = identify_makespan(&out.identify_work, workers);
+        let seq = *seq_makespan.get_or_insert(makespan);
+        t.row(vec![
+            workers.to_string(),
+            "off".into(),
+            total.to_string(),
+            makespan.to_string(),
+            fnum(seq as f64 / makespan.max(1) as f64, 2),
+            fnum(real.as_secs_f64() * 1e3, 2),
+            "-".into(),
+            "-".into(),
+        ]);
+        // Memo cold (fresh) then warm (same memo, second search).
+        let memo = Arc::new(SearchMemo::new());
+        for state in ["cold", "warm"] {
+            let repeats = if state == "cold" { 1 } else { repeats };
+            let (out, real) = timed(&module, &profile, workers, Some(&memo), repeats);
+            check(&out);
+            let makespan = identify_makespan(&out.identify_work, workers);
+            t.row(vec![
+                workers.to_string(),
+                state.into(),
+                total.to_string(),
+                makespan.to_string(),
+                fnum(seq as f64 / makespan.max(1) as f64, 2),
+                fnum(real.as_secs_f64() * 1e3, 2),
+                memo.hits().to_string(),
+                memo.misses().to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "fingerprint identical across all {} points: OK",
+        3 * LANES.len()
+    );
+}

@@ -12,7 +12,7 @@ use crate::cache::BitstreamCache;
 use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
 use jitise_apps::App;
 use jitise_base::SimTime;
-use jitise_ise::{candidate_search, PruneFilter, SearchConfig};
+use jitise_ise::{candidate_search, PruneFilter, SearchConfig, SearchMemo};
 use jitise_pivpav::{CircuitDb, NetlistCache, PivPavEstimator};
 use jitise_telemetry::Telemetry;
 use jitise_vm::coverage::{classify, CoverageClass, CoverageReport};
@@ -20,6 +20,7 @@ use jitise_vm::exec_model::ExecTimes;
 use jitise_vm::kernel::{kernel, KernelReport, KERNEL_THRESHOLD};
 use jitise_vm::{CostModel, Profile};
 use jitise_woolcano::Woolcano;
+use std::sync::Arc;
 
 /// Shared evaluation context (databases and caches reused across apps).
 pub struct EvalContext {
@@ -40,6 +41,12 @@ pub struct EvalContext {
     /// (default 1 = the sequential pipeline). Only the report's `makespan`
     /// — and hence the break-even overhead — depends on this.
     pub cad_workers: usize,
+    /// Candidate-search worker lanes for every search this context drives
+    /// (default 1 = sequential). Changes only wall-clock, never results.
+    pub search_workers: usize,
+    /// Optional identification memo shared by every search this context
+    /// drives (default `None` = no caching).
+    pub search_memo: Option<Arc<SearchMemo>>,
 }
 
 impl Default for EvalContext {
@@ -64,6 +71,8 @@ impl EvalContext {
             cost: CostModel::ppc405(),
             telemetry,
             cad_workers: 1,
+            search_workers: 1,
+            search_memo: None,
         }
     }
 }
@@ -119,6 +128,8 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
     // ---- upper bound: no pruning, min size 2, generous budget ----
     let unpruned_cfg = SearchConfig {
         filter: PruneFilter::none(),
+        workers: ctx.search_workers,
+        memo: ctx.search_memo.clone(),
         ..SearchConfig::default()
     };
     let unpruned = candidate_search(&app.module, &profile, &ctx.estimator, &unpruned_cfg);
@@ -135,6 +146,11 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
         &ctx.netlists,
         &ctx.bitstreams,
         &SpecializeConfig {
+            search: SearchConfig {
+                workers: ctx.search_workers,
+                memo: ctx.search_memo.clone(),
+                ..SearchConfig::default()
+            },
             telemetry: ctx.telemetry.clone(),
             cad_workers: ctx.cad_workers,
             ..SpecializeConfig::default()

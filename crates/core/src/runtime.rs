@@ -24,6 +24,7 @@ use jitise_base::hash::SigHasher;
 use jitise_base::{Error, Result, SimTime};
 use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::Module;
+use jitise_ise::{SearchConfig, SearchMemo};
 use jitise_store::Store;
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use jitise_vm::{Interpreter, Profile, Value};
@@ -64,6 +65,13 @@ pub struct AdaptiveOptions {
     /// sequential pipeline). More lanes shrink the simulated adaptation
     /// overhead; every other observable stays bit-identical.
     pub cad_workers: usize,
+    /// Candidate-search worker lanes inside the specialization worker
+    /// (default 1 = sequential search). Changes only wall-clock, never
+    /// results.
+    pub search_workers: usize,
+    /// Optional identification memo. Keep the `Arc` across sessions and
+    /// repeated adaptive searches skip re-identifying unchanged blocks.
+    pub search_memo: Option<Arc<SearchMemo>>,
     /// Optional crash-consistent store (opened/recovered by the caller).
     /// At session start its recovered cache entries hydrate the bitstream
     /// cache (a warm restart: they count as cache hits) and its recovered
@@ -81,6 +89,8 @@ impl Default for AdaptiveOptions {
             retry: RetryPolicy::default(),
             quarantine: Arc::new(Quarantine::new()),
             cad_workers: 1,
+            search_workers: 1,
+            search_memo: None,
             store: None,
         }
     }
@@ -307,6 +317,8 @@ pub fn run_adaptive_with(
         let worker_faults = options.faults.clone();
         let worker_retry = options.retry;
         let worker_lanes = options.cad_workers;
+        let worker_search_lanes = options.search_workers;
+        let worker_search_memo = options.search_memo.clone();
         let worker_quarantine = Arc::clone(&options.quarantine);
         let worker_store = options.store.clone();
         let watchdog = options.watchdog;
@@ -343,6 +355,11 @@ pub fn run_adaptive_with(
                     &ctx.netlists,
                     cache,
                     &SpecializeConfig {
+                        search: SearchConfig {
+                            workers: worker_search_lanes,
+                            memo: worker_search_memo,
+                            ..SearchConfig::default()
+                        },
                         telemetry: wtel.clone(),
                         faults: worker_faults,
                         retry: worker_retry,

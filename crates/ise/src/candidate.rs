@@ -151,9 +151,11 @@ impl Candidate {
     }
 }
 
-/// Stable identity of an operand for distinct-input counting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OperandKey {
+/// Stable identity of an operand for distinct-input counting. Shared with
+/// the single-cut enumeration so its incremental input accounting counts
+/// distinctness exactly like [`Candidate::from_nodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OperandKey {
     Inst(u32),
     Arg(u32),
 }

@@ -54,7 +54,10 @@ impl CandidateEstimate {
 }
 
 /// Estimates the HW/SW cost of candidates.
-pub trait Estimator {
+///
+/// `Sync` because the search driver fans estimation out across worker
+/// lanes that share one `&dyn Estimator`.
+pub trait Estimator: Sync {
     /// Produces an estimate; `exec_count` is the profiled execution
     /// frequency of the candidate's block.
     fn estimate(

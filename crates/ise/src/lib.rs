@@ -20,13 +20,17 @@
 //!   database-free default implementation.
 //! * [`select`] — greedy merit/area selection and the ASIP-speedup
 //!   computation.
-//! * [`search`] — the end-to-end Candidate Search driver with real-time
-//!   measurement (Table II `real [ms]`).
+//! * [`memo`] — the cross-search identification memo (cached DFGs and
+//!   identification results, content-signature invalidation).
+//! * [`search`] — the end-to-end Candidate Search driver (parallel,
+//!   deterministic, optionally memoized) with real-time measurement
+//!   (Table II `real [ms]`).
 
 pub mod candidate;
 pub mod estimate;
 pub mod forbidden;
 pub mod maxmiso;
+pub mod memo;
 pub mod prune;
 pub mod search;
 pub mod select;
@@ -37,8 +41,11 @@ pub use candidate::Candidate;
 pub use estimate::{CandidateEstimate, DepthEstimator, Estimator};
 pub use forbidden::ForbiddenPolicy;
 pub use maxmiso::{maxmiso, maxmiso_function};
+pub use memo::{IdentOutcome, SearchMemo};
 pub use prune::{prune, PruneFilter, PruneResult};
-pub use search::{candidate_search, pruning_efficiency, Algorithm, SearchConfig, SearchOutcome};
+pub use search::{
+    candidate_search, identify_makespan, pruning_efficiency, Algorithm, SearchConfig, SearchOutcome,
+};
 pub use select::{select, speedup, AreaBudget, Selected, SelectionResult};
-pub use singlecut::{single_cut, PortConstraints};
+pub use singlecut::{single_cut, single_cut_with, PortConstraints};
 pub use union::union_miso;

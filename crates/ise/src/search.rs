@@ -5,17 +5,36 @@
 //! does for this phase: real wall-clock milliseconds, surviving
 //! blocks/instructions, candidate count, and the post-selection ASIP
 //! speedup.
+//!
+//! # Parallel, deterministic, incremental
+//!
+//! Identification (per block) and estimation (per candidate) are
+//! independent, so both fan out across [`SearchConfig::workers`] OS
+//! threads via [`parallel_map_indexed`] and merge **in pruned-block
+//! order** — the same contract as the CAD scheduler: every observable of
+//! the [`SearchOutcome`] (checked by [`SearchOutcome::fingerprint`], which
+//! covers everything except `real_time`) is bit-identical at any lane
+//! count. Telemetry is emitted only from the merging thread, so the
+//! canonical journal is schedule-oblivious too. With a
+//! [`SearchConfig::memo`] attached, per-block DFGs and identification
+//! results are reused across the repeated searches the adaptive runtime
+//! performs — see [`crate::memo`] for the keying/invalidation rule.
 
 use crate::estimate::{CandidateEstimate, Estimator};
 use crate::forbidden::ForbiddenPolicy;
 use crate::maxmiso::maxmiso;
+use crate::memo::{self, IdentOutcome, SearchMemo};
 use crate::prune::{prune, PruneFilter, PruneResult};
 use crate::select::{select, speedup, AreaBudget, SelectionResult};
 use crate::singlecut::{single_cut, PortConstraints};
 use crate::union::union_miso;
-use jitise_ir::{Dfg, Module};
+use jitise_base::hash::SigHasher;
+use jitise_base::par::parallel_map_indexed;
+use jitise_ir::{Dfg, FuncId, Module};
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
-use jitise_vm::Profile;
+use jitise_vm::{BlockKey, Profile};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which identification algorithm to run.
@@ -56,6 +75,12 @@ pub struct SearchConfig {
     pub budget: AreaBudget,
     /// Observability handle (disabled by default; zero overhead).
     pub telemetry: Telemetry,
+    /// Worker lanes for identification and estimation. `1` (the default)
+    /// runs fully sequentially on the caller; higher counts change only
+    /// `real_time`, never the outcome.
+    pub workers: usize,
+    /// Identification memo shared across searches (`None` = no caching).
+    pub memo: Option<Arc<SearchMemo>>,
 }
 
 impl Default for SearchConfig {
@@ -68,6 +93,8 @@ impl Default for SearchConfig {
             min_size: 2,
             budget: AreaBudget::default(),
             telemetry: Telemetry::disabled(),
+            workers: 1,
+            memo: None,
         }
     }
 }
@@ -81,6 +108,14 @@ pub struct SearchOutcome {
     pub selection: SelectionResult,
     /// Candidates identified before selection.
     pub identified: usize,
+    /// True if any block's identification was truncated by its exploration
+    /// cap — the candidate set is then a lower bound, not the full answer.
+    pub cap_hit: bool,
+    /// Per-block identification work, in pruned-block order: the
+    /// algorithm's deterministic work measure (subsets explored / nodes
+    /// examined / merges) plus the block's DFG size. Schedule- and
+    /// memo-invariant; the bench's makespan model consumes it.
+    pub identify_work: Vec<(BlockKey, u64)>,
     /// Real wall-clock time of the whole search (Table II `real [ms]`).
     pub real_time: Duration,
     /// Application speedup with the selected candidates (Table II `ASIP
@@ -90,6 +125,78 @@ pub struct SearchOutcome {
     pub avg_pruned_block_size: f64,
     /// Average candidate size in instructions (paper: 7.31 / 6.5).
     pub avg_candidate_size: f64,
+}
+
+impl SearchOutcome {
+    /// Structural fingerprint of every field except `real_time` (the one
+    /// quantity that legitimately varies run to run). The determinism
+    /// suite and the `search` sweep assert this is bit-identical across
+    /// worker counts and memo warm/cold.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = SigHasher::new();
+        h.write_usize(self.prune.blocks.len());
+        for k in &self.prune.blocks {
+            h.write_str(&format!("{k:?}"));
+        }
+        h.write_usize(self.prune.blocks_before)
+            .write_usize(self.prune.insts_before)
+            .write_usize(self.prune.insts_after)
+            .write_u64(self.prune.time_covered.to_bits())
+            .write_usize(self.identified)
+            .write_u32(self.cap_hit as u32);
+        for (k, w) in &self.identify_work {
+            h.write_str(&format!("{k:?}"));
+            h.write_u64(*w);
+        }
+        h.write_usize(self.selection.selected.len());
+        for s in &self.selection.selected {
+            h.write_str(&format!("{:?}", s.candidate.key));
+            h.write_usize(s.candidate.nodes.len());
+            for &n in &s.candidate.nodes {
+                h.write_u32(n);
+            }
+            h.write_u32(s.candidate.inputs)
+                .write_u32(s.candidate.outputs)
+                .write_u32(s.candidate.const_inputs)
+                .write_u64(s.estimate.sw_cycles)
+                .write_u64(s.estimate.hw_cycles)
+                .write_u64(s.estimate.exec_count)
+                .write_u32(s.estimate.luts)
+                .write_u32(s.estimate.ffs)
+                .write_u32(s.estimate.dsps);
+        }
+        h.write_usize(self.selection.rejected)
+            .write_u64(self.selection.total_saved_cycles)
+            .write_u32(self.selection.luts_used)
+            .write_u32(self.selection.ffs_used)
+            .write_u32(self.selection.dsps_used)
+            .write_u64(self.asip_ratio.to_bits())
+            .write_u64(self.avg_pruned_block_size.to_bits())
+            .write_u64(self.avg_candidate_size.to_bits());
+        h.finish()
+    }
+}
+
+/// Greedy least-loaded-lane makespan of the identification stage, in work
+/// units (same schedule model as the CAD scheduler's `lane_makespan`).
+/// Deterministic in the input order; the `search` sweep uses it to report
+/// machine-independent speedup alongside measured wall-clock.
+pub fn identify_makespan(work: &[(BlockKey, u64)], lanes: usize) -> u64 {
+    let mut load = vec![0u64; lanes.max(1)];
+    for &(_, w) in work {
+        if let Some(min) = load.iter_mut().min_by_key(|l| **l) {
+            *min += w;
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// One block's identification result, as merged in pruned-block order.
+struct BlockIdent {
+    dfg: Arc<Dfg>,
+    exec_count: u64,
+    ident: Arc<IdentOutcome>,
+    memo_hit: bool,
 }
 
 /// Runs the full Candidate Search phase.
@@ -103,6 +210,7 @@ pub fn candidate_search(
     let tel = &config.telemetry;
     let search_span = tel.span("ise.search");
     let tel = tel.under(&search_span);
+    let workers = config.workers.max(1);
 
     // 1. Prune: restrict identification to the most promising blocks.
     let pruned = {
@@ -113,43 +221,142 @@ pub fn candidate_search(
         pruned
     };
 
-    // 2. Identify candidates in every surviving block.
-    let identify_span = tel.span("ise.identify");
-    let mut per_block: Vec<(
-        &jitise_ir::Function,
-        Dfg,
-        u64,
-        Vec<crate::candidate::Candidate>,
-    )> = Vec::with_capacity(pruned.blocks.len());
-    let mut identified = 0usize;
-    for &key in &pruned.blocks {
+    // 2. Identify candidates in every surviving block, fanned out across
+    //    the worker lanes. Memo content signatures cover whole functions
+    //    (escape analysis sees every block), so hash each function once,
+    //    serially, before the fan-out.
+    let mut identify_span = search_span.child("ise.identify");
+    let func_sigs: HashMap<FuncId, u64> = if config.memo.is_some() {
+        let mut sigs = HashMap::new();
+        for &key in &pruned.blocks {
+            sigs.entry(key.func)
+                .or_insert_with(|| memo::function_signature(module.func(key.func)));
+        }
+        sigs
+    } else {
+        HashMap::new()
+    };
+    let cfg_sig = memo::config_signature(
+        config.algorithm,
+        &config.policy,
+        config.ports,
+        config.min_size,
+    );
+    let identify = |key: BlockKey, dfg: &Dfg| -> IdentOutcome {
         let f = module.func(key.func);
-        let dfg = Dfg::build(f, key.block);
-        let cands = match config.algorithm {
-            Algorithm::MaxMiso => maxmiso(f, &dfg, key, &config.policy, config.min_size).candidates,
+        match config.algorithm {
+            Algorithm::MaxMiso => {
+                let r = maxmiso(f, dfg, key, &config.policy, config.min_size);
+                IdentOutcome {
+                    candidates: r.candidates,
+                    explored: r.nodes_examined as u64,
+                    cap_hit: false,
+                }
+            }
             Algorithm::SingleCut => {
-                single_cut(f, &dfg, key, &config.policy, config.ports, config.min_size).candidates
+                let r = single_cut(f, dfg, key, &config.policy, config.ports, config.min_size);
+                IdentOutcome {
+                    candidates: r.candidates,
+                    explored: r.explored,
+                    cap_hit: r.cap_hit,
+                }
             }
             Algorithm::UnionMiso => {
-                union_miso(f, &dfg, key, &config.policy, config.ports, config.min_size).candidates
+                let r = union_miso(f, dfg, key, &config.policy, config.ports, config.min_size);
+                IdentOutcome {
+                    candidates: r.candidates,
+                    explored: r.merges as u64,
+                    cap_hit: false,
+                }
             }
-        };
-        identified += cands.len();
-        per_block.push((f, dfg, profile.count(key), cands));
+        }
+    };
+    let per_block: Vec<BlockIdent> = parallel_map_indexed(workers, &pruned.blocks, |_, &key| {
+        let exec_count = profile.count(key);
+        match &config.memo {
+            Some(memo) => {
+                let content = memo::block_signature(func_sigs[&key.func], key.block);
+                let (dfg, ident, memo_hit) = memo.lookup_or_compute(
+                    key,
+                    content,
+                    cfg_sig,
+                    || Dfg::build(module.func(key.func), key.block),
+                    |dfg| identify(key, dfg),
+                );
+                BlockIdent {
+                    dfg,
+                    exec_count,
+                    ident,
+                    memo_hit,
+                }
+            }
+            None => {
+                let dfg = Dfg::build(module.func(key.func), key.block);
+                let ident = identify(key, &dfg);
+                BlockIdent {
+                    dfg: Arc::new(dfg),
+                    exec_count,
+                    ident: Arc::new(ident),
+                    memo_hit: false,
+                }
+            }
+        }
+    });
+
+    // Merge serially, in pruned-block order — telemetry must never observe
+    // the scheduling interleaving.
+    let mut identified = 0usize;
+    let mut cap_hit = false;
+    let mut explored_total = 0u64;
+    let (mut memo_hits, mut memo_misses) = (0u64, 0u64);
+    let mut identify_work: Vec<(BlockKey, u64)> = Vec::with_capacity(per_block.len());
+    for (&key, b) in pruned.blocks.iter().zip(&per_block) {
+        identified += b.ident.candidates.len();
+        explored_total += b.ident.explored;
+        if b.ident.cap_hit {
+            cap_hit = true;
+            tel.add(names::SINGLECUT_CAP_HIT, 1);
+        }
+        if b.memo_hit {
+            memo_hits += 1;
+        } else if config.memo.is_some() {
+            memo_misses += 1;
+        }
+        identify_work.push((key, b.ident.explored.max(1) + b.dfg.len() as u64));
     }
     tel.add(names::CANDIDATES_IDENTIFIED, identified as u64);
+    if config.memo.is_some() {
+        tel.add(names::SEARCH_MEMO_HITS, memo_hits);
+        tel.add(names::SEARCH_MEMO_MISSES, memo_misses);
+    }
+    identify_span.field("workers", TelValue::U64(workers as u64));
+    identify_span.field("explored", TelValue::U64(explored_total));
+    identify_span.field("cap_hit", TelValue::Bool(cap_hit));
+    if config.memo.is_some() {
+        identify_span.field("memo_hits", TelValue::U64(memo_hits));
+        identify_span.field("memo_misses", TelValue::U64(memo_misses));
+    }
     identify_span.end();
 
-    // 3. Estimate each candidate's hardware merit.
+    // 3. Estimate each candidate's hardware merit, fanned out per
+    //    candidate; the pool is assembled in (block, candidate) order.
     let estimate_span = tel.span("ise.estimate");
+    let jobs: Vec<(usize, usize)> = per_block
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| (0..b.ident.candidates.len()).map(move |ci| (bi, ci)))
+        .collect();
+    let estimates: Vec<CandidateEstimate> = parallel_map_indexed(workers, &jobs, |_, &(bi, ci)| {
+        let b = &per_block[bi];
+        let f = module.func(b.ident.candidates[ci].key.func);
+        estimator.estimate(f, &b.dfg, &b.ident.candidates[ci], b.exec_count)
+    });
     let mut pool: Vec<(crate::candidate::Candidate, CandidateEstimate)> =
-        Vec::with_capacity(identified);
-    for (f, dfg, count, cands) in per_block {
-        for cand in cands {
-            tel.observe("ise.candidate_size", cand.len() as u64);
-            let est = estimator.estimate(f, &dfg, &cand, count);
-            pool.push((cand, est));
-        }
+        Vec::with_capacity(jobs.len());
+    for (&(bi, ci), est) in jobs.iter().zip(estimates) {
+        let cand = per_block[bi].ident.candidates[ci].clone();
+        tel.observe("ise.candidate_size", cand.len() as u64);
+        pool.push((cand, est));
     }
     estimate_span.end();
 
@@ -190,6 +397,8 @@ pub fn candidate_search(
         prune: pruned,
         selection,
         identified,
+        cap_hit,
+        identify_work,
         real_time,
         asip_ratio,
         avg_pruned_block_size,
@@ -260,6 +469,8 @@ mod tests {
         assert!(out.prune.blocks.len() <= 3, "@50pS3L caps at 3 blocks");
         assert!(out.avg_candidate_size >= 2.0);
         assert!(out.real_time.as_millis() < 5_000);
+        assert!(!out.cap_hit);
+        assert_eq!(out.identify_work.len(), out.prune.blocks.len());
     }
 
     #[test]
@@ -301,6 +512,71 @@ mod tests {
                 "{alg} found nothing on an obviously good loop"
             );
         }
+    }
+
+    #[test]
+    fn worker_lanes_change_nothing_but_real_time() {
+        let m = hot_loop_module();
+        let p = profile_of(&m, 5_000);
+        let est = DepthEstimator::default();
+        let run = |workers: usize| {
+            candidate_search(
+                &m,
+                &p,
+                &est,
+                &SearchConfig {
+                    filter: PruneFilter::none(),
+                    workers,
+                    ..SearchConfig::default()
+                },
+            )
+            .fingerprint()
+        };
+        let reference = run(1);
+        for workers in [2, 8] {
+            assert_eq!(run(workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn memo_warm_search_is_identical_and_hits() {
+        let m = hot_loop_module();
+        let p = profile_of(&m, 5_000);
+        let est = DepthEstimator::default();
+        let memo = Arc::new(SearchMemo::new());
+        let cfg = SearchConfig {
+            filter: PruneFilter::none(),
+            memo: Some(Arc::clone(&memo)),
+            ..SearchConfig::default()
+        };
+        let cold = candidate_search(&m, &p, &est, &cfg);
+        assert_eq!(memo.hits(), 0);
+        assert!(memo.misses() > 0);
+        let warm = candidate_search(&m, &p, &est, &cfg);
+        assert_eq!(cold.fingerprint(), warm.fingerprint());
+        assert_eq!(memo.hits(), cold.prune.blocks.len() as u64);
+        let bare = candidate_search(
+            &m,
+            &p,
+            &est,
+            &SearchConfig {
+                filter: PruneFilter::none(),
+                ..SearchConfig::default()
+            },
+        );
+        assert_eq!(bare.fingerprint(), warm.fingerprint());
+    }
+
+    #[test]
+    fn makespan_model_is_greedy_and_monotone() {
+        let k = |i: u32| BlockKey::new(jitise_ir::FuncId(i), jitise_ir::BlockId(0));
+        let work = [(k(0), 4u64), (k(1), 3), (k(2), 2), (k(3), 1)];
+        assert_eq!(identify_makespan(&work, 1), 10);
+        assert_eq!(identify_makespan(&work, 2), 5);
+        assert_eq!(identify_makespan(&work, 4), 4);
+        assert_eq!(identify_makespan(&work, 8), 4, "idle lanes are free");
+        assert_eq!(identify_makespan(&work, 0), 10, "clamped to one lane");
+        assert_eq!(identify_makespan(&[], 3), 0);
     }
 
     #[test]

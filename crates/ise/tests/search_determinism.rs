@@ -1,0 +1,165 @@
+//! Parallel/memoized candidate search must be bit-identical to the
+//! sequential, memo-less search: same `SearchOutcome` fingerprint (which
+//! covers everything except `real_time`) at every worker count, memo cold
+//! or warm, for every identification algorithm — and a memo shared across
+//! *edited* modules must invalidate, never serve stale results.
+
+use jitise_ir::{FunctionBuilder, Module, Operand as Op, Type};
+use jitise_ise::{
+    candidate_search, Algorithm, DepthEstimator, PruneFilter, SearchConfig, SearchMemo,
+    SearchOutcome,
+};
+use jitise_vm::{Interpreter, Profile, Value};
+use std::sync::Arc;
+
+/// A module with several hot loops → several pruned blocks, so the
+/// parallel fan-out actually has lanes' worth of work to race over.
+/// `seed > 1` deepens every loop body by one extra op: same block keys,
+/// different instruction streams (and different candidates).
+fn multi_loop_module(seed: i32) -> Module {
+    let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+    let cell = b.alloca(4);
+    b.store(Op::ci32(seed), cell);
+    for k in 0..4 {
+        b.counted_loop(&format!("i{k}"), Op::ci32(0), Op::Arg(0), |b, i| {
+            let acc = b.load(Type::I32, cell);
+            let x = b.mul(acc, i);
+            let y = b.mul(x, Op::ci32(3 + k));
+            let mut z = b.add(y, i);
+            if seed > 1 {
+                z = b.or(z, Op::ci32(seed));
+            }
+            let w = b.xor(z, Op::ci32(0x5a + k));
+            b.store(w, cell);
+        });
+    }
+    let out = b.load(Type::I32, cell);
+    b.ret(out);
+    let mut m = Module::new("multi");
+    m.add_func(b.finish());
+    m
+}
+
+fn profile_of(m: &Module) -> Profile {
+    let mut vm = Interpreter::new(m);
+    vm.run("main", &[Value::I(500)]).unwrap();
+    vm.take_profile()
+}
+
+fn search(
+    m: &Module,
+    p: &Profile,
+    algorithm: Algorithm,
+    workers: usize,
+    memo: Option<Arc<SearchMemo>>,
+) -> SearchOutcome {
+    let cfg = SearchConfig {
+        filter: PruneFilter::none(),
+        algorithm,
+        workers,
+        memo,
+        ..SearchConfig::default()
+    };
+    candidate_search(m, p, &DepthEstimator::default(), &cfg)
+}
+
+#[test]
+fn workers_and_memo_never_change_the_outcome() {
+    let m = multi_loop_module(1);
+    let p = profile_of(&m);
+    for algorithm in [
+        Algorithm::SingleCut,
+        Algorithm::MaxMiso,
+        Algorithm::UnionMiso,
+    ] {
+        let reference = search(&m, &p, algorithm, 1, None);
+        assert!(
+            !reference.selection.selected.is_empty(),
+            "{algorithm}: fixture must select candidates for the test to mean anything"
+        );
+        let fp = reference.fingerprint();
+        let memo = Arc::new(SearchMemo::new());
+        for workers in [1usize, 2, 8] {
+            // Memo-less at this lane count.
+            assert_eq!(
+                search(&m, &p, algorithm, workers, None).fingerprint(),
+                fp,
+                "{algorithm}: workers={workers} memo=off diverged"
+            );
+            // Cold on the first iteration, warm after — all identical.
+            let out = search(&m, &p, algorithm, workers, Some(Arc::clone(&memo)));
+            assert_eq!(
+                out.fingerprint(),
+                fp,
+                "{algorithm}: workers={workers} memo=on diverged"
+            );
+        }
+        assert!(
+            memo.hits() > 0,
+            "{algorithm}: warm re-searches must hit the memo"
+        );
+        assert_eq!(memo.invalidations(), 0, "{algorithm}: nothing was edited");
+    }
+}
+
+#[test]
+fn edited_module_invalidates_instead_of_serving_stale_results() {
+    let before = multi_loop_module(1);
+    let after = multi_loop_module(2);
+    let p_before = profile_of(&before);
+    let p_after = profile_of(&after);
+
+    let memo = Arc::new(SearchMemo::new());
+    let cold = search(
+        &before,
+        &p_before,
+        Algorithm::SingleCut,
+        2,
+        Some(Arc::clone(&memo)),
+    );
+    // Same block keys, different instruction streams: every warm entry is
+    // stale now and must be recomputed, not served.
+    let warm_after_edit = search(
+        &after,
+        &p_after,
+        Algorithm::SingleCut,
+        2,
+        Some(Arc::clone(&memo)),
+    );
+    assert!(memo.invalidations() > 0, "edits must invalidate");
+    let fresh = search(&after, &p_after, Algorithm::SingleCut, 1, None);
+    assert_eq!(
+        warm_after_edit.fingerprint(),
+        fresh.fingerprint(),
+        "post-edit search through the memo must equal a memo-less search"
+    );
+    assert_ne!(
+        cold.fingerprint(),
+        warm_after_edit.fingerprint(),
+        "the edit deepens every loop body, hence candidates/selection"
+    );
+}
+
+#[test]
+fn memo_is_shared_across_worker_counts_without_divergence() {
+    // One memo, many configurations touching it concurrently-ish: the
+    // outcome must match the reference regardless of interleaving history.
+    let m = multi_loop_module(3);
+    let p = profile_of(&m);
+    let fp = search(&m, &p, Algorithm::SingleCut, 1, None).fingerprint();
+    let memo = Arc::new(SearchMemo::new());
+    for workers in [8usize, 1, 2, 8, 2, 1] {
+        assert_eq!(
+            search(
+                &m,
+                &p,
+                Algorithm::SingleCut,
+                workers,
+                Some(Arc::clone(&memo))
+            )
+            .fingerprint(),
+            fp
+        );
+    }
+    assert_eq!(memo.misses(), memo.len() as u64, "one miss per block");
+}

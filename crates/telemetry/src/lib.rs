@@ -138,6 +138,15 @@ pub mod names {
     pub const STORE_APPEND_FAILURES: &str = "store.append_failures";
     /// Warm restarts: sessions hydrated from a recovered store.
     pub const STORE_WARM_RESTARTS: &str = "store.warm_restarts";
+    /// Blocks whose single-cut enumeration was truncated by the
+    /// exploration cap (the candidate set is a lower bound there).
+    pub const SINGLECUT_CAP_HIT: &str = "ise.singlecut.cap_hit";
+    /// Identification lookups answered from the search memo.
+    pub const SEARCH_MEMO_HITS: &str = "ise.search_memo.hits";
+    /// Identification lookups the search memo had to compute.
+    pub const SEARCH_MEMO_MISSES: &str = "ise.search_memo.misses";
+    /// Memo entries discarded because a block's content changed.
+    pub const SEARCH_MEMO_INVALIDATIONS: &str = "ise.search_memo.invalidations";
 }
 
 pub(crate) struct Inner {
