@@ -17,6 +17,8 @@
 //!   binaries.
 //! * [`codec`] — a minimal binary encoder/decoder for the on-disk bitstream
 //!   cache format (hand-rolled to avoid a serde format dependency).
+//! * [`json`] — a minimal JSON value model, writer, and parser (exact
+//!   integers) backing the machine-readable `BENCH_*.json` perf artifacts.
 //! * [`sync`] — poison-free `Mutex`/`RwLock` wrappers with `parking_lot`
 //!   ergonomics, so the workspace builds without network access.
 //! * [`par`] — an index-ordered parallel map used by the multi-worker CAD
@@ -25,6 +27,7 @@
 
 pub mod codec;
 pub mod hash;
+pub mod json;
 pub mod par;
 pub mod rng;
 pub mod stats;

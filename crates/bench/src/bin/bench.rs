@@ -1,0 +1,649 @@
+//! Perf-trajectory harness: seeded deterministic workloads for five
+//! topics, one schema-versioned `BENCH_<topic>.json` artifact each, and a
+//! regression gate (DESIGN.md §13).
+//!
+//! Topics:
+//!
+//! * `search`   — candidate-search wall-clock: cold/warm [`SearchMemo`],
+//!   1/2/8 worker lanes, plus the modeled identification makespans;
+//! * `cad`      — CAD schedule makespan vs `cad_workers`, charged tool
+//!   time invariant across lanes;
+//! * `vm`       — interpreter instructions/cycles per paper app and the
+//!   sweep's host MIPS;
+//! * `store`    — recovery time and committed-prefix accounting under a
+//!   mid-write crash budget;
+//! * `pipeline` — end-to-end `specialize()` + `run_adaptive()` session
+//!   latency and modeled overhead.
+//!
+//! Every artifact records machine metadata, seed, config knobs, min /
+//! median / p90 host nanoseconds next to the modeled SimTime numbers, and
+//! the telemetry profiler's per-stage self-time breakdown (plus
+//! deterministic collapsed stacks for flamegraph tools). Exact metrics
+//! are bit-identical across same-seed runs; host metrics carry
+//! repetitions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--smoke] [--seed N] [--out DIR] [--folded] [topic ...]
+//! bench --check FILE... [--against DIR|FILE] [--tolerance F] [--floor-ns F]
+//! ```
+//!
+//! `--check` gates each baseline file against `--against` (a directory of
+//! fresh artifacts, or one file), or — without `--against` — against a
+//! live rerun of the topic at the baseline's recorded seed and scale.
+//! Exits 1 on regression, 2 on usage/parse errors.
+
+use jitise_apps::App;
+use jitise_base::hash::hash_bytes;
+use jitise_bench::runner::{measure_host, measure_host_cold};
+use jitise_bench::schema::{check, BenchArtifact, CheckPolicy, CheckReport};
+use jitise_bench::workload::{search_module, search_profile};
+use jitise_core::{evaluate_app, run_adaptive_with, AdaptiveOptions, BitstreamCache, EvalContext};
+use jitise_ise::{
+    candidate_search, identify_makespan, Algorithm, DepthEstimator, PruneFilter, SearchConfig,
+    SearchMemo,
+};
+use jitise_store::testfix::sample_entry;
+use jitise_store::{Record, Store, StoreOptions, TempDir};
+use jitise_telemetry::{Profiler, Telemetry};
+use jitise_vm::Interpreter;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const TOPICS: [&str; 5] = ["search", "cad", "vm", "store", "pipeline"];
+/// Default workload seed — the paper's year, like the chaos harness.
+const DEFAULT_SEED: u64 = 2011;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_cli(&args) {
+        Ok(Cli::Bench(opts)) => run_bench(&opts),
+        Ok(Cli::Check(opts)) => run_check(&opts),
+        Err(msg) => {
+            eprintln!("bench: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Cli {
+    Bench(BenchOpts),
+    Check(CheckOpts),
+}
+
+struct BenchOpts {
+    smoke: bool,
+    seed: u64,
+    out: PathBuf,
+    folded: bool,
+    topics: Vec<String>,
+}
+
+struct CheckOpts {
+    baselines: Vec<PathBuf>,
+    against: Option<PathBuf>,
+    policy: CheckPolicy,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut smoke = false;
+    let mut folded = false;
+    let mut is_check = false;
+    let mut seed = DEFAULT_SEED;
+    let mut out = PathBuf::from(".");
+    let mut against = None;
+    let mut policy = CheckPolicy::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--folded" => folded = true,
+            "--check" => is_check = true,
+            "--seed" => {
+                seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(value_of("--out")?),
+            "--against" => against = Some(PathBuf::from(value_of("--against")?)),
+            "--tolerance" => {
+                policy.tolerance = value_of("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--floor-ns" => {
+                policy.floor_ns = value_of("--floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--floor-ns: {e}"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if is_check {
+        if positional.is_empty() {
+            return Err("--check needs at least one baseline file".into());
+        }
+        Ok(Cli::Check(CheckOpts {
+            baselines: positional.iter().map(PathBuf::from).collect(),
+            against,
+            policy,
+        }))
+    } else {
+        for t in &positional {
+            if !TOPICS.contains(&t.as_str()) {
+                return Err(format!(
+                    "unknown topic `{t}` (known: {})",
+                    TOPICS.join(", ")
+                ));
+            }
+        }
+        let topics = if positional.is_empty() {
+            TOPICS.iter().map(|s| s.to_string()).collect()
+        } else {
+            positional
+        };
+        Ok(Cli::Bench(BenchOpts {
+            smoke,
+            seed,
+            out,
+            folded,
+            topics,
+        }))
+    }
+}
+
+fn run_topic(topic: &str, seed: u64, smoke: bool) -> BenchArtifact {
+    match topic {
+        "search" => bench_search(seed, smoke),
+        "cad" => bench_cad(seed, smoke),
+        "vm" => bench_vm(seed, smoke),
+        "store" => bench_store(seed, smoke),
+        "pipeline" => bench_pipeline(seed, smoke),
+        other => unreachable!("topic {other} was validated at parse time"),
+    }
+}
+
+fn run_bench(opts: &BenchOpts) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("bench: create {}: {e}", opts.out.display());
+        return ExitCode::from(2);
+    }
+    for topic in &opts.topics {
+        eprintln!(
+            "bench: running topic `{topic}` (seed {}, smoke {})",
+            opts.seed, opts.smoke
+        );
+        let artifact = run_topic(topic, opts.seed, opts.smoke);
+        let path = opts.out.join(format!("BENCH_{topic}.json"));
+        if let Err(e) = std::fs::write(&path, artifact.to_pretty_string()) {
+            eprintln!("bench: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} metrics, {} profile stages)",
+            path.display(),
+            artifact.metrics.len(),
+            artifact.profile.len()
+        );
+        if opts.folded {
+            let folded = opts.out.join(format!("BENCH_{topic}.folded"));
+            if let Err(e) = std::fs::write(&folded, &artifact.collapsed) {
+                eprintln!("bench: write {}: {e}", folded.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote {}", folded.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_check(opts: &CheckOpts) -> ExitCode {
+    let mut failed = false;
+    for path in &opts.baselines {
+        let baseline = match read_artifact(path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("bench: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let current = match &opts.against {
+            Some(target) if target.is_dir() => {
+                match read_artifact(&target.join(format!("BENCH_{}.json", baseline.topic))) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("bench: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            Some(file) => match read_artifact(file) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("bench: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => {
+                eprintln!(
+                    "bench: rerunning topic `{}` live (seed {}, smoke {})",
+                    baseline.topic, baseline.seed, baseline.smoke
+                );
+                if !TOPICS.contains(&baseline.topic.as_str()) {
+                    eprintln!("bench: baseline topic `{}` is unknown", baseline.topic);
+                    return ExitCode::from(2);
+                }
+                run_topic(&baseline.topic, baseline.seed, baseline.smoke)
+            }
+        };
+        failed |= !report_check(&baseline.topic, &check(&baseline, &current, &opts.policy));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench --check: no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+fn report_check(topic: &str, report: &CheckReport) -> bool {
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for regression in &report.regressions {
+        eprintln!("REGRESSION: {regression}");
+    }
+    if report.ok() {
+        println!("{topic}: ok");
+    }
+    report.ok()
+}
+
+fn read_artifact(path: &Path) -> Result<BenchArtifact, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    BenchArtifact::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------- search
+
+fn bench_search(seed: u64, smoke: bool) -> BenchArtifact {
+    let (loops, iters, reps) = if smoke { (6, 200, 2) } else { (24, 2_000, 5) };
+    let mut art = BenchArtifact::new("search", seed, smoke);
+    art.config("loops", loops);
+    art.config("iters", iters);
+    art.config("algorithm", "singlecut");
+
+    let module = search_module(loops);
+    let profile = search_profile(&module, iters);
+    let search = |workers: usize, memo: Option<Arc<SearchMemo>>| {
+        let cfg = SearchConfig {
+            filter: PruneFilter::none(),
+            algorithm: Algorithm::SingleCut,
+            workers,
+            memo,
+            ..SearchConfig::default()
+        };
+        candidate_search(&module, &profile, &DepthEstimator::default(), &cfg)
+    };
+
+    // Modeled (exact) axis: work units, per-lane makespans, fingerprint.
+    let out = search(1, None);
+    let total_work: u64 = out.identify_work.iter().map(|&(_, w)| w).sum();
+    art.exact("search.identify.work", "units", total_work);
+    art.exact("search.identified", "count", out.identified as u64);
+    art.exact("search.fingerprint", "hash", out.fingerprint());
+    for lanes in [1usize, 2, 8] {
+        art.exact(
+            &format!("search.identify.makespan.w{lanes}"),
+            "units",
+            identify_makespan(&out.identify_work, lanes),
+        );
+    }
+    let memo = Arc::new(SearchMemo::new());
+    let _ = search(1, Some(Arc::clone(&memo)));
+    let cold_misses = memo.misses();
+    let _ = search(1, Some(Arc::clone(&memo)));
+    art.exact("search.memo.cold_misses", "count", cold_misses);
+    art.exact("search.memo.warm_hits", "count", memo.hits());
+
+    // Host axis: cold (fresh memo every run) vs warm (pre-warmed, shared)
+    // at 1 and 8 lanes.
+    for lanes in [1usize, 8] {
+        let sample = measure_host(reps, || {
+            let _ = search(lanes, Some(Arc::new(SearchMemo::new())));
+        });
+        art.push(&format!("search.cold.w{lanes}.wall"), "ns", sample.metric());
+        let warm = Arc::new(SearchMemo::new());
+        let _ = search(lanes, Some(Arc::clone(&warm)));
+        let sample = measure_host(reps, || {
+            let _ = search(lanes, Some(Arc::clone(&warm)));
+        });
+        art.push(&format!("search.warm.w{lanes}.wall"), "ns", sample.metric());
+    }
+
+    // Instrumented pass for the profile section.
+    let tel = Telemetry::enabled();
+    let cfg = SearchConfig {
+        filter: PruneFilter::none(),
+        algorithm: Algorithm::SingleCut,
+        workers: 2,
+        telemetry: tel.clone(),
+        ..SearchConfig::default()
+    };
+    let _ = candidate_search(&module, &profile, &DepthEstimator::default(), &cfg);
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}
+
+// ------------------------------------------------------------------- cad
+
+fn bench_cad(seed: u64, smoke: bool) -> BenchArtifact {
+    let app_name = "adpcm";
+    let lanes = [1usize, 2, 4, 8];
+    let reps = if smoke { 2 } else { 3 };
+    let mut art = BenchArtifact::new("cad", seed, smoke);
+    art.config("app", app_name);
+    art.config("lanes", "1,2,4,8");
+
+    let mut fingerprint = None;
+    for lane in lanes {
+        // Fresh context per lane: shared caches would zero later makespans.
+        let mut ctx = EvalContext::new();
+        ctx.cad_workers = lane;
+        let app = App::build(app_name).expect("paper app");
+        let ev = evaluate_app(&ctx, &app);
+        art.exact(
+            &format!("cad.makespan.w{lane}"),
+            "sim_ns",
+            ev.report.makespan.as_nanos(),
+        );
+        if fingerprint.is_none() {
+            fingerprint = Some(ev.report.fingerprint());
+            art.exact("cad.cpu_time", "sim_ns", ev.report.cpu_time.as_nanos());
+            art.exact(
+                "cad.fingerprint",
+                "hash",
+                hash_bytes(ev.report.fingerprint().as_bytes()),
+            );
+        } else {
+            assert_eq!(
+                fingerprint.as_deref(),
+                Some(ev.report.fingerprint().as_str()),
+                "report must be identical across lane counts"
+            );
+        }
+    }
+
+    for lane in [1usize, 8] {
+        let sample = measure_host(reps, || {
+            let mut ctx = EvalContext::new();
+            ctx.cad_workers = lane;
+            let app = App::build(app_name).expect("paper app");
+            let _ = evaluate_app(&ctx, &app);
+        });
+        art.push(&format!("cad.evaluate.w{lane}.wall"), "ns", sample.metric());
+    }
+
+    let tel = Telemetry::enabled();
+    let mut ctx = EvalContext::with_telemetry(tel.clone());
+    ctx.cad_workers = 2;
+    let app = App::build(app_name).expect("paper app");
+    let _ = evaluate_app(&ctx, &app);
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}
+
+// -------------------------------------------------------------------- vm
+
+fn bench_vm(seed: u64, smoke: bool) -> BenchArtifact {
+    let apps: Vec<&'static str> = if smoke {
+        vec!["adpcm", "sor", "fft"]
+    } else {
+        jitise_apps::PAPER_APPS.iter().map(|p| p.name).collect()
+    };
+    let reps = if smoke { 2 } else { 3 };
+    let mut art = BenchArtifact::new("vm", seed, smoke);
+    art.config("apps", apps.join(","));
+
+    let built: Vec<App> = apps
+        .iter()
+        .map(|name| App::build(name).expect("paper app"))
+        .collect();
+    let mut total_steps = 0u64;
+    let mut total_cycles = 0u64;
+    for app in &built {
+        let mut vm = Interpreter::new(&app.module);
+        let out = vm
+            .run(app.entry, &app.datasets[0].args)
+            .expect("paper app runs");
+        art.exact(&format!("vm.{}.steps", app.name), "count", out.steps);
+        art.exact(&format!("vm.{}.cycles", app.name), "count", out.cycles);
+        total_steps += out.steps;
+        total_cycles += out.cycles;
+    }
+    art.exact("vm.total.steps", "count", total_steps);
+    art.exact("vm.total.cycles", "count", total_cycles);
+
+    let sample = measure_host(reps, || {
+        for app in &built {
+            let mut vm = Interpreter::new(&app.module);
+            let _ = vm
+                .run(app.entry, &app.datasets[0].args)
+                .expect("paper app runs");
+        }
+    });
+    // Derived from the min (best-case host throughput); informational.
+    art.info(
+        "vm.sweep.mips",
+        "mips",
+        total_steps as f64 / (sample.min_ns / 1e9) / 1e6,
+    );
+    art.push("vm.sweep.wall", "ns", sample.metric());
+
+    let tel = Telemetry::enabled();
+    for app in &built {
+        let mut vm = Interpreter::new(&app.module);
+        vm.set_telemetry(tel.clone());
+        let _ = vm
+            .run(app.entry, &app.datasets[0].args)
+            .expect("paper app runs");
+    }
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}
+
+// ----------------------------------------------------------------- store
+
+fn bench_store(seed: u64, smoke: bool) -> BenchArtifact {
+    let entries = if smoke { 64u64 } else { 512 };
+    let reps = if smoke { 3 } else { 5 };
+    let mut art = BenchArtifact::new("store", seed, smoke);
+    art.config("entries", entries);
+
+    let sig = |i: u64| seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+    // Snapshot + live WAL tail: `entries` records folded into a compacted
+    // snapshot, then half as many replayed from the log on recovery.
+    let populate = |dir: &Path| {
+        let store = Store::open(dir).expect("fresh store");
+        for i in 0..entries {
+            store
+                .append(Record::CacheEntry(sample_entry(sig(i))))
+                .expect("append");
+        }
+        store.compact().expect("compact");
+        for i in 0..entries / 2 {
+            store
+                .append(Record::CacheEntry(sample_entry(sig(entries + i))))
+                .expect("append");
+        }
+        store.bytes_written()
+    };
+    let dir = TempDir::new("bench-store");
+    let bytes = populate(dir.path());
+    art.exact("store.bytes_written", "bytes", bytes);
+
+    let recovered = Store::open(dir.path()).expect("recovery");
+    art.exact(
+        "store.recovered.records",
+        "count",
+        recovered.recovery().records_recovered,
+    );
+    art.exact(
+        "store.recovered.entries",
+        "count",
+        recovered.recovery().recovered_entries as u64,
+    );
+    art.exact(
+        "store.recovered.fingerprint",
+        "hash",
+        hash_bytes(recovered.fingerprint().as_bytes()),
+    );
+    drop(recovered);
+
+    // Host axis: cold recovery of the populated directory, and the full
+    // populate pass (append + compact + append) on a fresh directory.
+    let sample = measure_host_cold(reps, || {
+        let _ = Store::open(dir.path()).expect("recovery");
+    });
+    art.push("store.recover.wall", "ns", sample.metric());
+    let sample = measure_host_cold(reps, || {
+        let fresh = TempDir::new("bench-store-pop");
+        let _ = populate(fresh.path());
+    });
+    art.push("store.populate.wall", "ns", sample.metric());
+
+    // Crash budget: die halfway through the byte stream of a fresh
+    // population; the committed prefix is exactly what recovery restores.
+    let budget = bytes / 2;
+    art.config("crash_budget_bytes", budget);
+    let crash_dir = TempDir::new("bench-store-crash");
+    let mut acked = 0u64;
+    if let Ok(store) = Store::open_with(
+        crash_dir.path(),
+        StoreOptions {
+            crash: jitise_faults::CrashSwitch::armed(jitise_faults::StoreCrash {
+                after_bytes: budget,
+            }),
+            ..StoreOptions::default()
+        },
+    ) {
+        for i in 0..entries + entries / 2 {
+            if store
+                .append(Record::CacheEntry(sample_entry(sig(i))))
+                .is_err()
+            {
+                break;
+            }
+            acked += 1;
+        }
+    }
+    let survivor = Store::open(crash_dir.path()).expect("post-crash recovery");
+    art.exact("store.crash.acked", "count", acked);
+    art.exact(
+        "store.crash.recovered.records",
+        "count",
+        survivor.recovery().records_recovered,
+    );
+    assert_eq!(
+        survivor.recovery().records_recovered,
+        acked,
+        "recovered must equal the acknowledged prefix"
+    );
+    drop(survivor);
+
+    // Instrumented pass: recovery span + a short append/compact tail.
+    let tel = Telemetry::enabled();
+    let store = Store::open_with(
+        dir.path(),
+        StoreOptions {
+            telemetry: tel.clone(),
+            ..StoreOptions::default()
+        },
+    )
+    .expect("instrumented recovery");
+    store
+        .append(Record::CacheEntry(sample_entry(sig(u64::MAX))))
+        .expect("append");
+    store.compact().expect("compact");
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}
+
+// -------------------------------------------------------------- pipeline
+
+fn bench_pipeline(seed: u64, smoke: bool) -> BenchArtifact {
+    let app_name = "adpcm";
+    let total_runs = 4u32;
+    let ready_after = 2u32;
+    let reps = if smoke { 2 } else { 3 };
+    let mut art = BenchArtifact::new("pipeline", seed, smoke);
+    art.config("app", app_name);
+    art.config("total_runs", total_runs);
+    art.config("ready_after", ready_after);
+
+    let app = App::build(app_name).expect("paper app");
+    let session = |ctx: &EvalContext, cache: &BitstreamCache| {
+        run_adaptive_with(
+            ctx,
+            cache,
+            &app.module,
+            app.entry,
+            &app.datasets[0].args,
+            total_runs,
+            ready_after,
+            &AdaptiveOptions::default(),
+        )
+        .expect("session terminates")
+    };
+
+    let outcome = session(&EvalContext::new(), &BitstreamCache::new());
+    let report = outcome.report.as_ref().expect("session specializes");
+    art.exact("pipeline.makespan", "sim_ns", report.makespan.as_nanos());
+    art.exact("pipeline.sum_time", "sim_ns", report.sum_time.as_nanos());
+    art.exact(
+        "pipeline.candidates",
+        "count",
+        report.candidates.len() as u64,
+    );
+    art.exact("pipeline.cache_hits", "count", report.cache_hits as u64);
+    art.exact("pipeline.overhead", "sim_ns", outcome.overhead.as_nanos());
+    art.exact(
+        "pipeline.speedup_bits",
+        "f64_bits",
+        outcome.observed_speedup.to_bits(),
+    );
+    art.exact(
+        "pipeline.fingerprint",
+        "hash",
+        hash_bytes(outcome.fingerprint().as_bytes()),
+    );
+
+    // Cold session: fresh caches every repetition. Warm session: the
+    // bitstream cache persists, so specialization is all cache hits.
+    let sample = measure_host(reps, || {
+        let _ = session(&EvalContext::new(), &BitstreamCache::new());
+    });
+    art.push("pipeline.cold.wall", "ns", sample.metric());
+    let warm_cache = BitstreamCache::new();
+    let _ = session(&EvalContext::new(), &warm_cache);
+    let sample = measure_host(reps, || {
+        let _ = session(&EvalContext::new(), &warm_cache);
+    });
+    art.push("pipeline.warm.wall", "ns", sample.metric());
+
+    let tel = Telemetry::enabled();
+    let ctx = EvalContext::with_telemetry(tel.clone());
+    let _ = session(&ctx, &BitstreamCache::new());
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}

@@ -15,11 +15,14 @@
 //!    change workload observables, and recovery after the session must
 //!    always succeed (corrupted records are CRC-dropped, not fatal).
 //!
-//! Usage: `cargo run --release -p jitise-bench --bin chaos [seed]`
+//! Usage: `cargo run --release -p jitise-bench --bin chaos [seed]
+//! [--json FILE]` (`--json` additionally writes the sweep's per-point
+//! counters as a `BENCH_*`-schema artifact).
 //!
 //! Exits non-zero on the first violated invariant.
 
 use jitise_apps::App;
+use jitise_bench::schema::BenchArtifact;
 use jitise_core::{
     run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, EvalContext,
 };
@@ -66,10 +69,33 @@ fn session(app: &App, faults: FaultInjector, store: Option<Arc<Store>>) -> (Adap
 }
 
 fn main() -> ExitCode {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2011); // the paper's year
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let mut seed: u64 = 2011; // the paper's year
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            i += 2; // skip the flag and its path
+            continue;
+        }
+        if let Ok(s) = args[i].parse() {
+            seed = s;
+        }
+        i += 1;
+    }
+    let mut artifact = BenchArtifact::new("chaos", seed, false);
+    artifact.config("apps", APPS.join(","));
+    artifact.config(
+        "rates",
+        RATES
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     println!("=== jitise chaos sweep (seed {seed}) ===\n");
     println!(
         "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9} {:>7}  verdict",
@@ -136,6 +162,18 @@ fn main() -> ExitCode {
                 .as_ref()
                 .map(|r| (r.failed.len(), r.retries))
                 .unwrap_or((0, 0));
+            // Rates make poor metric-name fragments ("0.5"); index instead.
+            let ri = RATES.iter().position(|r| *r == rate).expect("swept rate");
+            let point = format!("{app_name}.r{ri}");
+            artifact.exact(&format!("{point}.injected"), "count", injected);
+            artifact.exact(&format!("{point}.failed"), "count", failed as u64);
+            artifact.exact(&format!("{point}.retries"), "count", retries);
+            artifact.exact(&format!("{point}.recovered"), "count", recovered);
+            artifact.exact(
+                &format!("{point}.degraded"),
+                "bool",
+                u64::from(outcome.degraded.is_some()),
+            );
             println!(
                 "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9.2} {:>7}  {}",
                 app_name,
@@ -160,6 +198,10 @@ fn main() -> ExitCode {
     }
 
     println!();
+    if let Some(path) = &json_path {
+        std::fs::write(path, artifact.to_pretty_string()).expect("write artifact");
+        println!("wrote {path}");
+    }
     if failures == 0 {
         println!("chaos sweep passed: all sessions terminated with bit-identical results");
         ExitCode::SUCCESS

@@ -11,59 +11,24 @@
 //! `SearchOutcome` fingerprint is asserted identical across every point —
 //! the sweep doubles as a determinism smoke test.
 //!
-//! Usage: `cargo run --release -p jitise-bench --bin search [-- --smoke]`
-//! (`--smoke` shrinks the module and skips repeats, for CI).
+//! Usage: `cargo run --release -p jitise-bench --bin search [-- --smoke]
+//! [--json FILE]` (`--smoke` shrinks the module and skips repeats, for
+//! CI; `--json` additionally writes the sweep as a `BENCH_*`-schema
+//! artifact).
 
 use jitise_base::table::{fnum, TextTable};
-use jitise_ir::{FunctionBuilder, Module, Operand as Op, Type};
+use jitise_bench::schema::BenchArtifact;
+use jitise_bench::workload::{search_module, search_profile};
+use jitise_ir::Module;
 use jitise_ise::{
     candidate_search, identify_makespan, Algorithm, DepthEstimator, PruneFilter, SearchConfig,
     SearchMemo, SearchOutcome,
 };
-use jitise_vm::{Interpreter, Profile, Value};
+use jitise_vm::Profile;
 use std::sync::Arc;
 use std::time::Duration;
 
 const LANES: &[usize] = &[1, 2, 8];
-
-/// A module with `loops` hot loops, each a ~14-op feasible body: enough
-/// blocks for lanes to matter and enough per-block enumeration for the
-/// memo to matter.
-fn bench_module(loops: i32) -> Module {
-    let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
-    let cell = b.alloca(4);
-    b.store(Op::ci32(1), cell);
-    for k in 0..loops {
-        b.counted_loop(&format!("i{k}"), Op::ci32(0), Op::Arg(0), |b, i| {
-            let acc = b.load(Type::I32, cell);
-            let x = b.mul(acc, i);
-            let y = b.mul(x, Op::ci32(3 + k));
-            let z = b.add(y, i);
-            let s = b.sub(z, Op::ci32(k));
-            let t = b.xor(s, Op::ci32(0x5a ^ k));
-            let u = b.and(t, Op::ci32(0xffff));
-            let v = b.or(u, Op::ci32(1));
-            let w = b.shl(v, Op::ci32(1));
-            let q = b.add(w, x);
-            let r = b.xor(q, z);
-            let e = b.add(r, s);
-            let g = b.mul(e, Op::ci32(7));
-            let h = b.xor(g, i);
-            b.store(h, cell);
-        });
-    }
-    let out = b.load(Type::I32, cell);
-    b.ret(out);
-    let mut m = Module::new("searchbench");
-    m.add_func(b.finish());
-    m
-}
-
-fn profile_of(m: &Module, iters: i64) -> Profile {
-    let mut vm = Interpreter::new(m);
-    vm.run("main", &[Value::I(iters)]).unwrap();
-    vm.take_profile()
-}
 
 fn run_search(
     m: &Module,
@@ -101,11 +66,21 @@ fn timed(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     let (loops, iters, repeats) = if smoke { (6, 200, 1) } else { (24, 2_000, 5) };
 
-    let module = bench_module(loops);
-    let profile = profile_of(&module, iters);
+    let mut artifact = BenchArtifact::new("search_sweep", 0, smoke);
+    artifact.config("loops", loops);
+    artifact.config("iters", iters);
+    artifact.config("algorithm", "singlecut");
+
+    let module = search_module(loops);
+    let profile = search_profile(&module, iters);
 
     println!("=== candidate-search sweep: workers x memo (SINGLECUT, unpruned) ===");
     println!(
@@ -145,6 +120,16 @@ fn main() {
         let total: u64 = out.identify_work.iter().map(|&(_, w)| w).sum();
         let makespan = identify_makespan(&out.identify_work, workers);
         let seq = *seq_makespan.get_or_insert(makespan);
+        if workers == LANES[0] {
+            artifact.exact("identify.work", "units", total);
+            artifact.exact("fingerprint", "hash", out.fingerprint());
+        }
+        artifact.exact(&format!("identify.makespan.w{workers}"), "units", makespan);
+        artifact.info(
+            &format!("real.off.w{workers}"),
+            "ms",
+            real.as_secs_f64() * 1e3,
+        );
         t.row(vec![
             workers.to_string(),
             "off".into(),
@@ -162,6 +147,14 @@ fn main() {
             let (out, real) = timed(&module, &profile, workers, Some(&memo), repeats);
             check(&out);
             let makespan = identify_makespan(&out.identify_work, workers);
+            if state == "warm" {
+                artifact.exact(&format!("memo.warm_hits.w{workers}"), "count", memo.hits());
+            }
+            artifact.info(
+                &format!("real.{state}.w{workers}"),
+                "ms",
+                real.as_secs_f64() * 1e3,
+            );
             t.row(vec![
                 workers.to_string(),
                 state.into(),
@@ -179,4 +172,8 @@ fn main() {
         "fingerprint identical across all {} points: OK",
         3 * LANES.len()
     );
+    if let Some(path) = json_path {
+        std::fs::write(&path, artifact.to_pretty_string()).expect("write artifact");
+        println!("wrote {path}");
+    }
 }

@@ -7,16 +7,25 @@
 //! checked to be identical across lane counts — the sweep doubles as a
 //! determinism smoke test.
 //!
-//! Usage: `cargo run --release -p jitise-bench --bin workers [app ...]`
-//! (defaults to the embedded benchmark set).
+//! Usage: `cargo run --release -p jitise-bench --bin workers
+//! [--json FILE] [app ...]` (defaults to the embedded benchmark set;
+//! `--json` additionally writes the sweep as a `BENCH_*`-schema
+//! artifact).
 
+use jitise_base::hash::hash_bytes;
 use jitise_base::table::{fnum, TextTable};
+use jitise_bench::schema::BenchArtifact;
 use jitise_core::{evaluate_app, EvalContext};
 
 const LANES: &[usize] = &[1, 2, 4, 8];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let path = args.get(i + 1).expect("--json needs a path").clone();
+        args.drain(i..=i + 1);
+        path
+    });
     let apps: Vec<String> = if args.is_empty() {
         ["adpcm", "fft", "sor", "whetstone"]
             .iter()
@@ -25,6 +34,16 @@ fn main() {
     } else {
         args
     };
+    let mut artifact = BenchArtifact::new("workers_sweep", 0, false);
+    artifact.config("apps", apps.join(","));
+    artifact.config(
+        "lanes",
+        LANES
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
 
     println!("=== CAD worker-lane sweep: makespan and break-even vs cad_workers ===\n");
     for name in &apps {
@@ -50,11 +69,35 @@ fn main() {
             let ev = evaluate_app(&ctx, &app);
             let fp = ev.report.fingerprint();
             match &fingerprint {
-                None => fingerprint = Some(fp),
+                None => {
+                    artifact.exact(
+                        &format!("{name}.fingerprint"),
+                        "hash",
+                        hash_bytes(fp.as_bytes()),
+                    );
+                    artifact.exact(
+                        &format!("{name}.cpu_time"),
+                        "sim_ns",
+                        ev.report.cpu_time.as_nanos(),
+                    );
+                    fingerprint = Some(fp);
+                }
                 Some(first) => assert_eq!(
                     *first, fp,
                     "{name}: report must be identical for any worker count"
                 ),
+            }
+            artifact.exact(
+                &format!("{name}.makespan.w{lanes}"),
+                "sim_ns",
+                ev.report.makespan.as_nanos(),
+            );
+            if let Some(b) = ev.break_even {
+                artifact.exact(
+                    &format!("{name}.break_even.w{lanes}"),
+                    "sim_ns",
+                    b.as_nanos(),
+                );
             }
             let seq = *seq_makespan.get_or_insert(ev.report.makespan);
             let speedup = if ev.report.makespan.as_nanos() > 0 {
@@ -74,5 +117,9 @@ fn main() {
         }
         println!("--- {name} (fingerprint identical across lane counts) ---");
         println!("{}", t.render());
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, artifact.to_pretty_string()).expect("write artifact");
+        println!("wrote {path}");
     }
 }

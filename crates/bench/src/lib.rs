@@ -4,6 +4,18 @@
 //! Criterion micro-benchmarks. The binaries print the same rows and
 //! columns as the paper's tables, with measured values side by side with
 //! the published ones; `EXPERIMENTS.md` archives their output.
+//!
+//! The `bench` binary is the perf-trajectory harness: it runs seeded
+//! deterministic workloads for five topics (candidate search, CAD
+//! makespan, VM interpreter, store recovery, end-to-end pipeline) and
+//! writes one schema-versioned `BENCH_<topic>.json` artifact per topic
+//! (see [`schema`]); `bench --check` gates a fresh run against committed
+//! baselines. [`runner`] measures host time, [`workload`] builds the
+//! shared synthetic workloads.
+
+pub mod runner;
+pub mod schema;
+pub mod workload;
 
 use jitise_apps::{App, Domain};
 use jitise_core::{evaluate_app, AppEvaluation, EvalContext};

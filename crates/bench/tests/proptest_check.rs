@@ -1,0 +1,110 @@
+//! Property tests for the regression gate: for *any* generated artifact,
+//! `check` accepts an identical rerun, and rejects any run that degrades
+//! an exact metric or inflates a host minimum beyond the policy band.
+
+use jitise_bench::schema::{check, BenchArtifact, CheckPolicy, MetricValue};
+use proptest::prelude::*;
+
+/// Builds an artifact from generated raw material: a list of
+/// (exact value, host min ns) pairs, one metric of each class per pair.
+fn artifact(seed: u64, pairs: &[(u64, u32)]) -> BenchArtifact {
+    let mut a = BenchArtifact::new("prop", seed, true);
+    a.config("pairs", pairs.len());
+    for (i, &(exact, host_min)) in pairs.iter().enumerate() {
+        a.exact(&format!("exact.{i}"), "units", exact);
+        a.push(
+            &format!("host.{i}"),
+            "ns",
+            MetricValue::Host {
+                reps: 3,
+                min_ns: f64::from(host_min),
+                median_ns: f64::from(host_min) * 1.5,
+                p90_ns: f64::from(host_min) * 2.0,
+            },
+        );
+    }
+    a
+}
+
+proptest! {
+    #[test]
+    fn identical_runs_always_pass(
+        seed in any::<u64>(),
+        pairs in prop::collection::vec((any::<u64>(), any::<u32>()), 1..8),
+    ) {
+        let a = artifact(seed, &pairs);
+        let report = check(&a, &a.clone(), &CheckPolicy::default());
+        prop_assert!(report.ok(), "regressions: {:?}", report.regressions);
+        prop_assert!(report.notes.is_empty(), "notes: {:?}", report.notes);
+    }
+
+    #[test]
+    fn identical_runs_roundtrip_and_still_pass(
+        seed in any::<u64>(),
+        pairs in prop::collection::vec((any::<u64>(), any::<u32>()), 1..8),
+    ) {
+        // The gate must be stable through the on-disk representation:
+        // write the baseline, parse it back, gate the original against it.
+        let a = artifact(seed, &pairs);
+        let parsed = BenchArtifact::parse(&a.to_pretty_string()).unwrap();
+        prop_assert_eq!(&parsed, &a);
+        prop_assert!(check(&parsed, &a, &CheckPolicy::default()).ok());
+    }
+
+    #[test]
+    fn degraded_exact_metrics_always_fail(
+        seed in any::<u64>(),
+        pairs in prop::collection::vec((any::<u64>(), any::<u32>()), 1..8),
+        which in any::<u64>(),
+        delta in 1u64..1_000_000,
+    ) {
+        let base = artifact(seed, &pairs);
+        let mut cur = base.clone();
+        let i = (which % pairs.len() as u64) as usize;
+        let name = format!("exact.{i}");
+        let m = cur.metrics.iter_mut().find(|m| m.name == name).unwrap();
+        let MetricValue::Exact(v) = &mut m.value else { unreachable!() };
+        *v = v.wrapping_add(delta); // any drift at all, in any direction
+        let report = check(&base, &cur, &CheckPolicy::default());
+        prop_assert!(!report.ok());
+        prop_assert!(report.regressions.iter().any(|r| r.contains(&name)));
+    }
+
+    #[test]
+    fn host_regressions_beyond_the_band_always_fail(
+        seed in any::<u64>(),
+        pairs in prop::collection::vec((any::<u64>(), 1u32..u32::MAX), 1..8),
+        which in any::<u64>(),
+        factor in 1.6f64..100.0,
+    ) {
+        let policy = CheckPolicy { tolerance: 0.5, floor_ns: 0.0 };
+        let base = artifact(seed, &pairs);
+        let mut cur = base.clone();
+        let i = (which % pairs.len() as u64) as usize;
+        let name = format!("host.{i}");
+        let m = cur.metrics.iter_mut().find(|m| m.name == name).unwrap();
+        let MetricValue::Host { min_ns, .. } = &mut m.value else { unreachable!() };
+        *min_ns *= factor; // past the 1.5x band, with float headroom
+        let report = check(&base, &cur, &policy);
+        prop_assert!(!report.ok());
+        prop_assert!(report.regressions.iter().any(|r| r.contains(&name)));
+    }
+
+    #[test]
+    fn host_noise_within_the_band_never_fails(
+        seed in any::<u64>(),
+        pairs in prop::collection::vec((any::<u64>(), any::<u32>()), 1..8),
+        which in any::<u64>(),
+        factor in 0.5f64..1.4,
+    ) {
+        let base = artifact(seed, &pairs);
+        let mut cur = base.clone();
+        let i = (which % pairs.len() as u64) as usize;
+        let name = format!("host.{i}");
+        let m = cur.metrics.iter_mut().find(|m| m.name == name).unwrap();
+        let MetricValue::Host { min_ns, .. } = &mut m.value else { unreachable!() };
+        *min_ns *= factor;
+        let report = check(&base, &cur, &CheckPolicy::default());
+        prop_assert!(report.ok(), "regressions: {:?}", report.regressions);
+    }
+}

@@ -409,6 +409,7 @@ pub fn run_flow_accounted(
     };
     bitgen_span.set_sim_time(bitgen_t);
     bitgen_span.field("bytes", TelValue::U64(bitstream.len() as u64));
+    bitgen_span.field("eapr", TelValue::Bool(opts.eapr));
     drop(bitgen_span);
 
     Ok(FlowReport {

@@ -330,6 +330,7 @@ pub fn candidate_search(
         tel.add(names::SEARCH_MEMO_MISSES, memo_misses);
     }
     identify_span.field("workers", TelValue::U64(workers as u64));
+    identify_span.field("blocks", TelValue::U64(pruned.blocks.len() as u64));
     identify_span.field("explored", TelValue::U64(explored_total));
     identify_span.field("cap_hit", TelValue::Bool(cap_hit));
     if config.memo.is_some() {
@@ -340,7 +341,7 @@ pub fn candidate_search(
 
     // 3. Estimate each candidate's hardware merit, fanned out per
     //    candidate; the pool is assembled in (block, candidate) order.
-    let estimate_span = tel.span("ise.estimate");
+    let mut estimate_span = tel.span("ise.estimate");
     let jobs: Vec<(usize, usize)> = per_block
         .iter()
         .enumerate()
@@ -358,6 +359,7 @@ pub fn candidate_search(
         tel.observe("ise.candidate_size", cand.len() as u64);
         pool.push((cand, est));
     }
+    estimate_span.field("candidates", TelValue::U64(jobs.len() as u64));
     estimate_span.end();
 
     // 4. Select under the area budget.

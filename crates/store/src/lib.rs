@@ -179,6 +179,7 @@ impl Store {
 
     /// [`Store::open`] with explicit options.
     pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
+        let mut recover_span = opts.telemetry.span("store.recover");
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::Store(format!("create {}: {e}", dir.display())))?;
@@ -293,6 +294,11 @@ impl Store {
                 ("wal_stale", Value::Bool(report.wal_stale)),
             ],
         );
+        recover_span.field("records", Value::U64(report.records_recovered));
+        recover_span.field("entries", Value::U64(report.recovered_entries as u64));
+        recover_span.field("torn", Value::U64(report.torn_tails_dropped));
+        recover_span.field("crc_dropped", Value::U64(report.crc_dropped));
+        recover_span.end();
 
         Ok(Store {
             dir,
@@ -359,6 +365,7 @@ impl Store {
         if inner.dead || inner.wal.is_dead() {
             return Err(Error::Store("store is dead after a crash".into()));
         }
+        let mut compact_span = self.opts.telemetry.span("store.compact");
         let generation = inner.generation + 1;
         let mut enc = Encoder::new();
         enc.put_str(SNAP_MAGIC).put_varu64(generation);
@@ -391,6 +398,9 @@ impl Store {
         inner.written += header.len() as u64;
         inner.generation = generation;
         self.opts.telemetry.add(names::STORE_COMPACTIONS, 1);
+        compact_span.field("generation", Value::U64(generation));
+        compact_span.field("entries", Value::U64(inner.state.entries.len() as u64));
+        compact_span.end();
         Ok(())
     }
 

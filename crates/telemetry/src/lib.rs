@@ -21,7 +21,9 @@
 //!
 //! A [`Snapshot`] freezes everything recorded so far and exports it as
 //! JSON-lines, human-readable text, or a Chrome-trace file loadable in
-//! `chrome://tracing` / Perfetto (see [`snapshot::Snapshot`]).
+//! `chrome://tracing` / Perfetto (see [`snapshot::Snapshot`]). A
+//! [`Profiler`] folds a snapshot's span tree into per-stage self-time
+//! rollups and collapsed stacks for flamegraph tooling.
 //!
 //! # Cost model
 //!
@@ -47,11 +49,13 @@
 
 mod journal;
 mod metrics;
+mod profiler;
 mod snapshot;
 mod span;
 
 pub use journal::{EventRecord, Value};
 pub use metrics::{HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use profiler::{Profiler, StackLine, StackWeight, StageRollup};
 pub use snapshot::{PhaseTotal, Snapshot};
 pub use span::{Span, SpanRecord};
 

@@ -71,6 +71,66 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Builds a snapshot directly from raw values (no registry involved).
+    /// Used by the profiler to derive per-stage duration quantiles without
+    /// retaining every sample.
+    pub fn from_values(name: impl Into<String>, values: &[u64]) -> HistogramSnapshot {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.observe(v);
+        }
+        HistogramSnapshot {
+            name: name.into(),
+            counts: h.counts.to_vec(),
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0 } else { h.min },
+            max: h.max,
+        }
+    }
+
+    /// Exclusive pow2 upper bound of bucket `i`: bucket 0 holds only the
+    /// value `0` (bound 1), bucket `i >= 1` holds `[2^(i-1), 2^i)` (bound
+    /// `2^i`), and the final catch-all bucket has no finite bound
+    /// (`u64::MAX`). This is the one place bucket math lives; exporters
+    /// and quantile estimation both go through it.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// An upper bound on the `q`-quantile of the observed values.
+    ///
+    /// Power-of-two buckets only retain which range each value fell in, so
+    /// the estimate is the *bucket upper bound* (see
+    /// [`HistogramSnapshot::bucket_upper_bound`]; exclusive, so the bound
+    /// minus one is the largest value the bucket can hold) of the bucket
+    /// containing the observation of rank `ceil(q * count)`, clamped to
+    /// the observed `max`. The result therefore never under-reports a
+    /// quantile and is at worst 2× the true value. `q` is clamped to
+    /// `[0, 1]`; an empty histogram yields 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = Self::bucket_upper_bound(i);
+                // Bucket 0 holds only the value 0; elsewhere the largest
+                // representable member is `bound - 1`.
+                let cap = if i == 0 { 0 } else { bound.saturating_sub(1) };
+                return cap.min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[derive(Default)]
@@ -192,6 +252,49 @@ mod tests {
         let hists = reg.histograms();
         assert_eq!(hists[0].count, 1);
         assert_eq!(hists[0].mean(), 10.0);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        // Values 1..=8 land in buckets 1..=4; each quantile must come back
+        // as the inclusive top of its bucket (bound - 1), clamped to max.
+        let h = HistogramSnapshot::from_values("q", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(h.quantile(0.0), 1); // rank 1 -> value 1 -> bucket 1 -> bound 2 - 1
+        assert_eq!(h.quantile(0.125), 1);
+        assert_eq!(h.quantile(0.25), 3); // rank 2 -> value 2 -> bucket 2 -> bound 4 - 1
+        assert_eq!(h.quantile(0.5), 7); // rank 4 -> value 4 -> bucket 3 -> bound 8 - 1
+        assert_eq!(h.quantile(1.0), 8); // clamped to max, not bucket 4's 15
+    }
+
+    #[test]
+    fn quantile_median_rank_semantics() {
+        // rank(0.5, n=8) = ceil(4) = 4 -> value 4 -> bucket 3 -> bound 8-1,
+        // clamped to observed max only when smaller.
+        let h = HistogramSnapshot::from_values("q", &[1, 2, 3, 4, 100, 100, 100, 100]);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.9), 100); // bucket 7 bound 128-1, clamped to max 100
+    }
+
+    #[test]
+    fn quantile_of_zeros_and_empty() {
+        let empty = HistogramSnapshot::from_values("e", &[]);
+        assert_eq!(empty.quantile(0.5), 0);
+        let zeros = HistogramSnapshot::from_values("z", &[0, 0, 0]);
+        assert_eq!(zeros.quantile(0.99), 0, "bucket 0 holds exactly 0");
+    }
+
+    #[test]
+    fn bucket_upper_bounds_match_observe() {
+        // Every value must satisfy value < bucket_upper_bound(bucket(value)).
+        for v in [0u64, 1, 2, 3, 4, 255, 256, u64::MAX] {
+            let h = HistogramSnapshot::from_values("b", &[v]);
+            let bucket = h.counts.iter().position(|&c| c > 0).unwrap();
+            if bucket < HISTOGRAM_BUCKETS - 1 {
+                assert!(v < HistogramSnapshot::bucket_upper_bound(bucket), "{v}");
+            } else {
+                assert_eq!(HistogramSnapshot::bucket_upper_bound(bucket), u64::MAX);
+            }
+        }
     }
 
     #[test]

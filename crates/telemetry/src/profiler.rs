@@ -1,0 +1,339 @@
+//! Span-tree aggregation: per-stage self-time rollups and collapsed
+//! stacks for flamegraphs.
+//!
+//! A [`crate::Snapshot`] holds every closed span, but a benchmark wants
+//! attribution, not a span list: *which stage* owns the time, with the
+//! children's share subtracted out. [`Profiler::from_snapshot`] folds the
+//! span tree into one [`StageRollup`] per span name — call count, total
+//! and **self** time on both clocks, and pow2-bucket host-duration
+//! quantiles (via [`HistogramSnapshot::quantile`]) — plus collapsed-stack
+//! lines (`root;child;leaf <self-weight>`) directly consumable by
+//! `flamegraph.pl` / `inferno-flamegraph` / speedscope.
+//!
+//! Self-time convention: a parent's self time is its duration minus the
+//! sum of its children's durations, saturating at zero. Children that run
+//! concurrently on worker threads can sum past their parent's wall time —
+//! the saturation is deliberate (the parent then truly has no
+//! unattributed time). Simulated self time uses the same rule on the
+//! exact [`SimTime`] integers, so it is bit-identical across same-seed
+//! runs regardless of host scheduling.
+
+use crate::metrics::HistogramSnapshot;
+use crate::snapshot::Snapshot;
+use jitise_base::SimTime;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+
+/// Aggregated attribution for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRollup {
+    /// Span name (stage), e.g. `"cad.par"`.
+    pub name: String,
+    /// Number of spans folded in.
+    pub count: u64,
+    /// Summed host-clock duration, nanoseconds.
+    pub host_total_ns: u64,
+    /// Host time not attributed to child spans, nanoseconds.
+    pub host_self_ns: u64,
+    /// Pow2-bucket upper bound on the median per-span host duration.
+    pub host_p50_ns: u64,
+    /// Pow2-bucket upper bound on the p90 per-span host duration.
+    pub host_p90_ns: u64,
+    /// Summed simulated duration (exact).
+    pub sim_total: SimTime,
+    /// Simulated time not attributed to child spans (exact).
+    pub sim_self: SimTime,
+}
+
+/// One collapsed call-stack line: semicolon-joined span-name path plus
+/// the self weights accumulated at that exact path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackLine {
+    /// `root;child;leaf` span-name path.
+    pub path: String,
+    /// Summed host self time at this path, nanoseconds.
+    pub host_self_ns: u64,
+    /// Summed simulated self time at this path, nanoseconds (exact).
+    pub sim_self_ns: u64,
+}
+
+/// Which clock weighs the collapsed stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackWeight {
+    /// Host wall-clock self nanoseconds (what a CPU flamegraph shows).
+    HostNs,
+    /// Simulated self nanoseconds — deterministic for same-seed runs.
+    SimNs,
+}
+
+/// Folded span-tree attribution (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    stages: Vec<StageRollup>,
+    stacks: Vec<StackLine>,
+}
+
+impl Profiler {
+    /// Folds every span of `snapshot` into per-stage rollups and
+    /// collapsed stacks. Spans whose parent is missing from the snapshot
+    /// (still open, or recorded before a snapshot boundary) are treated
+    /// as roots, matching the text exporter.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Profiler {
+        let spans = &snapshot.spans;
+        let index_of: HashMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+
+        // Children's totals, attributed to the parent index.
+        let mut child_host = vec![0u64; spans.len()];
+        let mut child_sim = vec![0u64; spans.len()];
+        for span in spans {
+            if let Some(&pi) = span.parent.as_ref().and_then(|p| index_of.get(p)) {
+                child_host[pi] += span.host_ns();
+                child_sim[pi] += span.sim_time().as_nanos();
+            }
+        }
+
+        // Per-stage accumulation, keyed by name (BTreeMap: deterministic
+        // output order).
+        struct Acc {
+            count: u64,
+            host_total: u64,
+            host_self: u64,
+            sim_total: u64,
+            sim_self: u64,
+            durations: Vec<u64>,
+        }
+        let mut by_name: BTreeMap<&str, Acc> = BTreeMap::new();
+        let mut by_path: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for (i, span) in spans.iter().enumerate() {
+            let host_self = span.host_ns().saturating_sub(child_host[i]);
+            let sim_self = span.sim_time().as_nanos().saturating_sub(child_sim[i]);
+            let acc = by_name.entry(span.name).or_insert_with(|| Acc {
+                count: 0,
+                host_total: 0,
+                host_self: 0,
+                sim_total: 0,
+                sim_self: 0,
+                durations: Vec::new(),
+            });
+            acc.count += 1;
+            acc.host_total += span.host_ns();
+            acc.host_self += host_self;
+            acc.sim_total += span.sim_time().as_nanos();
+            acc.sim_self += sim_self;
+            acc.durations.push(span.host_ns());
+
+            // Collapsed stack path: walk parents to the root. Span ids are
+            // allocated monotonically and the parent chain is acyclic.
+            let mut names: Vec<&str> = vec![span.name];
+            let mut cursor = span.parent;
+            while let Some(&pi) = cursor.as_ref().and_then(|p| index_of.get(p)) {
+                names.push(spans[pi].name);
+                cursor = spans[pi].parent;
+            }
+            names.reverse();
+            let path = names.join(";");
+            let entry = by_path.entry(path).or_insert((0, 0));
+            entry.0 += host_self;
+            entry.1 += sim_self;
+        }
+
+        let stages = by_name
+            .into_iter()
+            .map(|(name, acc)| {
+                let hist = HistogramSnapshot::from_values(name, &acc.durations);
+                StageRollup {
+                    name: name.to_string(),
+                    count: acc.count,
+                    host_total_ns: acc.host_total,
+                    host_self_ns: acc.host_self,
+                    host_p50_ns: hist.quantile(0.5),
+                    host_p90_ns: hist.quantile(0.9),
+                    sim_total: SimTime::from_nanos(acc.sim_total),
+                    sim_self: SimTime::from_nanos(acc.sim_self),
+                }
+            })
+            .collect();
+        let stacks = by_path
+            .into_iter()
+            .map(|(path, (host, sim))| StackLine {
+                path,
+                host_self_ns: host,
+                sim_self_ns: sim,
+            })
+            .collect();
+        Profiler { stages, stacks }
+    }
+
+    /// Per-stage rollups, sorted by stage name.
+    pub fn stages(&self) -> &[StageRollup] {
+        &self.stages
+    }
+
+    /// The rollup for one stage name.
+    pub fn stage(&self, name: &str) -> Option<&StageRollup> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Collapsed stack lines, sorted by path.
+    pub fn stacks(&self) -> &[StackLine] {
+        &self.stacks
+    }
+
+    /// Writes collapsed stacks (`path weight` per line, sorted by path)
+    /// weighed by the chosen clock. Paths with zero weight are skipped —
+    /// flamegraph tools drop them anyway. Feed the host variant to
+    /// `flamegraph.pl --countname=ns`; the sim variant is bit-identical
+    /// across same-seed runs and diffable in CI.
+    pub fn write_collapsed(&self, out: &mut dyn Write, weight: StackWeight) -> io::Result<()> {
+        for line in &self.stacks {
+            let w = match weight {
+                StackWeight::HostNs => line.host_self_ns,
+                StackWeight::SimNs => line.sim_self_ns,
+            };
+            if w > 0 {
+                writeln!(out, "{} {}", line.path, w)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, Value};
+
+    fn sample() -> Snapshot {
+        let tel = Telemetry::enabled();
+        {
+            let mut root = tel.span("pipeline.specialize");
+            root.set_sim_time(SimTime::from_secs(100));
+            {
+                let mut map = root.child("cad.map");
+                map.set_sim_time(SimTime::from_secs(40));
+            }
+            {
+                let mut par = root.child("cad.par");
+                par.set_sim_time(SimTime::from_secs(25));
+                let mut route = par.child("cad.route");
+                route.set_sim_time(SimTime::from_secs(5));
+                route.field("k", Value::U64(1));
+            }
+        }
+        tel.snapshot()
+    }
+
+    #[test]
+    fn sim_self_subtracts_children_exactly() {
+        let p = Profiler::from_snapshot(&sample());
+        let root = p.stage("pipeline.specialize").unwrap();
+        assert_eq!(root.count, 1);
+        assert_eq!(root.sim_total, SimTime::from_secs(100));
+        assert_eq!(root.sim_self, SimTime::from_secs(35)); // 100 - 40 - 25
+        let par = p.stage("cad.par").unwrap();
+        assert_eq!(par.sim_self, SimTime::from_secs(20)); // 25 - 5
+        let route = p.stage("cad.route").unwrap();
+        assert_eq!(route.sim_self, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn host_self_never_underflows() {
+        // Two parallel children each longer than the parent's wall time
+        // must saturate the parent's self time at zero, not wrap.
+        let tel = Telemetry::enabled();
+        {
+            let root = tel.span("root");
+            let scoped = tel.under(&root);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let t = scoped.clone();
+                    s.spawn(move || {
+                        let _s = t.span("lane");
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    });
+                }
+            });
+        }
+        let p = Profiler::from_snapshot(&tel.snapshot());
+        let root = p.stage("root").unwrap();
+        assert!(root.host_self_ns <= root.host_total_ns);
+        let lane = p.stage("lane").unwrap();
+        assert_eq!(lane.count, 2);
+    }
+
+    #[test]
+    fn collapsed_stacks_carry_full_paths() {
+        let p = Profiler::from_snapshot(&sample());
+        let mut buf = Vec::new();
+        p.write_collapsed(&mut buf, StackWeight::SimNs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("pipeline.specialize;cad.par;cad.route 5000000000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline.specialize;cad.par 20000000000"),
+            "{text}"
+        );
+        // Sorted by path, one weight per line, no zero-weight lines.
+        let mut paths: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            let (path, w) = line.rsplit_once(' ').unwrap();
+            assert!(w.parse::<u64>().unwrap() > 0);
+            paths.push(path);
+        }
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn sim_stacks_are_deterministic_across_runs() {
+        let render = || {
+            let snap = sample();
+            let mut buf = Vec::new();
+            Profiler::from_snapshot(&snap)
+                .write_collapsed(&mut buf, StackWeight::SimNs)
+                .unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        let tel = Telemetry::enabled();
+        let root = tel.span("never.closed");
+        {
+            let mut child = root.child("leaf");
+            child.set_sim_time(SimTime::from_secs(1));
+        }
+        // Snapshot before the root closes: the leaf's parent id is unknown.
+        let p = Profiler::from_snapshot(&tel.snapshot());
+        assert_eq!(p.stages().len(), 1);
+        assert_eq!(p.stacks()[0].path, "leaf");
+        drop(root);
+    }
+
+    #[test]
+    fn empty_snapshot_folds_to_nothing() {
+        let p = Profiler::from_snapshot(&Telemetry::disabled().snapshot());
+        assert!(p.stages().is_empty());
+        let mut buf = Vec::new();
+        p.write_collapsed(&mut buf, StackWeight::HostNs).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn quantiles_populated_from_span_durations() {
+        let tel = Telemetry::enabled();
+        for _ in 0..10 {
+            tel.span("s").end();
+        }
+        let p = Profiler::from_snapshot(&tel.snapshot());
+        let s = p.stage("s").unwrap();
+        assert_eq!(s.count, 10);
+        assert!(s.host_p50_ns <= s.host_p90_ns);
+    }
+}

@@ -173,7 +173,11 @@ impl Snapshot {
                     line.push(',');
                 }
                 first = false;
-                line.push_str(&format!("[{},{}]", 1u64 << i, c));
+                line.push_str(&format!(
+                    "[{},{}]",
+                    HistogramSnapshot::bucket_upper_bound(i),
+                    c
+                ));
             }
             line.push_str("]}");
             writeln!(out, "{line}")?;

@@ -150,6 +150,7 @@ impl<'m> Interpreter<'m> {
             span.set_sim_time(self.cost.cycles_to_time(out.cycles));
             span.field("func", TelValue::Str(self.module.func(fid).name.clone()));
             span.field("steps", TelValue::U64(out.steps));
+            span.field("cycles", TelValue::U64(out.cycles));
             self.telemetry.add(names::VM_INSTRUCTIONS, out.steps);
             self.telemetry
                 .add(names::VM_BLOCKS, self.blocks - start_blocks);
