@@ -22,3 +22,4 @@ pub use app::{App, Dataset};
 pub use profile::{
     embedded_names, paper_profile, scientific_names, AppProfile, Domain, PAPER_APPS,
 };
+pub use synth::{build_phased, PhasedSpec};

@@ -403,6 +403,212 @@ fn b_ref(b: &mut FunctionBuilder) -> &mut FunctionBuilder {
     b
 }
 
+// ---------------------------------------------------------------------------
+// Phase-changing workloads (the storm runtime's adversary)
+// ---------------------------------------------------------------------------
+
+/// Spec for a seeded *phase-changing* workload: `kernels` independent hot
+/// kernels behind one dispatching `main(sel, scale)`. Rotating `sel`
+/// between runs rotates the hot set — every custom instruction installed
+/// for the previous phase goes cold instantly, which is the threat the
+/// storm runtime's phase detector / eviction policy must survive.
+///
+/// Two populations:
+///
+/// * **Hot-set rotation** (`near_duplicate: false`): each kernel is an
+///   independently generated arithmetic loop. A phase change moves all
+///   execution to structurally different code with disjoint candidates.
+/// * **Near-duplicate thrash** (`near_duplicate: true`): kernels share one
+///   generation stream and differ only by a few per-kernel tweak
+///   instructions — same shape, *distinct candidate signatures*. Rotating
+///   them quickly produces the cache-thrash population: every phase is a
+///   compulsory miss, and a policy without hysteresis would oscillate the
+///   installer forever.
+#[derive(Debug, Clone)]
+pub struct PhasedSpec {
+    /// Generation seed (every module field is a pure function of it).
+    pub seed: u64,
+    /// Number of rotatable hot kernels (≥ 1).
+    pub kernels: u32,
+    /// Hot blocks per kernel.
+    pub kernel_blocks: u32,
+    /// Instructions per hot block.
+    pub block_ins: u32,
+    /// Arithmetic-segment length between forbidden memory breakers
+    /// (controls candidate size, as in the scientific generator).
+    pub seg_len: u32,
+    /// Kernel loop trip count per call.
+    pub hot_iters: i32,
+    /// Near-duplicate thrash population instead of independent kernels.
+    pub near_duplicate: bool,
+}
+
+impl Default for PhasedSpec {
+    fn default() -> PhasedSpec {
+        PhasedSpec {
+            seed: 2011,
+            kernels: 3,
+            kernel_blocks: 2,
+            block_ins: 48,
+            seg_len: 6,
+            hot_iters: 240,
+            near_duplicate: false,
+        }
+    }
+}
+
+/// Shape of one phased hot block: total instruction budget, arithmetic
+/// segment length, and the near-duplicate tweak knobs (extra per-segment
+/// add instructions — distinct instruction counts guarantee distinct
+/// candidate signatures).
+#[derive(Clone, Copy)]
+struct PhasedBlockShape {
+    size: u32,
+    seg_len: u32,
+    tweaks: u32,
+    tweak_const: i32,
+}
+
+/// Emits one integer-only hot block body: `seg_len`-instruction arithmetic
+/// segments split by store breakers, per `shape`.
+fn emit_phased_block(
+    b: &mut FunctionBuilder,
+    rng: &mut SplitMix64,
+    shape: PhasedBlockShape,
+    data: GlobalId,
+    seed_val: Op,
+) -> Op {
+    let PhasedBlockShape {
+        size,
+        seg_len,
+        tweaks,
+        tweak_const,
+    } = shape;
+    let base = b.global_addr(data);
+    let mut emitted = 1u32;
+    let mut v = seed_val;
+    let mut slot = 0i32;
+    while emitted < size {
+        let this_seg = seg_len.min(size - emitted).max(1);
+        for k in 0..this_seg {
+            v = match rng.next_index(5) {
+                0 | 1 => b.mul(v, Op::ci32(3 + (k as i32 & 3) * 2)),
+                2 => b.add(v, Op::ci32(k as i32 + 1)),
+                3 => b.xor(v, Op::ci32(0x3c3c)),
+                _ => b.and(v, Op::ci32(0x00ff_ffff)),
+            };
+            emitted += 1;
+        }
+        for t in 0..tweaks {
+            v = b.add(v, Op::ci32(tweak_const + t as i32));
+            emitted += 1;
+        }
+        // Forbidden breaker between candidate-sized segments.
+        let p = b.gep(base, Op::ci32(slot & 255), 4);
+        b.store(v, p);
+        emitted += 2;
+        slot += 1;
+    }
+    v
+}
+
+/// Builds the phase-changing module for `spec`. Entry point:
+/// `main(sel: i32, scale: i32) -> i32` — runs the `sel`-selected kernel
+/// `scale` times and folds the results into a checksum. Deterministic per
+/// seed; out-of-range `sel` falls through to the last kernel.
+pub fn build_phased(spec: &PhasedSpec) -> Module {
+    let kernels = spec.kernels.max(1);
+    let name = if spec.near_duplicate {
+        "phased-thrash"
+    } else {
+        "phased-rotation"
+    };
+    let mut m = Module::new(name);
+    let data = m.add_global(Global::zeroed("pdata", Type::I32, 256));
+
+    let kern_fns: Vec<_> = (0..kernels)
+        .map(|ki| {
+            // Rotation: independent streams → structurally different
+            // kernels. Thrash: one shared stream re-seeded per kernel →
+            // near-identical shape, differentiated only by the tweaks.
+            let mut rng = if spec.near_duplicate {
+                SplitMix64::new(spec.seed)
+            } else {
+                SplitMix64::new(spec.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ki as u64 + 1))
+            };
+            let tweaks = if spec.near_duplicate { 1 + ki % 3 } else { 0 };
+            let mut b = FunctionBuilder::new(format!("kern{ki}"), vec![Type::I32], Type::I32);
+            let out = b.alloca(4);
+            b.store(Op::Arg(0), out);
+            b.counted_loop("k", Op::ci32(0), Op::ci32(spec.hot_iters.max(1)), |b, i| {
+                let mut v = b.load(Type::I32, out);
+                v = b.xor(v, i);
+                for blk_i in 0..spec.kernel_blocks.max(1) {
+                    let blk = b.new_block(format!("k{ki}.hot{blk_i}"));
+                    b.br(blk);
+                    b.switch_to(blk);
+                    v = emit_phased_block(
+                        b,
+                        &mut rng,
+                        PhasedBlockShape {
+                            size: spec.block_ins.max(4),
+                            seg_len: spec.seg_len.max(2),
+                            tweaks,
+                            tweak_const: 17 + ki as i32,
+                        },
+                        data,
+                        v,
+                    );
+                }
+                b.store(v, out);
+            });
+            let v = b.load(Type::I32, out);
+            b.ret(v);
+            m.add_func(b.finish())
+        })
+        .collect();
+
+    // main(sel, scale): dispatch to the selected kernel each iteration.
+    {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32, Type::I32], Type::I32);
+        let acc = b.alloca(4);
+        b.store(Op::ci32(0x5eed), acc);
+        b.counted_loop("outer", Op::ci32(0), Op::Arg(1), |b, i| {
+            let merge = b.new_block("disp.merge");
+            for (ki, &kf) in kern_fns.iter().enumerate() {
+                let call_blk = b.new_block(format!("disp.call{ki}"));
+                let next_chk = if ki + 1 < kern_fns.len() {
+                    let chk = b.new_block(format!("disp.chk{}", ki + 1));
+                    let is = b.cmp(jitise_ir::CmpOp::Eq, Op::Arg(0), Op::ci32(ki as i32));
+                    b.cond_br(is, call_blk, chk);
+                    Some(chk)
+                } else {
+                    // Out-of-range selectors land in the last kernel.
+                    b.br(call_blk);
+                    None
+                };
+                b.switch_to(call_blk);
+                let h = b.call(kf, vec![i], Type::I32);
+                let a = b.load(Type::I32, acc);
+                let x = b.xor(a, h);
+                b.store(x, acc);
+                b.br(merge);
+                if let Some(chk) = next_chk {
+                    b.switch_to(chk);
+                }
+            }
+            b.switch_to(merge);
+        });
+        let out = b.load(Type::I32, acc);
+        b.ret(out);
+        m.add_func(b.finish());
+    }
+
+    jitise_ir::verify::verify_module(&m)
+        .unwrap_or_else(|e| panic!("{name}: phased module invalid: {e}"));
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +668,106 @@ mod tests {
                 "dead block executed"
             );
         }
+    }
+
+    fn run_phased(m: &Module, sel: i64, scale: i64) -> (Option<Value>, jitise_vm::Profile) {
+        let mut vm = jitise_vm::Interpreter::new(m);
+        let out = vm.run("main", &[Value::I(sel), Value::I(scale)]).unwrap();
+        (out.ret, vm.take_profile())
+    }
+
+    fn kernel_cycles(m: &Module, prof: &jitise_vm::Profile, name: &str) -> u64 {
+        let fid = m.func_by_name(name).unwrap();
+        m.func(fid)
+            .block_ids()
+            .map(|bid| prof.block_cycles(jitise_vm::BlockKey::new(fid, bid)))
+            .sum()
+    }
+
+    #[test]
+    fn phased_generation_is_deterministic() {
+        for near_duplicate in [false, true] {
+            let spec = PhasedSpec {
+                near_duplicate,
+                ..PhasedSpec::default()
+            };
+            assert_eq!(build_phased(&spec), build_phased(&spec));
+            let other = PhasedSpec { seed: 7, ..spec };
+            assert_ne!(build_phased(&other), build_phased(&spec));
+        }
+    }
+
+    #[test]
+    fn phase_selector_rotates_the_hot_set() {
+        let m = build_phased(&PhasedSpec::default());
+        for sel in 0..3i64 {
+            let (_, prof) = run_phased(&m, sel, 2);
+            for k in 0..3 {
+                let cycles = kernel_cycles(&m, &prof, &format!("kern{k}"));
+                if k == sel {
+                    assert!(cycles > 0, "selected kernel must run (sel={sel})");
+                    assert!(
+                        cycles as f64 / prof.total_cycles() as f64 > 0.5,
+                        "selected kernel must dominate"
+                    );
+                } else {
+                    assert_eq!(cycles, 0, "kernel {k} must be cold under sel={sel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_kernels_are_structurally_distinct() {
+        let m = build_phased(&PhasedSpec::default());
+        let f0 = m.func(m.func_by_name("kern0").unwrap());
+        let f1 = m.func(m.func_by_name("kern1").unwrap());
+        assert_ne!(format!("{f0:?}"), format!("{f1:?}"));
+    }
+
+    #[test]
+    fn near_duplicate_kernels_differ_only_by_tweaks() {
+        let spec = PhasedSpec {
+            near_duplicate: true,
+            ..PhasedSpec::default()
+        };
+        let m = build_phased(&spec);
+        let ins_of = |name: &str| {
+            let fid = m.func_by_name(name).unwrap();
+            m.func(fid)
+                .block_ids()
+                .map(|b| m.func(fid).block(b).insts.len())
+                .sum::<usize>()
+        };
+        let body_of = |name: &str| {
+            let fid = m.func_by_name(name).unwrap();
+            format!("{:?}", m.func(fid))
+        };
+        // Near-identical size (the tweaks displace arithmetic within the
+        // same block budget) but structurally distinct segment tails —
+        // same shape, guaranteed-distinct candidate signatures.
+        let (n0, n1) = (ins_of("kern0"), ins_of("kern1"));
+        assert!(
+            n0.abs_diff(n1) * 10 < n0,
+            "near-duplicates must stay within 10% in size: {n0} vs {n1}"
+        );
+        let (b0, b1, b2) = (body_of("kern0"), body_of("kern1"), body_of("kern2"));
+        assert_ne!(b0, b1);
+        assert_ne!(b1, b2);
+        // All kernels execute correctly.
+        for sel in 0..3 {
+            let (ret, _) = run_phased(&m, sel, 2);
+            assert!(ret.is_some());
+        }
+    }
+
+    #[test]
+    fn out_of_range_selector_falls_to_last_kernel() {
+        let m = build_phased(&PhasedSpec::default());
+        let (ret_hi, prof) = run_phased(&m, 99, 2);
+        assert!(kernel_cycles(&m, &prof, "kern2") > 0);
+        let (ret_last, _) = run_phased(&m, 2, 2);
+        assert_eq!(ret_hi, ret_last);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! * `store`    — recovery time and committed-prefix accounting under a
 //!   mid-write crash budget;
 //! * `pipeline` — end-to-end `specialize()` + `run_adaptive()` session
-//!   latency and modeled overhead.
+//!   latency and modeled overhead;
+//! * `storm`    — phase-storm resilience: `run_storm()` over a rotating
+//!   hot set (detection, eviction, re-specialization counters, recovery
+//!   quality), invariant across CAD lanes, plus a crash-storm run (burst
+//!   faults + a store crash budget + phase churn in one session).
 //!
 //! Every artifact records machine metadata, seed, config knobs, min /
 //! median / p90 host nanoseconds next to the modeled SimTime numbers, and
@@ -35,11 +39,16 @@
 //! Exits 1 on regression, 2 on usage/parse errors.
 
 use jitise_apps::App;
+use jitise_apps::{build_phased, PhasedSpec};
 use jitise_base::hash::hash_bytes;
 use jitise_bench::runner::{measure_host, measure_host_cold};
 use jitise_bench::schema::{check, BenchArtifact, CheckPolicy, CheckReport};
 use jitise_bench::workload::{search_module, search_profile};
-use jitise_core::{evaluate_app, run_adaptive_with, AdaptiveOptions, BitstreamCache, EvalContext};
+use jitise_core::{
+    evaluate_app, run_adaptive_with, run_storm, AdaptiveOptions, BitstreamCache, EvalContext,
+    PhasePolicy, PhaseSegment, StormOptions,
+};
+use jitise_faults::{Bursts, CrashSwitch, FaultInjector, FaultPlan, FaultSite, StoreCrash};
 use jitise_ise::{
     candidate_search, identify_makespan, Algorithm, DepthEstimator, PruneFilter, SearchConfig,
     SearchMemo,
@@ -47,12 +56,12 @@ use jitise_ise::{
 use jitise_store::testfix::sample_entry;
 use jitise_store::{Record, Store, StoreOptions, TempDir};
 use jitise_telemetry::{Profiler, Telemetry};
-use jitise_vm::Interpreter;
+use jitise_vm::{Interpreter, Value};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const TOPICS: [&str; 5] = ["search", "cad", "vm", "store", "pipeline"];
+const TOPICS: [&str; 6] = ["search", "cad", "vm", "store", "pipeline", "storm"];
 /// Default workload seed — the paper's year, like the chaos harness.
 const DEFAULT_SEED: u64 = 2011;
 
@@ -168,6 +177,7 @@ fn run_topic(topic: &str, seed: u64, smoke: bool) -> BenchArtifact {
         "vm" => bench_vm(seed, smoke),
         "store" => bench_store(seed, smoke),
         "pipeline" => bench_pipeline(seed, smoke),
+        "storm" => bench_storm(seed, smoke),
         other => unreachable!("topic {other} was validated at parse time"),
     }
 }
@@ -644,6 +654,231 @@ fn bench_pipeline(seed: u64, smoke: bool) -> BenchArtifact {
     let tel = Telemetry::enabled();
     let ctx = EvalContext::with_telemetry(tel.clone());
     let _ = session(&ctx, &BitstreamCache::new());
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}
+
+// ----------------------------------------------------------------- storm
+
+fn bench_storm(seed: u64, smoke: bool) -> BenchArtifact {
+    let (kernels, hot_iters, first_runs, phase_runs) = if smoke {
+        (2u32, 120i32, 6u32, 10u32)
+    } else {
+        (3, 240, 8, 10)
+    };
+    let reps = if smoke { 2 } else { 3 };
+    let mut art = BenchArtifact::new("storm", seed, smoke);
+    art.config("kernels", kernels);
+    art.config("hot_iters", hot_iters);
+    art.config("phase_runs", phase_runs);
+
+    let module = build_phased(&PhasedSpec {
+        seed,
+        kernels,
+        hot_iters,
+        ..PhasedSpec::default()
+    });
+    // Rotation schedule: every kernel gets a phase; each phase change
+    // must be detected, the stale CIs evicted, and the new hot set
+    // re-specialized.
+    let mut schedule = vec![PhaseSegment::new(
+        vec![Value::I(0), Value::I(2)],
+        first_runs,
+    )];
+    for k in 1..kernels {
+        schedule.push(PhaseSegment::new(
+            vec![Value::I(k as i64), Value::I(2)],
+            phase_runs,
+        ));
+    }
+    let total_runs: u32 = schedule.iter().map(|s| s.runs).sum();
+    let policy = PhasePolicy {
+        window: 2,
+        cold_share: 0.2,
+        hysteresis: 2,
+        cooldown: 2,
+        max_respecs: kernels,
+    };
+    let storm_opts = |base: AdaptiveOptions| StormOptions {
+        base,
+        policy,
+        ready_after_runs: 2,
+        ..StormOptions::default()
+    };
+    let session = |ctx: &EvalContext, cache: &BitstreamCache, base: AdaptiveOptions| {
+        run_storm(ctx, cache, &module, "main", &schedule, &storm_opts(base)).expect("storm runs")
+    };
+
+    // Exact axis: the storm must be bit-identical across CAD lanes.
+    let mut fingerprint = None;
+    let mut steady = 0u64;
+    for lanes in [1usize, 2, 8] {
+        let out = session(
+            &EvalContext::new(),
+            &BitstreamCache::new(),
+            AdaptiveOptions {
+                cad_workers: lanes,
+                ..AdaptiveOptions::default()
+            },
+        );
+        let fp = out.fingerprint();
+        match &fingerprint {
+            None => {
+                assert!(out.degraded.is_none(), "healthy storm must not degrade");
+                assert!(out.phases_detected >= 1, "rotation must be detected");
+                assert!(out.evictions >= 1, "eviction must fire");
+                assert!(out.respecs >= 1, "re-specialization must land");
+                art.exact("storm.runs", "count", total_runs as u64);
+                art.exact("storm.phases_detected", "count", out.phases_detected as u64);
+                art.exact("storm.evictions", "count", out.evictions);
+                art.exact("storm.respecs", "count", out.respecs as u64);
+                art.exact("storm.respecs_denied", "count", out.respecs_denied as u64);
+                art.exact("storm.degraded_events", "count", out.degraded_events as u64);
+                art.exact("storm.swaps", "count", out.swaps as u64);
+                art.exact("storm.fingerprint", "hash", hash_bytes(fp.as_bytes()));
+                // The workload's answers never change: bit-identical to a
+                // software-only interpreter pass.
+                let mut software = Vec::new();
+                for s in &schedule {
+                    for _ in 0..s.runs {
+                        let mut vm = Interpreter::new(&module);
+                        software.push(vm.run("main", &s.args).expect("software run").ret);
+                    }
+                }
+                assert_eq!(out.results, software, "storm must stay software-equivalent");
+                steady = *out.run_cycles.last().expect("runs recorded");
+                fingerprint = Some(fp);
+            }
+            Some(want) => assert_eq!(want, &fp, "storm must be bit-identical across cad_workers"),
+        }
+    }
+
+    // Recovery quality: the steady state after the last phase change must
+    // be within 10% of a fresh-start session that only ever saw that
+    // phase (acceptance bound: ≤ 1100 permille).
+    let fresh_schedule = [schedule.last().expect("schedule").clone()];
+    let fresh = run_storm(
+        &EvalContext::new(),
+        &BitstreamCache::new(),
+        &module,
+        "main",
+        &fresh_schedule,
+        &storm_opts(AdaptiveOptions::default()),
+    )
+    .expect("fresh session");
+    let fresh_steady = *fresh.run_cycles.last().expect("runs recorded");
+    let permille = steady * 1000 / fresh_steady.max(1);
+    assert!(
+        permille <= 1100,
+        "post-respec steady state must be within 10% of fresh-start ({permille} permille)"
+    );
+    art.exact("storm.recovery_permille", "permille", permille);
+
+    // Crash-storm: burst-correlated CAD faults, a store that dies mid-
+    // session, and the same phase churn — in one run. The session must
+    // finish software-equivalent, and a restart must recover exactly the
+    // committed (post-eviction) prefix.
+    let plan = FaultPlan::none(seed)
+        .with_rate(FaultSite::CadPlace, 0.25)
+        .with_rate(FaultSite::CadRoute, 0.25)
+        .with_bursts(Bursts {
+            period: 6,
+            width: 2,
+            boost: 3.0,
+            calm: 0.0,
+        });
+    let store_session = |crash: CrashSwitch, dir: &Path| {
+        let store = Arc::new(
+            Store::open_with(
+                dir,
+                StoreOptions {
+                    crash,
+                    ..StoreOptions::default()
+                },
+            )
+            .expect("store opens"),
+        );
+        let out = session(
+            &EvalContext::new(),
+            &BitstreamCache::new(),
+            AdaptiveOptions {
+                faults: FaultInjector::from_plan(plan.clone()),
+                store: Some(Arc::clone(&store)),
+                ..AdaptiveOptions::default()
+            },
+        );
+        (out, store)
+    };
+    // Dry pass fixes the deterministic crash budget at half the bytes a
+    // full session journals.
+    let dry_dir = TempDir::new("bench-storm-dry");
+    let (_, dry_store) = store_session(CrashSwitch::disabled(), dry_dir.path());
+    let budget = dry_store.bytes_written() / 2;
+    drop(dry_store);
+    art.config("crash_budget_bytes", budget);
+
+    let crash_dir = TempDir::new("bench-storm-crash");
+    let (out, store) = store_session(
+        CrashSwitch::armed(StoreCrash {
+            after_bytes: budget,
+        }),
+        crash_dir.path(),
+    );
+    assert!(
+        out.degraded.is_none(),
+        "a store crash must not degrade execution"
+    );
+    let live_fp = store.state().fingerprint();
+    drop(store);
+    let survivor = Store::open(crash_dir.path()).expect("post-crash recovery");
+    assert_eq!(
+        survivor.state().fingerprint(),
+        live_fp,
+        "recovery must restore exactly the committed prefix"
+    );
+    art.exact(
+        "storm.crash.phases_detected",
+        "count",
+        out.phases_detected as u64,
+    );
+    art.exact("storm.crash.evictions", "count", out.evictions);
+    art.exact("storm.crash.respecs", "count", out.respecs as u64);
+    art.exact(
+        "storm.crash.degraded_events",
+        "count",
+        out.degraded_events as u64,
+    );
+    art.exact(
+        "storm.crash.recovered.records",
+        "count",
+        survivor.recovery().records_recovered,
+    );
+    art.exact(
+        "storm.crash.recovered.fingerprint",
+        "hash",
+        hash_bytes(live_fp.as_bytes()),
+    );
+    art.exact(
+        "storm.crash.fingerprint",
+        "hash",
+        hash_bytes(out.fingerprint().as_bytes()),
+    );
+    drop(survivor);
+
+    // Host axis: one full healthy storm session per repetition.
+    let sample = measure_host(reps, || {
+        let _ = session(
+            &EvalContext::new(),
+            &BitstreamCache::new(),
+            AdaptiveOptions::default(),
+        );
+    });
+    art.push("storm.session.wall", "ns", sample.metric());
+
+    // Instrumented pass for the profile section.
+    let tel = Telemetry::enabled();
+    let ctx = EvalContext::with_telemetry(tel.clone());
+    let _ = session(&ctx, &BitstreamCache::new(), AdaptiveOptions::default());
     art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
     art
 }

@@ -24,10 +24,11 @@
 use jitise_apps::App;
 use jitise_bench::schema::BenchArtifact;
 use jitise_core::{
-    run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, EvalContext,
+    run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, DegradedReason,
+    EvalContext,
 };
-use jitise_faults::{FaultInjector, FaultPlan};
-use jitise_store::{Store, StoreOptions, TempDir};
+use jitise_faults::{FaultInjector, FaultPlan, Quarantine};
+use jitise_store::{RecoveryReport, Store, StoreOptions, TempDir};
 use jitise_telemetry::{names, Telemetry};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,9 +39,27 @@ const RATES: [f64; 3] = [0.0, 0.1, 0.5];
 const TOTAL_RUNS: u32 = 4;
 const READY_AFTER: u32 = 2;
 
+/// Stable numeric encoding of a session's degradation for the JSON
+/// schema: 0 = healthy, 1 = worker disconnected, 2 = worker stalled,
+/// 3 = specialization failed.
+fn degraded_code(reason: Option<&DegradedReason>) -> u64 {
+    match reason {
+        None => 0,
+        Some(DegradedReason::WorkerDisconnected) => 1,
+        Some(DegradedReason::WorkerStalled) => 2,
+        Some(DegradedReason::SpecializeFailed(_)) => 3,
+    }
+}
+
 /// One adaptive session under the given injector. Fresh context, cache,
-/// and quarantine per session: no state leaks between sweep points.
-fn session(app: &App, faults: FaultInjector, store: Option<Arc<Store>>) -> (AdaptiveOutcome, u64) {
+/// and quarantine per session: no state leaks between sweep points. The
+/// caller supplies the quarantine so its post-session size is observable.
+fn session(
+    app: &App,
+    faults: FaultInjector,
+    store: Option<Arc<Store>>,
+    quarantine: Arc<Quarantine>,
+) -> (AdaptiveOutcome, u64) {
     let telemetry = Telemetry::enabled();
     let ctx = EvalContext::with_telemetry(telemetry.clone());
     let cache = BitstreamCache::new();
@@ -51,6 +70,7 @@ fn session(app: &App, faults: FaultInjector, store: Option<Arc<Store>>) -> (Adap
         watchdog: Duration::from_millis(500),
         faults,
         store,
+        quarantine,
         ..AdaptiveOptions::default()
     };
     let outcome = run_adaptive_with(
@@ -105,7 +125,12 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     for app_name in APPS {
         let app = App::build(app_name).expect("paper app");
-        let (baseline, _) = session(&app, FaultInjector::disabled(), None);
+        let (baseline, _) = session(
+            &app,
+            FaultInjector::disabled(),
+            None,
+            Arc::new(Quarantine::new()),
+        );
         assert!(
             baseline.results.iter().all(|r| r.is_some()),
             "{app_name}: workload must return a value"
@@ -128,18 +153,23 @@ fn main() -> ExitCode {
                 )
                 .expect("fresh store must open"),
             );
+            let quarantine = Arc::new(Quarantine::new());
             let (outcome, injected) = session(
                 &app,
                 FaultInjector::from_plan(plan),
                 Some(Arc::clone(&store)),
+                Arc::clone(&quarantine),
             );
             drop(store);
             // Post-mortem restart: recovery must succeed whatever the
             // injector wrote; corrupted records are dropped, not fatal.
-            let recovered = match Store::open(store_dir.path()) {
-                Ok(s) => s.recovery().records_recovered,
-                Err(_) => u64::MAX,
-            };
+            let recovery: Option<RecoveryReport> = Store::open(store_dir.path())
+                .ok()
+                .map(|s| s.recovery().clone());
+            let recovered = recovery
+                .as_ref()
+                .map(|r| r.records_recovered)
+                .unwrap_or(u64::MAX);
 
             let mut verdict = Vec::new();
             if outcome.results != baseline.results {
@@ -174,6 +204,38 @@ fn main() -> ExitCode {
                 "bool",
                 u64::from(outcome.degraded.is_some()),
             );
+            artifact.exact(
+                &format!("{point}.degraded_reason"),
+                "enum",
+                degraded_code(outcome.degraded.as_ref()),
+            );
+            artifact.exact(
+                &format!("{point}.quarantine.size"),
+                "count",
+                quarantine.len() as u64,
+            );
+            if let Some(rec) = &recovery {
+                artifact.exact(
+                    &format!("{point}.recovery.torn_tails"),
+                    "count",
+                    rec.torn_tails_dropped,
+                );
+                artifact.exact(
+                    &format!("{point}.recovery.crc_dropped"),
+                    "count",
+                    rec.crc_dropped,
+                );
+                artifact.exact(
+                    &format!("{point}.recovery.entries"),
+                    "count",
+                    rec.recovered_entries as u64,
+                );
+                artifact.exact(
+                    &format!("{point}.recovery.quarantine"),
+                    "count",
+                    rec.recovered_quarantine as u64,
+                );
+            }
             println!(
                 "{:<10} {:>5} {:>9} {:>7} {:>7} {:>11} {:>9.2} {:>7}  {}",
                 app_name,

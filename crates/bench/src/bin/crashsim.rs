@@ -17,16 +17,22 @@
 //!    (same [`AdaptiveOutcome::fingerprint`]) to a storeless one, and a
 //!    mid-session store death never changes workload results.
 //!
-//! Usage: `cargo run --release -p jitise-bench --bin crashsim [app] [--full]`
+//! Usage: `cargo run --release -p jitise-bench --bin crashsim [app]
+//! [--full] [--json FILE]`
 //!
 //! By default the budget axis is strided (~16 crash points plus the
-//! endpoints); `--full` sweeps every byte boundary. Exits non-zero on the
-//! first violated invariant. All store files live in the system temp dir —
-//! the harness never writes inside the repository.
+//! endpoints); `--full` sweeps every byte boundary. `--json` writes the
+//! sweep's per-point counters (recovery breakdown, degraded-reason code,
+//! quarantine size, warm-session hits/overhead) as a `BENCH_*`-schema
+//! artifact. Exits non-zero on the first violated invariant. All store
+//! files live in the system temp dir — the harness never writes inside
+//! the repository.
 
 use jitise_apps::App;
+use jitise_bench::schema::BenchArtifact;
 use jitise_core::{
-    run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, EvalContext,
+    run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, BitstreamCache, DegradedReason,
+    EvalContext,
 };
 use jitise_faults::{CrashSwitch, Quarantine, StoreCrash};
 use jitise_store::{Store, StoreOptions, TempDir};
@@ -69,17 +75,38 @@ fn options_with_store(store: Option<Arc<Store>>) -> AdaptiveOptions {
     }
 }
 
+/// Stable numeric encoding of a session's degradation for the JSON
+/// schema: 0 = healthy, 1 = worker disconnected, 2 = worker stalled,
+/// 3 = specialization failed.
+fn degraded_code(reason: Option<&DegradedReason>) -> u64 {
+    match reason {
+        None => 0,
+        Some(DegradedReason::WorkerDisconnected) => 1,
+        Some(DegradedReason::WorkerStalled) => 2,
+        Some(DegradedReason::SpecializeFailed(_)) => 3,
+    }
+}
+
 fn main() -> ExitCode {
     let mut app_name = "adpcm".to_string();
     let mut full = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--full" {
-            full = true;
-        } else {
-            app_name = arg;
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--json" => {
+                json_path = Some(args.get(i + 1).expect("--json needs a path").clone());
+                i += 1;
+            }
+            other => app_name = other.to_string(),
         }
+        i += 1;
     }
     let app = App::build(&app_name).expect("paper app");
+    let mut artifact = BenchArtifact::new("crashsim", 2011, !full);
+    artifact.config("app", &app_name);
     println!("=== jitise crash-sim sweep ({app_name}) ===\n");
 
     // Cold baseline: no store at all. Every sweep point is measured
@@ -113,6 +140,9 @@ fn main() -> ExitCode {
     }
     let total = probe_store.bytes_written();
     drop(probe_store);
+    artifact.config("total_bytes", total);
+    artifact.exact("crashsim.candidates", "count", candidates as u64);
+    artifact.exact("crashsim.cold.overhead", "sim_ns", base.overhead.as_nanos());
     println!("store-attached session: transparent, {total} bytes journaled\n");
 
     let stride = if full {
@@ -129,7 +159,7 @@ fn main() -> ExitCode {
         "{:>7} {:>8} {:>7} {:>5} {:>4} {:>10} {:>12}  verdict",
         "budget", "records", "entries", "torn", "crc", "warm hits", "warm ovh ns"
     );
-    for budget in budgets {
+    for (bi, budget) in budgets.into_iter().enumerate() {
         let dir = TempDir::new("crashsim-sweep");
         let crash = CrashSwitch::armed(StoreCrash {
             after_bytes: budget,
@@ -137,6 +167,7 @@ fn main() -> ExitCode {
 
         // Crashed cold session. Opening the store can itself die (budget
         // inside the WAL header) — then nothing was ever acknowledged.
+        let mut crashed_degraded = 0u64;
         let acked = match Store::open_with(dir.path(), store_options(crash)) {
             Ok(store) => {
                 let store = Arc::new(store);
@@ -151,6 +182,7 @@ fn main() -> ExitCode {
                     eprintln!("budget {budget}: CRASHED SESSION DIVERGED FROM BASELINE");
                     failures += 1;
                 }
+                crashed_degraded = degraded_code(out.degraded.as_ref());
                 store.fingerprint()
             }
             Err(_) => jitise_store::StoreState::default().fingerprint(),
@@ -174,10 +206,14 @@ fn main() -> ExitCode {
         let state = recovered.state();
 
         // Invariant 3: warm restart ≡ hand-seeded session.
+        let warm_quarantine = Arc::new(Quarantine::new());
         let warm = session(
             &app,
             &BitstreamCache::new(),
-            &options_with_store(Some(Arc::clone(&recovered))),
+            &AdaptiveOptions {
+                quarantine: Arc::clone(&warm_quarantine),
+                ..options_with_store(Some(Arc::clone(&recovered)))
+            },
         );
         let seeded_cache = BitstreamCache::new();
         seeded_cache.absorb_store(&state);
@@ -215,6 +251,53 @@ fn main() -> ExitCode {
 
         let ok = verdict.is_empty();
         failures += u32::from(!ok);
+        let point = format!("crashsim.b{bi}");
+        artifact.exact(&format!("{point}.budget"), "bytes", budget);
+        artifact.exact(
+            &format!("{point}.recovered.records"),
+            "count",
+            rec.records_recovered,
+        );
+        artifact.exact(
+            &format!("{point}.recovered.entries"),
+            "count",
+            rec.recovered_entries as u64,
+        );
+        artifact.exact(
+            &format!("{point}.recovery.torn_tails"),
+            "count",
+            rec.torn_tails_dropped,
+        );
+        artifact.exact(
+            &format!("{point}.recovery.crc_dropped"),
+            "count",
+            rec.crc_dropped,
+        );
+        artifact.exact(
+            &format!("{point}.degraded_reason"),
+            "enum",
+            crashed_degraded,
+        );
+        artifact.exact(
+            &format!("{point}.warm.degraded_reason"),
+            "enum",
+            degraded_code(warm.degraded.as_ref()),
+        );
+        artifact.exact(
+            &format!("{point}.quarantine.size"),
+            "count",
+            warm_quarantine.len() as u64,
+        );
+        artifact.exact(
+            &format!("{point}.warm.cache_hits"),
+            "count",
+            warm_report.cache_hits as u64,
+        );
+        artifact.exact(
+            &format!("{point}.warm.overhead"),
+            "sim_ns",
+            warm.overhead.as_nanos(),
+        );
         println!(
             "{:>7} {:>8} {:>7} {:>5} {:>4} {:>10} {:>12}  {}",
             budget,
@@ -233,6 +316,10 @@ fn main() -> ExitCode {
     }
 
     println!();
+    if let Some(path) = &json_path {
+        std::fs::write(path, artifact.to_pretty_string()).expect("write artifact");
+        println!("wrote {path}");
+    }
     if failures == 0 {
         println!("crash-sim sweep passed: every crash point recovered the committed prefix");
         ExitCode::SUCCESS

@@ -31,5 +31,6 @@ pub use pipeline::{
     specialize, CandidateOutcome, FailedCandidate, SpecializeConfig, SpecializeReport,
 };
 pub use runtime::{
-    run_adaptive, run_adaptive_with, AdaptiveOptions, AdaptiveOutcome, DegradedReason,
+    run_adaptive, run_adaptive_with, run_storm, AdaptiveOptions, AdaptiveOutcome, DegradedReason,
+    PhasePolicy, PhaseSegment, StormOptions, StormOutcome,
 };

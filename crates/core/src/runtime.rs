@@ -25,9 +25,9 @@ use jitise_base::{Error, Result, SimTime};
 use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::Module;
 use jitise_ise::{SearchConfig, SearchMemo};
-use jitise_store::Store;
+use jitise_store::{Record, Store};
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
-use jitise_vm::{Interpreter, Profile, Value};
+use jitise_vm::{BlockKey, HotnessWindow, Interpreter, Profile, Value};
 use jitise_woolcano::Woolcano;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -469,6 +469,582 @@ pub fn run_adaptive_with(
     Ok(outcome)
 }
 
+/// One segment of a phased workload schedule: `runs` executions of the
+/// session entry point with these arguments. A storm schedule is a list
+/// of segments — the argument change *is* the phase change (e.g. the
+/// kernel selector of [`jitise_apps::build_phased`]'s `main`).
+#[derive(Debug, Clone)]
+pub struct PhaseSegment {
+    /// Arguments for every run in this segment.
+    pub args: Vec<Value>,
+    /// Number of workload runs in this segment.
+    pub runs: u32,
+}
+
+impl PhaseSegment {
+    /// Convenience constructor.
+    pub fn new(args: Vec<Value>, runs: u32) -> PhaseSegment {
+        PhaseSegment { args, runs }
+    }
+}
+
+/// Phase-detector, eviction, and re-specialization policy (DESIGN.md §14).
+///
+/// All thresholds operate on exact integer cycle counts from the
+/// [`HotnessWindow`], so decisions are bit-identical for a fixed seed
+/// regardless of host or CAD worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct PhasePolicy {
+    /// Runs retained by the hotness window. The detector only trusts a
+    /// full window, so this is also the minimum lag before a phase change
+    /// can be noticed.
+    pub window: usize,
+    /// An installed CI set whose share of windowed cycles falls below
+    /// this is "cold" — it has stopped earning its slot.
+    pub cold_share: f64,
+    /// Consecutive cold runs required before declaring a phase change.
+    /// This is the anti-thrash hysteresis: a workload that alternates its
+    /// hot set faster than the window keeps the installed share warm and
+    /// never accumulates a streak.
+    pub hysteresis: u32,
+    /// Runs after any swap (install or re-specialization) before the
+    /// detector re-arms — the backoff that stops a detect/respec loop
+    /// from oscillating.
+    pub cooldown: u32,
+    /// Re-specialization attempts allowed per session. Once exhausted,
+    /// further phase changes are detected and evicted but not re-
+    /// specialized (the session stays correct, merely cold).
+    pub max_respecs: u32,
+}
+
+impl Default for PhasePolicy {
+    fn default() -> Self {
+        PhasePolicy {
+            window: 4,
+            cold_share: 0.10,
+            hysteresis: 3,
+            cooldown: 4,
+            max_respecs: 4,
+        }
+    }
+}
+
+/// Options for [`run_storm`].
+pub struct StormOptions {
+    /// The underlying robustness options (watchdog, faults, retry,
+    /// quarantine, CAD/search lanes, store).
+    pub base: AdaptiveOptions,
+    /// Phase-detection and eviction policy.
+    pub policy: PhasePolicy,
+    /// Latency gate for the *initial* background specialization, in
+    /// workload runs (as in [`run_adaptive`]).
+    pub ready_after_runs: u32,
+    /// ICAP slot capacity of each Woolcano machine instantiated by the
+    /// session.
+    pub slots: usize,
+}
+
+impl Default for StormOptions {
+    fn default() -> Self {
+        StormOptions {
+            base: AdaptiveOptions::default(),
+            policy: PhasePolicy::default(),
+            ready_after_runs: 2,
+            slots: 512,
+        }
+    }
+}
+
+/// Outcome of a storm session ([`run_storm`]).
+pub struct StormOutcome {
+    /// Return value of every workload run, in order. Degraded, evicted,
+    /// re-specialized or not: these must match a software-only session.
+    pub results: Vec<Option<Value>>,
+    /// Simulated cycles of every run, in order (the speedup trajectory
+    /// across phase changes).
+    pub run_cycles: Vec<u64>,
+    /// Phase changes declared by the detector.
+    pub phases_detected: u32,
+    /// Bitstream-cache entries evicted as zero-benefit.
+    pub evictions: u64,
+    /// Successful re-specializations (each one is also a hot-swap).
+    pub respecs: u32,
+    /// Phase changes that wanted a re-specialization but were denied by
+    /// the `max_respecs` budget.
+    pub respecs_denied: u32,
+    /// Hot-swaps performed (initial install + re-specializations).
+    pub swaps: u32,
+    /// Degraded transitions observed (worker faults, failed respecs).
+    /// Unlike [`AdaptiveOutcome`], a storm session survives degradation
+    /// and may re-specialize successfully later, so this is a count.
+    pub degraded_events: u32,
+    /// The most recent degradation, if any.
+    pub degraded: Option<DegradedReason>,
+    /// Every specialization report, in chronological order (initial
+    /// install first, then one per successful re-specialization).
+    pub reports: Vec<SpecializeReport>,
+    /// Total simulated specialization overhead (initial makespan + every
+    /// respec makespan). Lane-dependent, hence excluded from
+    /// [`Self::fingerprint`].
+    pub overhead: SimTime,
+}
+
+impl StormOutcome {
+    /// Deterministic digest of every observable that must be bit-identical
+    /// for a fixed seed across `cad_workers` / `search_workers` settings.
+    /// Deliberately excludes `overhead` (makespans shrink with more lanes;
+    /// see [`SpecializeReport::fingerprint`], which excludes makespan for
+    /// the same reason).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "phases={} evict={} respec={} denied={} swaps={} dev={} degraded={:?} cycles={:?} results={:?} reports=[{}]",
+            self.phases_detected,
+            self.evictions,
+            self.respecs,
+            self.respecs_denied,
+            self.swaps,
+            self.degraded_events,
+            self.degraded,
+            self.run_cycles,
+            self.results,
+            self.reports
+                .iter()
+                .map(|r| r.fingerprint())
+                .collect::<Vec<_>>()
+                .join(" | "),
+        )
+    }
+}
+
+/// Runs a phased workload schedule under the full storm machinery:
+/// background initial specialization (as [`run_adaptive_with`]), a
+/// windowed-hotness phase detector, benefit-scored eviction of cold CIs
+/// from the bitstream cache (journaled to the store as
+/// [`Record::Evict`] tombstones), and bounded synchronous
+/// re-specialization from the window's aggregate profile.
+///
+/// Robustness contract: whatever the fault plan does — worker deaths and
+/// stalls (burst-correlated or not), CAD failures, store crashes — the
+/// session terminates with workload results bit-identical to a
+/// software-only run. Degradation is survivable: a respec denied by a
+/// fault burst can succeed at the next phase change.
+pub fn run_storm(
+    ctx: &EvalContext,
+    cache: &BitstreamCache,
+    module: &Module,
+    entry: &str,
+    schedule: &[PhaseSegment],
+    options: &StormOptions,
+) -> Result<StormOutcome> {
+    assert!(!schedule.is_empty(), "storm schedule must not be empty");
+    let total_runs: u32 = schedule.iter().map(|s| s.runs).sum();
+    assert!(total_runs >= 2, "need at least profiling + one more run");
+
+    // Segment index of every run, precomputed so the loop body is a
+    // plain indexed lookup.
+    let mut seg_of: Vec<usize> = Vec::with_capacity(total_runs as usize);
+    for (i, seg) in schedule.iter().enumerate() {
+        for _ in 0..seg.runs {
+            seg_of.push(i);
+        }
+    }
+
+    let mut root = ctx.telemetry.span("runtime.storm");
+    let tel = ctx.telemetry.under(&root);
+
+    // Warm restart: exactly as in [`run_adaptive_with`]. Because evictions
+    // are journaled, the recovered state is the *post-eviction* cache — a
+    // restart mid-storm does not resurrect CIs the session already retired.
+    if let Some(store) = &options.base.store {
+        let state = store.state();
+        if !state.is_empty() {
+            let absorbed = cache.absorb_store(&state);
+            let mut quarantined = 0u64;
+            for (sig, reason) in &state.quarantine {
+                if options.base.quarantine.insert(*sig, reason) {
+                    quarantined += 1;
+                }
+            }
+            tel.add(names::STORE_WARM_RESTARTS, 1);
+            tel.event(
+                "runtime.warm_restart",
+                &[
+                    ("entries_absorbed", TelValue::U64(absorbed as u64)),
+                    ("quarantine_absorbed", TelValue::U64(quarantined)),
+                ],
+            );
+        }
+    }
+
+    // Profiling run (first segment's arguments).
+    let mut vm = Interpreter::new(module);
+    vm.set_telemetry(tel.clone());
+    let first = vm.run(entry, &schedule[seg_of[0]].args)?;
+    let profile: Profile = vm.take_profile();
+    let first_cycles = profile.total_cycles();
+
+    let worker_key = {
+        let mut h = SigHasher::new();
+        h.write_str("runtime.worker");
+        h.write_str(entry);
+        h.finish()
+    };
+    let winj = options.base.faults.scope(worker_key, 1);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = sync_channel::<Result<(Module, Woolcano, SpecializeReport)>>(1);
+
+    let outcome = std::thread::scope(|scope| -> Result<StormOutcome> {
+        let _release_worker = CancelGuard(Arc::clone(&cancel));
+
+        // Initial background specialization — the same worker machinery
+        // as [`run_adaptive_with`], seeded from the profiling run.
+        let worker_module = module.clone();
+        let worker_profile = profile.clone();
+        let worker_tel = tel.clone();
+        let worker_cancel = Arc::clone(&cancel);
+        let worker_inj = winj.clone();
+        let worker_faults = options.base.faults.clone();
+        let worker_retry = options.base.retry;
+        let worker_lanes = options.base.cad_workers;
+        let worker_search_lanes = options.base.search_workers;
+        let worker_search_memo = options.base.search_memo.clone();
+        let worker_quarantine = Arc::clone(&options.base.quarantine);
+        let worker_store = options.base.store.clone();
+        let worker_slots = options.slots;
+        let watchdog = options.base.watchdog;
+        scope.spawn(move || {
+            let wspan = worker_tel.span("runtime.worker");
+            let wtel = worker_tel.under(&wspan);
+            if injected_worker_fault(&wtel, &worker_inj, FaultSite::WorkerDeath) {
+                return;
+            }
+            if injected_worker_fault(&wtel, &worker_inj, FaultSite::WorkerStall) {
+                let cap = watchdog.saturating_mul(20).max(Duration::from_millis(100));
+                let start = std::time::Instant::now();
+                while !worker_cancel.load(Ordering::Relaxed) && start.elapsed() < cap {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut m = worker_module;
+                let machine = Woolcano::with_telemetry(worker_slots, wtel.clone());
+                specialize(
+                    &mut m,
+                    &worker_profile,
+                    &machine,
+                    &ctx.estimator,
+                    &ctx.db,
+                    &ctx.netlists,
+                    cache,
+                    &SpecializeConfig {
+                        search: SearchConfig {
+                            workers: worker_search_lanes,
+                            memo: worker_search_memo,
+                            ..SearchConfig::default()
+                        },
+                        telemetry: wtel.clone(),
+                        faults: worker_faults,
+                        retry: worker_retry,
+                        quarantine: worker_quarantine,
+                        cad_workers: worker_lanes,
+                        store: worker_store,
+                        ..SpecializeConfig::default()
+                    },
+                )
+                .map(|report| (m, machine, report))
+            }));
+            let message = match result {
+                Ok(r) => r,
+                Err(payload) => Err(Error::Arch(format!(
+                    "worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            };
+            drop(wspan);
+            let _ = tx.send(message);
+        });
+
+        // Main loop state.
+        let mut specialized: Option<(Module, Woolcano)> = None;
+        let mut current_report: Option<SpecializeReport> = None;
+        // (signature, block, saved_per_exec) of every installed CI — the
+        // set the detector and the eviction scorer watch.
+        let mut installed: Vec<(u64, BlockKey, u64)> = Vec::new();
+        let mut window = HotnessWindow::new(options.policy.window);
+        window.push(profile);
+        let mut reports: Vec<SpecializeReport> = Vec::new();
+        let mut results: Vec<Option<Value>> = Vec::with_capacity(total_runs as usize);
+        results.push(first.ret);
+        let mut run_cycles: Vec<u64> = Vec::with_capacity(total_runs as usize);
+        run_cycles.push(first_cycles);
+        let mut degraded: Option<DegradedReason> = None;
+        let mut worker_collected = false;
+        let mut overhead = SimTime::ZERO;
+        let mut phases_detected = 0u32;
+        let mut evictions = 0u64;
+        let mut respecs = 0u32;
+        let mut respecs_denied = 0u32;
+        let mut respec_attempts = 0u32;
+        let mut degraded_events = 0u32;
+        let mut swaps = 0u32;
+        let mut cold_streak = 0u32;
+        let mut cooldown_until = 0u32;
+
+        for run in 1..total_runs {
+            let args = &schedule[seg_of[run as usize]].args;
+
+            // Initial install gate (one-shot, as in run_adaptive).
+            if !worker_collected && degraded.is_none() && run >= options.ready_after_runs {
+                worker_collected = true;
+                match wait_for_worker(&rx, options.base.watchdog) {
+                    Ok((m, machine, report)) => {
+                        installed = report
+                            .candidates
+                            .iter()
+                            .map(|c| (c.signature, c.key, c.saved_per_exec))
+                            .collect();
+                        overhead += report.makespan;
+                        current_report = Some(report);
+                        specialized = Some((m, machine));
+                        swaps += 1;
+                        window.clear();
+                        cold_streak = 0;
+                        cooldown_until = run + options.policy.cooldown;
+                        tel.event("runtime.swap", &[("run", TelValue::U64(run as u64))]);
+                    }
+                    Err(reason) => {
+                        degraded_events += 1;
+                        degraded = Some(note_degraded(&tel, reason));
+                    }
+                }
+            }
+
+            // Execute the run on whatever binary is current.
+            let (ret, cycles, run_profile) = match &specialized {
+                Some((m, machine)) => {
+                    let mut vm = Interpreter::new(m);
+                    vm.set_custom_handler(machine);
+                    vm.set_telemetry(tel.clone());
+                    let out = vm.run(entry, args)?;
+                    let p = vm.take_profile();
+                    (out.ret, out.cycles, p)
+                }
+                None => {
+                    let mut vm = Interpreter::new(module);
+                    vm.set_telemetry(tel.clone());
+                    let out = vm.run(entry, args)?;
+                    let p = vm.take_profile();
+                    (out.ret, out.cycles, p)
+                }
+            };
+            results.push(ret);
+            run_cycles.push(cycles);
+            window.push(run_profile);
+
+            // Phase detector: only with something installed, a full
+            // window, and past the post-swap cooldown.
+            if specialized.is_none() || run < cooldown_until || !window.is_full() {
+                continue;
+            }
+            let keys: Vec<BlockKey> = installed.iter().map(|&(_, k, _)| k).collect();
+            let share = window.cycles_share(&keys);
+            if share < options.policy.cold_share {
+                cold_streak += 1;
+            } else {
+                cold_streak = 0;
+            }
+            if cold_streak < options.policy.hysteresis {
+                continue;
+            }
+
+            // Phase change declared.
+            cold_streak = 0;
+            phases_detected += 1;
+            tel.add(names::RUNTIME_PHASE_DETECTED, 1);
+            tel.event(
+                "runtime.phase_change",
+                &[
+                    ("run", TelValue::U64(run as u64)),
+                    ("share_permille", TelValue::U64((share * 1000.0) as u64)),
+                ],
+            );
+
+            // Benefit-scored eviction: a CI whose windowed benefit
+            // (executions × saved cycles per execution) is zero has
+            // stopped earning its cache slot. Journal each eviction so a
+            // crash-restart rehydrates the post-eviction cache.
+            for &(sig, key, saved) in &installed {
+                let benefit = window.count_of(key) * saved;
+                if benefit == 0 && cache.remove(sig) {
+                    evictions += 1;
+                    tel.add(names::RUNTIME_EVICTIONS, 1);
+                    tel.event("runtime.evict", &[("signature", TelValue::U64(sig))]);
+                    if let Some(store) = &options.base.store {
+                        // A dead store must not kill the session; the
+                        // append failure is already counted by the store.
+                        let _ = store.append(Record::Evict { signature: sig });
+                    }
+                }
+            }
+
+            // Bounded re-specialization.
+            if respec_attempts >= options.policy.max_respecs {
+                respecs_denied += 1;
+                tel.event(
+                    "runtime.respec_denied",
+                    &[("run", TelValue::U64(run as u64))],
+                );
+                cooldown_until = run + options.policy.cooldown;
+                continue;
+            }
+            respec_attempts += 1;
+            // Worker faults apply to respecs too, epoch-keyed by run so
+            // burst plans can concentrate them into storm windows. A
+            // firing degrades this respec (the old binary stays — cold
+            // but correct) without blocking a later retry.
+            let rinj = options
+                .base
+                .faults
+                .scope(worker_key, 1)
+                .at_epoch(run as u64);
+            if injected_worker_fault(&tel, &rinj, FaultSite::WorkerDeath) {
+                degraded_events += 1;
+                degraded = Some(note_degraded(&tel, DegradedReason::WorkerDisconnected));
+                cooldown_until = run + options.policy.cooldown;
+                continue;
+            }
+            if injected_worker_fault(&tel, &rinj, FaultSite::WorkerStall) {
+                degraded_events += 1;
+                degraded = Some(note_degraded(&tel, DegradedReason::WorkerStalled));
+                cooldown_until = run + options.policy.cooldown;
+                continue;
+            }
+            // Synchronous re-specialization from the window's aggregate —
+            // the workload's *current* behavior, not its history. Runs on
+            // the main thread for determinism; its simulated makespan is
+            // the price, accounted in `overhead`.
+            let rspan = tel.span("runtime.respec");
+            let rtel = tel.under(&rspan);
+            let mut m2 = module.clone();
+            let machine2 = Woolcano::with_telemetry(options.slots, rtel.clone());
+            let agg = window.aggregate();
+            let spec = catch_unwind(AssertUnwindSafe(|| {
+                specialize(
+                    &mut m2,
+                    &agg,
+                    &machine2,
+                    &ctx.estimator,
+                    &ctx.db,
+                    &ctx.netlists,
+                    cache,
+                    &SpecializeConfig {
+                        search: SearchConfig {
+                            workers: options.base.search_workers,
+                            memo: options.base.search_memo.clone(),
+                            ..SearchConfig::default()
+                        },
+                        telemetry: rtel.clone(),
+                        faults: options.base.faults.at_epoch(run as u64),
+                        retry: options.base.retry,
+                        quarantine: Arc::clone(&options.base.quarantine),
+                        cad_workers: options.base.cad_workers,
+                        store: options.base.store.clone(),
+                        ..SpecializeConfig::default()
+                    },
+                )
+            }));
+            drop(rspan);
+            match spec {
+                Ok(Ok(report)) => {
+                    // Retire the old machine: every occupied slot is an
+                    // ICAP-level eviction.
+                    if let Some((_, old_machine)) = &specialized {
+                        let (_, _, occupied, _) = old_machine.slot_stats();
+                        tel.add(names::ICAP_EVICTIONS, occupied as u64);
+                    }
+                    installed = report
+                        .candidates
+                        .iter()
+                        .map(|c| (c.signature, c.key, c.saved_per_exec))
+                        .collect();
+                    overhead += report.makespan;
+                    if let Some(prev) = current_report.replace(report) {
+                        reports.push(prev);
+                    }
+                    specialized = Some((m2, machine2));
+                    respecs += 1;
+                    swaps += 1;
+                    tel.add(names::RUNTIME_RESPECS, 1);
+                    tel.event("runtime.respec", &[("run", TelValue::U64(run as u64))]);
+                    window.clear();
+                }
+                Ok(Err(e)) => {
+                    degraded_events += 1;
+                    degraded = Some(note_degraded(
+                        &tel,
+                        DegradedReason::SpecializeFailed(e.to_string()),
+                    ));
+                }
+                Err(payload) => {
+                    degraded_events += 1;
+                    degraded = Some(note_degraded(
+                        &tel,
+                        DegradedReason::SpecializeFailed(format!(
+                            "respec panicked: {}",
+                            panic_message(payload.as_ref())
+                        )),
+                    ));
+                }
+            }
+            cold_streak = 0;
+            cooldown_until = run + options.policy.cooldown;
+        }
+
+        // Collect the initial worker if the gate never opened.
+        if !worker_collected && degraded.is_none() {
+            match wait_for_worker(&rx, options.base.watchdog) {
+                Ok((_, _, report)) => {
+                    overhead += report.makespan;
+                    reports.push(report);
+                }
+                Err(reason) => {
+                    degraded_events += 1;
+                    degraded = Some(note_degraded(&tel, reason));
+                }
+            }
+        }
+        if let Some(r) = current_report.take() {
+            reports.push(r);
+        }
+
+        Ok(StormOutcome {
+            results,
+            run_cycles,
+            phases_detected,
+            evictions,
+            respecs,
+            respecs_denied,
+            swaps,
+            degraded_events,
+            degraded,
+            reports,
+            overhead,
+        })
+    })?;
+
+    root.field("phases", TelValue::U64(outcome.phases_detected as u64));
+    root.field("evictions", TelValue::U64(outcome.evictions));
+    root.field("respecs", TelValue::U64(outcome.respecs as u64));
+    root.field("swaps", TelValue::U64(outcome.swaps as u64));
+    if let Some(reason) = &outcome.degraded {
+        root.field("degraded", TelValue::Str(format!("{reason:?}")));
+    }
+    root.set_sim_time(outcome.overhead);
+    drop(root);
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,5 +1281,218 @@ mod tests {
             healthy.results, degraded.results,
             "degradation must never change workload answers"
         );
+    }
+
+    // ---- storm runtime ----
+
+    use jitise_apps::{build_phased, PhasedSpec};
+
+    fn storm_module(near_duplicate: bool) -> Module {
+        build_phased(&PhasedSpec {
+            kernels: 2,
+            hot_iters: 120,
+            near_duplicate,
+            ..PhasedSpec::default()
+        })
+    }
+
+    fn seg(sel: i64, runs: u32) -> PhaseSegment {
+        PhaseSegment::new(vec![Value::I(sel), Value::I(2)], runs)
+    }
+
+    fn storm_options() -> StormOptions {
+        StormOptions {
+            policy: PhasePolicy {
+                window: 2,
+                cold_share: 0.2,
+                hysteresis: 2,
+                cooldown: 2,
+                max_respecs: 2,
+            },
+            ready_after_runs: 2,
+            ..StormOptions::default()
+        }
+    }
+
+    fn software_schedule_results(m: &Module, schedule: &[PhaseSegment]) -> Vec<Option<Value>> {
+        let mut out = Vec::new();
+        for s in schedule {
+            for _ in 0..s.runs {
+                let mut vm = Interpreter::new(m);
+                out.push(vm.run("main", &s.args).unwrap().ret);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn storm_detects_phase_change_evicts_and_respecializes() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = storm_module(false);
+        let schedule = [seg(0, 8), seg(1, 12)];
+        let out = run_storm(&ctx, &cache, &m, "main", &schedule, &storm_options()).unwrap();
+
+        assert!(out.degraded.is_none(), "healthy storm must not degrade");
+        assert!(out.phases_detected >= 1, "rotation must be detected");
+        assert!(out.evictions >= 1, "cold CIs must be evicted");
+        assert!(out.respecs >= 1, "a re-specialization must land");
+        assert_eq!(out.swaps, 1 + out.respecs, "initial install + respecs");
+        assert_eq!(out.reports.len() as u32, 1 + out.respecs);
+        assert_eq!(out.run_cycles.len(), 20);
+
+        // The workload's answers never change.
+        assert_eq!(out.results, software_schedule_results(&m, &schedule));
+
+        // Eviction pays off: after the respec, the new phase runs faster
+        // than it did on the stale binary right after the phase change.
+        let stale = out.run_cycles[8]; // first phase-B run, stale CIs
+        let steady = *out.run_cycles.last().unwrap();
+        assert!(
+            steady < stale,
+            "post-respec steady state ({steady}) must beat the stale binary ({stale})"
+        );
+    }
+
+    #[test]
+    fn storm_fingerprint_invariant_across_cad_workers() {
+        let m = storm_module(false);
+        let schedule = [seg(0, 6), seg(1, 8)];
+        let fp = |lanes: usize| {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let opts = StormOptions {
+                base: AdaptiveOptions {
+                    cad_workers: lanes,
+                    search_workers: lanes.min(2),
+                    ..AdaptiveOptions::default()
+                },
+                ..storm_options()
+            };
+            run_storm(&ctx, &cache, &m, "main", &schedule, &opts)
+                .unwrap()
+                .fingerprint()
+        };
+        let base = fp(1);
+        assert_eq!(base, fp(4), "cad_workers must never change observables");
+    }
+
+    #[test]
+    fn thrash_population_does_not_oscillate_the_installer() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = storm_module(true);
+        // Near-duplicate kernels alternating every run: faster than the
+        // window, so the installed share stays warm and hysteresis holds.
+        let schedule: Vec<PhaseSegment> = (0..16).map(|i| seg(i % 2, 1)).collect();
+        let opts = StormOptions {
+            policy: PhasePolicy {
+                window: 4,
+                cold_share: 0.2,
+                hysteresis: 2,
+                cooldown: 2,
+                max_respecs: 4,
+            },
+            ready_after_runs: 2,
+            ..StormOptions::default()
+        };
+        let out = run_storm(&ctx, &cache, &m, "main", &schedule, &opts).unwrap();
+        assert!(out.degraded.is_none());
+        assert_eq!(out.swaps, 1, "thrash must not oscillate the installer");
+        assert_eq!(out.phases_detected, 0);
+        assert_eq!(out.respecs, 0);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(out.results, software_schedule_results(&m, &schedule));
+    }
+
+    #[test]
+    fn respec_budget_bounds_the_installer() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = storm_module(false);
+        // Two real phase changes but a budget of zero: both are detected
+        // (and evicted), neither re-specializes.
+        let schedule = [seg(0, 8), seg(1, 8)];
+        let opts = StormOptions {
+            policy: PhasePolicy {
+                max_respecs: 0,
+                ..storm_options().policy
+            },
+            ..storm_options()
+        };
+        let out = run_storm(&ctx, &cache, &m, "main", &schedule, &opts).unwrap();
+        assert!(out.phases_detected >= 1);
+        assert_eq!(out.respecs, 0);
+        assert!(out.respecs_denied >= 1);
+        assert_eq!(out.swaps, 1);
+        assert_eq!(out.results, software_schedule_results(&m, &schedule));
+    }
+
+    #[test]
+    fn storm_journals_evictions_so_restart_sees_post_eviction_cache() {
+        use jitise_store::{Store, StoreOptions, TempDir};
+        let tmp = TempDir::new("storm-evict-journal");
+        let m = storm_module(false);
+        let schedule = [seg(0, 8), seg(1, 12)];
+
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+        let opts = StormOptions {
+            base: AdaptiveOptions {
+                store: Some(Arc::clone(&store)),
+                ..AdaptiveOptions::default()
+            },
+            ..storm_options()
+        };
+        let out = run_storm(&ctx, &cache, &m, "main", &schedule, &opts).unwrap();
+        assert!(out.evictions >= 1, "need at least one journaled eviction");
+        drop(store);
+
+        // A fresh process recovering the store must reconstruct exactly
+        // the live cache: evicted entries gone, respec entries present.
+        let reopened = Store::open_with(tmp.path(), StoreOptions::default()).unwrap();
+        let restored = BitstreamCache::new();
+        restored.absorb_store(&reopened.state());
+        assert_eq!(
+            restored.to_bytes(),
+            cache.to_bytes(),
+            "recovered cache must equal the post-eviction live cache"
+        );
+    }
+
+    #[test]
+    fn respec_denied_by_worker_fault_keeps_session_correct() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = storm_module(false);
+        let schedule = [seg(0, 8), seg(1, 12)];
+        // Worker deaths fire only inside a burst window positioned so the
+        // initial worker (epoch 0) is calm but every respec epoch (run
+        // numbers ≥ 10, where phase-B detection lands) is hot:
+        // pos(epoch) = (epoch + 190) % 200, window = [0, 150).
+        let plan = FaultPlan::none(190)
+            .with_rate(FaultSite::WorkerDeath, 1.0)
+            .with_bursts(jitise_faults::Bursts {
+                period: 200,
+                width: 150,
+                boost: 1.0,
+                calm: 0.0,
+            });
+        let opts = StormOptions {
+            base: AdaptiveOptions {
+                faults: FaultInjector::from_plan(plan),
+                ..AdaptiveOptions::default()
+            },
+            ..storm_options()
+        };
+        let out = run_storm(&ctx, &cache, &m, "main", &schedule, &opts).unwrap();
+        assert!(out.swaps >= 1, "initial install is outside the burst");
+        assert!(out.phases_detected >= 1, "rotation still detected");
+        assert_eq!(out.respecs, 0, "every respec attempt dies in the burst");
+        assert_eq!(out.degraded, Some(DegradedReason::WorkerDisconnected));
+        assert!(out.degraded_events >= 1);
+        // Degraded mid-storm or not, answers stay bit-identical.
+        assert_eq!(out.results, software_schedule_results(&m, &schedule));
     }
 }

@@ -118,11 +118,33 @@ impl FaultKind {
     }
 }
 
+/// Correlated fault windows overlaid on a plan's per-site rates.
+///
+/// Real outages cluster: a wedged license server or a failing disk takes
+/// out a *window* of CAD runs, not an i.i.d. sprinkle. A burst plan
+/// divides the session into epochs (the caller supplies the epoch — the
+/// storm runtime uses the workload run index) and modulates every site's
+/// base rate by where the epoch falls in the burst cycle: inside the
+/// leading `width` epochs of each `period` the rate is multiplied by
+/// `boost`, outside by `calm` (often `0.0` — dead quiet between storms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bursts {
+    /// Epochs per burst cycle (≥ 1).
+    pub period: u64,
+    /// Leading epochs of each cycle during which the burst is active.
+    pub width: u64,
+    /// Rate multiplier inside a burst window.
+    pub boost: f64,
+    /// Rate multiplier outside the window.
+    pub calm: f64,
+}
+
 /// A seeded description of which faults fire where.
 ///
-/// Decisions are pure functions of `(seed, site, key, attempt)`; two plans
-/// with the same seed and rates make identical decisions regardless of
-/// call order, thread, or process.
+/// Decisions are pure functions of `(seed, site, key, attempt)` — plus the
+/// epoch when a [`Bursts`] overlay is armed; two plans with the same seed
+/// and rates make identical decisions regardless of call order, thread, or
+/// process.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// Decision seed.
@@ -133,6 +155,10 @@ pub struct FaultPlan {
     pub persistent_frac: f64,
     /// Maximum attempts a transient fault keeps failing (default 2).
     pub max_transient_failures: u32,
+    /// Optional correlated-burst overlay. `None` (the default) keeps every
+    /// decision — and therefore every downstream artifact — byte-identical
+    /// to a plan built before bursts existed.
+    bursts: Option<Bursts>,
 }
 
 impl FaultPlan {
@@ -143,6 +169,7 @@ impl FaultPlan {
             rates: [0.0; FaultSite::ALL.len()],
             persistent_frac: 0.3,
             max_transient_failures: 2,
+            bursts: None,
         }
     }
 
@@ -159,6 +186,22 @@ impl FaultPlan {
     pub fn with_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
         self.rates[site.index()] = rate.clamp(0.0, 1.0);
         self
+    }
+
+    /// Arms the correlated-burst overlay (builder style).
+    pub fn with_bursts(mut self, bursts: Bursts) -> FaultPlan {
+        self.bursts = Some(Bursts {
+            period: bursts.period.max(1),
+            width: bursts.width.min(bursts.period.max(1)),
+            boost: bursts.boost.max(0.0),
+            calm: bursts.calm.max(0.0),
+        });
+        self
+    }
+
+    /// The armed burst overlay, if any.
+    pub fn bursts(&self) -> Option<Bursts> {
+        self.bursts
     }
 
     /// The fire probability at `site`.
@@ -181,8 +224,42 @@ impl FaultPlan {
     /// (1-based)? Persistent faults fire on every attempt; transient
     /// faults fail the first `1..=max_transient_failures` attempts (the
     /// exact count drawn deterministically per key) and then clear.
+    ///
+    /// Equivalent to [`Self::decide_at`] with epoch 0; without a burst
+    /// overlay the epoch is ignored entirely, so this path is unchanged.
     pub fn decide(&self, site: FaultSite, key: u64, attempt: u32) -> Option<FaultKind> {
-        let rate = self.rate(site);
+        self.decide_at(site, key, attempt, 0)
+    }
+
+    /// [`Self::decide`] positioned at `epoch` for burst modulation. With
+    /// no overlay armed the decision is independent of the epoch (and
+    /// byte-identical to the pre-burst implementation). With an overlay,
+    /// the site rate is scaled by the window multiplier and the epoch is
+    /// folded into the draw identity, so each burst window draws a fresh
+    /// — but still fully deterministic — set of victims.
+    pub fn decide_at(
+        &self,
+        site: FaultSite,
+        key: u64,
+        attempt: u32,
+        epoch: u64,
+    ) -> Option<FaultKind> {
+        let base = self.rate(site);
+        let (rate, key) = match self.bursts {
+            None => (base, key),
+            Some(b) => {
+                let period = b.period.max(1);
+                // Per-seed phase offset so different seeds storm at
+                // different session positions.
+                let pos = (epoch + self.seed % period) % period;
+                let mult = if pos < b.width { b.boost } else { b.calm };
+                let mut h = SigHasher::new();
+                h.write_u64(key)
+                    .write_u64(0x0062_7572_7374 /* "burst" */)
+                    .write_u64(epoch);
+                ((base * mult).clamp(0.0, 1.0), h.finish())
+            }
+        };
         if rate <= 0.0 || self.unit(1, site, key) >= rate {
             return None;
         }
@@ -210,6 +287,9 @@ pub struct FaultInjector {
     plan: Option<Arc<FaultPlan>>,
     key: u64,
     attempt: u32,
+    /// Burst-cycle position (the storm runtime sets it to the workload run
+    /// index). Irrelevant — and zero — unless the plan has a burst overlay.
+    epoch: u64,
 }
 
 impl FaultInjector {
@@ -224,6 +304,7 @@ impl FaultInjector {
             plan: Some(Arc::new(plan)),
             key: 0,
             attempt: 1,
+            epoch: 0,
         }
     }
 
@@ -234,11 +315,24 @@ impl FaultInjector {
 
     /// A handle bound to `(key, attempt)` — the identity decisions are
     /// keyed by (candidate signature, retry attempt number, 1-based).
+    /// The burst epoch is carried over.
     pub fn scope(&self, key: u64, attempt: u32) -> FaultInjector {
         FaultInjector {
             plan: self.plan.clone(),
             key,
             attempt,
+            epoch: self.epoch,
+        }
+    }
+
+    /// A handle positioned at a burst epoch (key/attempt carried over).
+    /// A no-op unless the plan has a [`Bursts`] overlay.
+    pub fn at_epoch(&self, epoch: u64) -> FaultInjector {
+        FaultInjector {
+            plan: self.plan.clone(),
+            key: self.key,
+            attempt: self.attempt,
+            epoch,
         }
     }
 
@@ -246,7 +340,7 @@ impl FaultInjector {
     pub fn decide(&self, site: FaultSite) -> Option<FaultKind> {
         self.plan
             .as_ref()
-            .and_then(|p| p.decide(site, self.key, self.attempt))
+            .and_then(|p| p.decide_at(site, self.key, self.attempt, self.epoch))
     }
 
     /// If a fault fires at `site`, flips one deterministic bit in `bytes`
@@ -617,6 +711,122 @@ mod tests {
         assert_eq!(sw.admit(3), 3);
         assert_eq!(other.admit(3), 2);
         assert!(sw.is_tripped() && other.is_tripped());
+    }
+
+    #[test]
+    fn zero_burst_plan_is_identical_to_today_at_every_epoch() {
+        let plan = FaultPlan::uniform(0.5, 321);
+        for site in [
+            FaultSite::CadMap,
+            FaultSite::WorkerDeath,
+            FaultSite::StoreWal,
+        ] {
+            for key in 0..100u64 {
+                let legacy = plan.decide(site, key, 1);
+                for epoch in [0u64, 1, 7, 1000, u64::MAX] {
+                    assert_eq!(
+                        plan.decide_at(site, key, 1, epoch),
+                        legacy,
+                        "no overlay: epoch must be ignored"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_gate_faults_into_windows() {
+        let plan = FaultPlan::uniform(0.4, 99).with_bursts(Bursts {
+            period: 10,
+            width: 3,
+            boost: 2.0,
+            calm: 0.0,
+        });
+        let offset = plan.seed % 10;
+        let mut in_window = 0usize;
+        let mut out_window = 0usize;
+        for epoch in 0..200u64 {
+            let fired = (0..50u64)
+                .filter(|&k| plan.decide_at(FaultSite::CadRoute, k, 1, epoch).is_some())
+                .count();
+            if (epoch + offset) % 10 < 3 {
+                in_window += fired;
+            } else {
+                assert_eq!(fired, 0, "calm=0 must be dead quiet outside the window");
+                out_window += fired;
+            }
+        }
+        assert!(in_window > 0, "boosted windows must fire");
+        assert_eq!(out_window, 0);
+    }
+
+    #[test]
+    fn burst_decisions_are_deterministic_and_vary_per_window() {
+        let mk = || {
+            FaultPlan::uniform(0.5, 7).with_bursts(Bursts {
+                period: 4,
+                width: 4,
+                boost: 1.0,
+                calm: 0.0,
+            })
+        };
+        let (a, b) = (mk(), mk());
+        let sample = |p: &FaultPlan, epoch: u64| -> Vec<Option<FaultKind>> {
+            (0..100u64)
+                .map(|k| p.decide_at(FaultSite::CadMap, k, 1, epoch))
+                .collect()
+        };
+        assert_eq!(sample(&a, 5), sample(&b, 5), "same plan, same decisions");
+        assert_ne!(
+            sample(&a, 1),
+            sample(&a, 2),
+            "each epoch draws a fresh victim set"
+        );
+    }
+
+    #[test]
+    fn burst_persistent_faults_persist_within_an_epoch() {
+        let plan = FaultPlan::uniform(1.0, 13).with_bursts(Bursts {
+            period: 2,
+            width: 2,
+            boost: 1.0,
+            calm: 0.0,
+        });
+        let mut saw = false;
+        for key in 0..200u64 {
+            if plan.decide_at(FaultSite::CadMap, key, 1, 3) == Some(FaultKind::Persistent) {
+                saw = true;
+                for attempt in 1..10 {
+                    assert_eq!(
+                        plan.decide_at(FaultSite::CadMap, key, attempt, 3),
+                        Some(FaultKind::Persistent)
+                    );
+                }
+            }
+        }
+        assert!(saw);
+    }
+
+    #[test]
+    fn injector_epoch_threads_through_scope() {
+        let plan = FaultPlan::uniform(0.6, 55).with_bursts(Bursts {
+            period: 8,
+            width: 2,
+            boost: 1.5,
+            calm: 0.0,
+        });
+        let inj = FaultInjector::from_plan(plan.clone()).at_epoch(11);
+        let scoped = inj.scope(42, 2);
+        assert_eq!(
+            scoped.decide(FaultSite::CadPlace),
+            plan.decide_at(FaultSite::CadPlace, 42, 2, 11),
+            "scope() must carry the epoch"
+        );
+        assert_eq!(
+            scoped.at_epoch(12).decide(FaultSite::CadPlace),
+            plan.decide_at(FaultSite::CadPlace, 42, 2, 12),
+            "at_epoch() must carry key/attempt"
+        );
     }
 
     #[test]

@@ -59,11 +59,22 @@ pub enum Record {
     },
     /// The cumulative fault-ledger totals (latest committed value wins).
     FaultTotals(FaultTotals),
+    /// An eviction tombstone: the runtime's phase-storm policy dropped
+    /// this cache entry, so a warm restart must rehydrate the
+    /// *post-eviction* state, not resurrect a CI the workload stopped
+    /// earning. A later `CacheEntry` for the same signature re-installs
+    /// it (WAL replay order is the fold order), and evicting an absent
+    /// signature is a no-op — the idempotent-upsert contract holds.
+    Evict {
+        /// The evicted candidate signature.
+        signature: u64,
+    },
 }
 
 const TAG_CACHE_ENTRY: u64 = 1;
 const TAG_QUARANTINE: u64 = 2;
 const TAG_FAULT_TOTALS: u64 = 3;
+const TAG_EVICT: u64 = 4;
 
 fn encode_ci(enc: &mut Encoder, e: &CiRecord) {
     enc.put_u64(e.signature);
@@ -141,6 +152,10 @@ impl Record {
                 enc.put_varu64(TAG_FAULT_TOTALS);
                 encode_totals(&mut enc, t);
             }
+            Record::Evict { signature } => {
+                enc.put_varu64(TAG_EVICT);
+                enc.put_u64(*signature);
+            }
         }
         enc.finish()
     }
@@ -155,6 +170,9 @@ impl Record {
                 reason: dec.get_str()?.to_string(),
             },
             TAG_FAULT_TOTALS => Record::FaultTotals(decode_totals(&mut dec)?),
+            TAG_EVICT => Record::Evict {
+                signature: dec.get_u64()?,
+            },
             tag => return Err(Error::Codec(format!("unknown store record tag {tag}"))),
         };
         if !dec.is_at_end() {
@@ -191,6 +209,9 @@ impl StoreState {
                 self.quarantine.entry(signature).or_insert(reason);
             }
             Record::FaultTotals(t) => self.totals = t,
+            Record::Evict { signature } => {
+                self.entries.remove(&signature);
+            }
         }
     }
 
@@ -299,6 +320,32 @@ mod tests {
             let bytes = rec.encode();
             assert_eq!(&Record::decode(&bytes).unwrap(), rec);
         }
+    }
+
+    #[test]
+    fn evict_roundtrip_and_fold_order() {
+        let rec = Record::Evict { signature: 77 };
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+
+        // Install → evict removes the entry.
+        let gone = StoreState::from_records(vec![
+            Record::CacheEntry(sample_entry(77)),
+            Record::Evict { signature: 77 },
+        ]);
+        assert!(gone.entries.is_empty(), "eviction must remove the entry");
+
+        // Evict → re-install resurrects it (replay order is fold order).
+        let back = StoreState::from_records(vec![
+            Record::CacheEntry(sample_entry(77)),
+            Record::Evict { signature: 77 },
+            Record::CacheEntry(sample_entry(77)),
+        ]);
+        assert!(back.entries.contains_key(&77), "re-install must win");
+
+        // Evicting an absent signature is a no-op.
+        let noop = StoreState::from_records(vec![Record::Evict { signature: 5 }]);
+        assert!(noop.entries.is_empty());
+        assert_eq!(noop, StoreState::default());
     }
 
     #[test]

@@ -151,6 +151,14 @@ pub mod names {
     pub const SEARCH_MEMO_MISSES: &str = "ise.search_memo.misses";
     /// Memo entries discarded because a block's content changed.
     pub const SEARCH_MEMO_INVALIDATIONS: &str = "ise.search_memo.invalidations";
+    /// Phase changes declared by the storm runtime's detector (installed
+    /// CIs stopped earning their windowed cycle share).
+    pub const RUNTIME_PHASE_DETECTED: &str = "runtime.phase.detected";
+    /// Bitstream-cache entries evicted by the storm runtime's
+    /// benefit-scored policy after a phase change.
+    pub const RUNTIME_EVICTIONS: &str = "runtime.evict.count";
+    /// Re-specializations performed against a post-phase-change profile.
+    pub const RUNTIME_RESPECS: &str = "runtime.respec.count";
 }
 
 pub(crate) struct Inner {

@@ -35,5 +35,5 @@ pub mod value;
 
 pub use cost::CostModel;
 pub use interp::{CustomHandler, ExecOutcome, Interpreter, RunConfig};
-pub use profile::{BlockKey, Profile};
+pub use profile::{BlockKey, HotnessWindow, Profile};
 pub use value::Value;

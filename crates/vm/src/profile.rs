@@ -7,7 +7,7 @@
 
 use jitise_base::SimTime;
 use jitise_ir::{BlockId, FuncId, Module};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Identifies one basic block in a module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -128,6 +128,102 @@ impl Profile {
     }
 }
 
+/// Sliding-window hotness tracker: the per-run [`Profile`]s of the last
+/// `capacity` workload runs.
+///
+/// A single cumulative profile can never notice a *phase change* — an old
+/// hot set's counts dominate forever. The window forgets: once the
+/// workload rotates its hot set, the stale blocks' share of windowed
+/// cycles decays to zero within `capacity` runs, which is exactly the
+/// signal the storm runtime's phase detector consumes. Everything here is
+/// integer arithmetic over simulated cycle counts, so two runs with the
+/// same seed produce bit-identical windows regardless of host or worker
+/// count.
+#[derive(Debug, Clone, Default)]
+pub struct HotnessWindow {
+    capacity: usize,
+    profiles: VecDeque<Profile>,
+}
+
+impl HotnessWindow {
+    /// A window retaining the last `capacity` (≥ 1) run profiles.
+    pub fn new(capacity: usize) -> HotnessWindow {
+        HotnessWindow {
+            capacity: capacity.max(1),
+            profiles: VecDeque::new(),
+        }
+    }
+
+    /// Pushes one run's profile, forgetting the oldest if full.
+    pub fn push(&mut self, p: Profile) {
+        if self.profiles.len() == self.capacity {
+            self.profiles.pop_front();
+        }
+        self.profiles.push_back(p);
+    }
+
+    /// Runs currently retained.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if no runs are retained.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// True once `capacity` runs are retained (the detector only trusts a
+    /// full window).
+    pub fn is_full(&self) -> bool {
+        self.profiles.len() == self.capacity
+    }
+
+    /// Forgets everything (e.g. after a hot-swap, so the next decision is
+    /// based purely on post-swap behavior).
+    pub fn clear(&mut self) {
+        self.profiles.clear();
+    }
+
+    /// The merged profile of every retained run — what a re-specialization
+    /// hands to the candidate search as "the workload's current behavior".
+    pub fn aggregate(&self) -> Profile {
+        let mut out = Profile::new();
+        for p in &self.profiles {
+            out.merge(p);
+        }
+        out
+    }
+
+    /// Cycles attributed to `keys` across the window.
+    pub fn cycles_of(&self, keys: &[BlockKey]) -> u64 {
+        self.profiles
+            .iter()
+            .map(|p| keys.iter().map(|&k| p.block_cycles(k)).sum::<u64>())
+            .sum()
+    }
+
+    /// Total cycles across the window.
+    pub fn total_cycles(&self) -> u64 {
+        self.profiles.iter().map(|p| p.total_cycles()).sum()
+    }
+
+    /// The share of windowed cycles attributed to `keys`, in `[0, 1]`
+    /// (0 for an empty window). A deterministic ratio of two exact
+    /// integer counts.
+    pub fn cycles_share(&self, keys: &[BlockKey]) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        self.cycles_of(keys) as f64 / total as f64
+    }
+
+    /// Block executions of `key` across the window.
+    pub fn count_of(&self, key: BlockKey) -> u64 {
+        self.profiles.iter().map(|p| p.count(key)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +288,50 @@ mod tests {
         let mut p = Profile::new();
         p.record(key(0, 0), 300_000_000, 1);
         assert_eq!(p.time_at(300_000_000), SimTime::from_secs(1));
+    }
+
+    fn run_profile(k: BlockKey, cycles: u64) -> Profile {
+        let mut p = Profile::new();
+        p.record(k, cycles, 1);
+        p
+    }
+
+    #[test]
+    fn window_forgets_a_rotated_hot_set() {
+        let (a, b) = (key(0, 0), key(0, 1));
+        let mut w = HotnessWindow::new(3);
+        assert!(w.is_empty());
+        for _ in 0..3 {
+            w.push(run_profile(a, 100));
+        }
+        assert!(w.is_full());
+        assert!((w.cycles_share(&[a]) - 1.0).abs() < 1e-12);
+        // Phase change: the workload rotates to block b.
+        for i in 0..3 {
+            w.push(run_profile(b, 100));
+            let expected = (2 - i) as f64 / 3.0;
+            assert!(
+                (w.cycles_share(&[a]) - expected).abs() < 1e-12,
+                "stale share must decay run by run"
+            );
+        }
+        assert_eq!(w.cycles_of(&[a]), 0, "old hot set fully forgotten");
+        assert_eq!(w.count_of(b), 3);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn window_aggregate_merges_retained_runs_only() {
+        let k0 = key(0, 0);
+        let mut w = HotnessWindow::new(2);
+        w.push(run_profile(k0, 10));
+        w.push(run_profile(k0, 20));
+        w.push(run_profile(k0, 30)); // evicts the 10-cycle run
+        let agg = w.aggregate();
+        assert_eq!(agg.total_cycles(), 50);
+        assert_eq!(agg.count(k0), 2);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.cycles_share(&[k0]), 0.0, "empty window has zero share");
     }
 }
