@@ -11,7 +11,7 @@ use crate::synth;
 use jitise_base::SimTime;
 use jitise_ir::Module;
 use jitise_vm::exec_model::ExecModel;
-use jitise_vm::{Interpreter, Profile, RunConfig, Value};
+use jitise_vm::{Interpreter, Profile, RunConfig, Value, VmTier};
 
 /// One input data set.
 #[derive(Debug, Clone)]
@@ -81,12 +81,19 @@ impl App {
 
     /// Runs one dataset and returns its profile.
     pub fn run_dataset(&self, idx: usize) -> Profile {
+        self.run_dataset_tier(idx, VmTier::Interp)
+    }
+
+    /// Runs one dataset on the given execution tier. Both tiers produce
+    /// bit-identical profiles; the fast tier just gets there sooner.
+    pub fn run_dataset_tier(&self, idx: usize, tier: VmTier) -> Profile {
         let ds = &self.datasets[idx];
         let mut vm = Interpreter::with_config(
             &self.module,
             jitise_vm::CostModel::ppc405(),
             RunConfig::default(),
         );
+        vm.set_tier(tier);
         vm.run(self.entry, &ds.args)
             .unwrap_or_else(|e| panic!("{}: dataset {} failed: {e}", self.name, ds.name));
         vm.take_profile()
@@ -94,8 +101,13 @@ impl App {
 
     /// Profiles every dataset (for coverage classification).
     pub fn profile_all_datasets(&self) -> Vec<Profile> {
+        self.profile_all_datasets_tier(VmTier::Interp)
+    }
+
+    /// Profiles every dataset on the given execution tier.
+    pub fn profile_all_datasets_tier(&self, tier: VmTier) -> Vec<Profile> {
         (0..self.datasets.len())
-            .map(|i| self.run_dataset(i))
+            .map(|i| self.run_dataset_tier(i, tier))
             .collect()
     }
 

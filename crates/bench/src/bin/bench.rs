@@ -56,7 +56,7 @@ use jitise_ise::{
 use jitise_store::testfix::sample_entry;
 use jitise_store::{Record, Store, StoreOptions, TempDir};
 use jitise_telemetry::{Profiler, Telemetry};
-use jitise_vm::{Interpreter, Value};
+use jitise_vm::{CostModel, Interpreter, PredecodedModule, Value};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -429,13 +429,59 @@ fn bench_vm(seed: u64, smoke: bool) -> BenchArtifact {
         .iter()
         .map(|name| App::build(name).expect("paper app"))
         .collect();
+    // Pre-decoded forms, built once per app — the fast tier's whole premise
+    // is that the decode amortizes across runs, so it stays outside the
+    // timed region (its one-time cost is reported separately below).
+    let pds: Vec<Arc<PredecodedModule>> = built
+        .iter()
+        .map(|app| Arc::new(PredecodedModule::build(&app.module, &CostModel::ppc405())))
+        .collect();
+
     let mut total_steps = 0u64;
     let mut total_cycles = 0u64;
-    for app in &built {
+    let mut fast_canon = String::new();
+    for (app, pd) in built.iter().zip(&pds) {
         let mut vm = Interpreter::new(&app.module);
         let out = vm
             .run(app.entry, &app.datasets[0].args)
             .expect("paper app runs");
+        let profile = vm.take_profile();
+        // Corrected accounting: the dynamic-instruction count and the
+        // profile total are the same number (DESIGN.md §15).
+        assert_eq!(
+            out.steps,
+            profile.total_insts(),
+            "{}: steps must equal profile total_insts",
+            app.name
+        );
+        // Tier identity: the fast tier must agree on every observable.
+        let mut fast = Interpreter::new(&app.module);
+        fast.set_predecoded(Arc::clone(pd));
+        let fout = fast
+            .run(app.entry, &app.datasets[0].args)
+            .expect("paper app runs (fast tier)");
+        assert_eq!(out, fout, "{}: fast tier diverged on outcome", app.name);
+        let fprofile = fast.take_profile();
+        assert_eq!(
+            profile, fprofile,
+            "{}: fast tier diverged on profile",
+            app.name
+        );
+        // Canonical fast-tier observables, folded into one exact metric so
+        // the determinism rerun and the committed-baseline gate cover the
+        // tier bit-for-bit (not just through in-process assertions).
+        fast_canon.push_str(&format!(
+            "{}:steps={} cycles={} ret={:?};",
+            app.name, fout.steps, fout.cycles, fout.ret
+        ));
+        let mut rows: Vec<_> = fprofile
+            .keys()
+            .map(|k| (k.func.0, k.block.0, fprofile.count(k)))
+            .collect();
+        rows.sort_unstable();
+        for (f, b, n) in rows {
+            fast_canon.push_str(&format!("{f}.{b}={n},"));
+        }
         art.exact(&format!("vm.{}.steps", app.name), "count", out.steps);
         art.exact(&format!("vm.{}.cycles", app.name), "count", out.cycles);
         total_steps += out.steps;
@@ -443,6 +489,11 @@ fn bench_vm(seed: u64, smoke: bool) -> BenchArtifact {
     }
     art.exact("vm.total.steps", "count", total_steps);
     art.exact("vm.total.cycles", "count", total_cycles);
+    art.exact(
+        "vm.fast.fingerprint",
+        "hash",
+        hash_bytes(fast_canon.as_bytes()),
+    );
 
     let sample = measure_host(reps, || {
         for app in &built {
@@ -459,6 +510,35 @@ fn bench_vm(seed: u64, smoke: bool) -> BenchArtifact {
         total_steps as f64 / (sample.min_ns / 1e9) / 1e6,
     );
     art.push("vm.sweep.wall", "ns", sample.metric());
+
+    // The same sweep on the pre-decoded fast tier (decode already paid).
+    let fast_sample = measure_host(reps, || {
+        for (app, pd) in built.iter().zip(&pds) {
+            let mut vm = Interpreter::new(&app.module);
+            vm.set_predecoded(Arc::clone(pd));
+            let _ = vm
+                .run(app.entry, &app.datasets[0].args)
+                .expect("paper app runs (fast tier)");
+        }
+    });
+    art.push("vm.fast.sweep.wall", "ns", fast_sample.metric());
+    art.info(
+        "vm.fast.sweep.mips",
+        "mips",
+        total_steps as f64 / (fast_sample.min_ns / 1e9) / 1e6,
+    );
+    art.info(
+        "vm.fast.speedup",
+        "ratio",
+        sample.min_ns / fast_sample.min_ns.max(1.0),
+    );
+    // One-time decode cost for the whole app set, for context.
+    let decode_sample = measure_host(reps, || {
+        for app in &built {
+            let _ = PredecodedModule::build(&app.module, &CostModel::ppc405());
+        }
+    });
+    art.info("vm.fast.decode.wall_min_ns", "ns", decode_sample.min_ns);
 
     let tel = Telemetry::enabled();
     for app in &built {

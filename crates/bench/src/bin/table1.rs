@@ -2,12 +2,18 @@
 //! runtimes, the maximum ASIP ratio, code coverage, and kernel size for all
 //! 14 applications, with the paper's AVG-S / AVG-E / RATIO aggregate rows.
 //!
-//! Usage: `cargo run --release -p jitise-bench --bin table1`
+//! Usage: `cargo run --release -p jitise-bench --bin table1 [--vm-tier interp|fast]`
+//!
+//! `--vm-tier fast` profiles the applications on the pre-decoded dispatch
+//! tier. The table is bit-identical either way (the tiers agree on every
+//! observable — DESIGN.md §15); the flag exists to demonstrate exactly that
+//! while the wall-clock cost of producing the table drops.
 
 use jitise_apps::Domain;
 use jitise_base::table::{fnum, fpct, TextTable};
 use jitise_bench::{evaluate_domain, mean_of, ratio_row};
 use jitise_core::{AppEvaluation, EvalContext};
+use jitise_vm::VmTier;
 
 struct Row {
     name: String,
@@ -88,9 +94,33 @@ fn push(t: &mut TextTable, r: &Row) {
     ]);
 }
 
+fn parse_tier() -> VmTier {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut tier = VmTier::Interp;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--vm-tier" => match it.next().map(String::as_str) {
+                Some("interp") => tier = VmTier::Interp,
+                Some("fast") => tier = VmTier::Fast,
+                other => {
+                    eprintln!("table1: --vm-tier expects `interp` or `fast`, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("table1: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    tier
+}
+
 fn main() {
     println!("=== Table I: experimental data for scientific and embedded applications ===\n");
-    let ctx = EvalContext::new();
+    let mut ctx = EvalContext::new();
+    ctx.vm_tier = parse_tier();
     let sci = evaluate_domain(&ctx, Some(Domain::Scientific));
     let emb = evaluate_domain(&ctx, Some(Domain::Embedded));
 

@@ -18,7 +18,7 @@ use jitise_telemetry::Telemetry;
 use jitise_vm::coverage::{classify, CoverageClass, CoverageReport};
 use jitise_vm::exec_model::ExecTimes;
 use jitise_vm::kernel::{kernel, KernelReport, KERNEL_THRESHOLD};
-use jitise_vm::{CostModel, Profile};
+use jitise_vm::{CostModel, Profile, VmTier};
 use jitise_woolcano::Woolcano;
 use std::sync::Arc;
 
@@ -47,6 +47,10 @@ pub struct EvalContext {
     /// Optional identification memo shared by every search this context
     /// drives (default `None` = no caching).
     pub search_memo: Option<Arc<SearchMemo>>,
+    /// Execution tier for every VM run this context drives (default
+    /// [`VmTier::Interp`]). The fast tier is bit-identical in results,
+    /// cycles, steps, and profiles — it changes only host wall-clock.
+    pub vm_tier: VmTier,
 }
 
 impl Default for EvalContext {
@@ -73,6 +77,7 @@ impl EvalContext {
             cad_workers: 1,
             search_workers: 1,
             search_memo: None,
+            vm_tier: VmTier::Interp,
         }
     }
 }
@@ -116,7 +121,7 @@ pub struct BreakEvenBasis {
 /// Evaluates one application end to end.
 pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
     // ---- profiling on all datasets ----
-    let raw_profiles = app.profile_all_datasets();
+    let raw_profiles = app.profile_all_datasets_tier(ctx.vm_tier);
     let scale = app.time_scale(&raw_profiles[0]);
     let profile = raw_profiles[0].scaled(scale);
 
@@ -153,6 +158,7 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
             },
             telemetry: ctx.telemetry.clone(),
             cad_workers: ctx.cad_workers,
+            vm_tier: ctx.vm_tier,
             ..SpecializeConfig::default()
         },
     )

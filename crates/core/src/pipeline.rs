@@ -53,7 +53,7 @@ use jitise_pivpav::{
 };
 use jitise_store::{FaultTotals, Record, Store};
 use jitise_telemetry::{names, Span, Telemetry, Value as TelValue};
-use jitise_vm::{BlockKey, Profile};
+use jitise_vm::{BlockKey, Profile, VmTier};
 use jitise_woolcano::{patch_candidate, ReconfigController, Woolcano};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -97,6 +97,12 @@ pub struct SpecializeConfig {
     /// failures are counted by the store's own telemetry), and `None`
     /// (the default) is byte-identical to a storeless run.
     pub store: Option<Arc<Store>>,
+    /// VM execution tier for workload runs driven alongside this
+    /// specialization session (the pipeline itself never executes the
+    /// workload — `run_adaptive`/`run_storm` and the evaluation harness
+    /// read this knob from their own options and keep it in sync here so
+    /// one config carries the full runtime surface, like `cad_workers`).
+    pub vm_tier: VmTier,
 }
 
 impl Default for SpecializeConfig {
@@ -112,6 +118,7 @@ impl Default for SpecializeConfig {
             quarantine: Arc::new(Quarantine::new()),
             cad_workers: 1,
             store: None,
+            vm_tier: VmTier::Interp,
         }
     }
 }

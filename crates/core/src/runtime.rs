@@ -27,7 +27,9 @@ use jitise_ir::Module;
 use jitise_ise::{SearchConfig, SearchMemo};
 use jitise_store::{Record, Store};
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
-use jitise_vm::{BlockKey, HotnessWindow, Interpreter, Profile, Value};
+use jitise_vm::{
+    BlockKey, CostModel, HotnessWindow, Interpreter, PredecodedModule, Profile, Value, VmTier,
+};
 use jitise_woolcano::Woolcano;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,6 +81,12 @@ pub struct AdaptiveOptions {
     /// implementation and quarantine decision is journaled back. `None`
     /// (the default) leaves the session byte-identical to today.
     pub store: Option<Arc<Store>>,
+    /// Execution tier for every workload run in the session (default
+    /// [`VmTier::Interp`]). The fast tier pre-decodes each binary once —
+    /// base module at session start, specialized module at swap — and is
+    /// bit-identical in results, cycles, and profiles, so fingerprints
+    /// are unchanged; only host wall-clock improves.
+    pub vm_tier: VmTier,
 }
 
 impl Default for AdaptiveOptions {
@@ -92,6 +100,7 @@ impl Default for AdaptiveOptions {
             search_workers: 1,
             search_memo: None,
             store: None,
+            vm_tier: VmTier::Interp,
         }
     }
 }
@@ -239,6 +248,24 @@ pub fn run_adaptive(
 /// worker that dies, panics, stalls past the watchdog, or fails
 /// specialization degrades the session to software-only execution and
 /// records the [`DegradedReason`] instead of propagating the failure.
+/// Builds a workload VM on the session's execution tier. On the fast tier
+/// the module is pre-decoded once (memoized in `pd`) and the decoded form
+/// is shared by every subsequent run of the same binary — the whole point
+/// of paying the decode: the adaptive loop executes each module many times.
+fn tiered_vm<'m>(
+    module: &'m Module,
+    tier: VmTier,
+    pd: &mut Option<Arc<PredecodedModule>>,
+) -> Interpreter<'m> {
+    let mut vm = Interpreter::new(module);
+    if tier == VmTier::Fast {
+        let pd = pd
+            .get_or_insert_with(|| Arc::new(PredecodedModule::build(module, &CostModel::ppc405())));
+        vm.set_predecoded(Arc::clone(pd));
+    }
+    vm
+}
+
 #[allow(clippy::too_many_arguments)]
 pub fn run_adaptive_with(
     ctx: &EvalContext,
@@ -281,8 +308,15 @@ pub fn run_adaptive_with(
         }
     }
 
+    // Pre-decoded form of the base module (fast tier only), built at the
+    // profiling run and reused by every pre-swap run. The specialized
+    // module gets its own decode at swap time.
+    let tier = options.vm_tier;
+    let mut base_pd: Option<Arc<PredecodedModule>> = None;
+    let mut spec_pd: Option<Arc<PredecodedModule>> = None;
+
     // Profiling run.
-    let mut vm = Interpreter::new(module);
+    let mut vm = tiered_vm(module, tier, &mut base_pd);
     vm.set_telemetry(tel.clone());
     let first = vm.run(entry, args)?;
     let profile: Profile = vm.take_profile();
@@ -321,6 +355,7 @@ pub fn run_adaptive_with(
         let worker_search_memo = options.search_memo.clone();
         let worker_quarantine = Arc::clone(&options.quarantine);
         let worker_store = options.store.clone();
+        let worker_tier = tier;
         let watchdog = options.watchdog;
         scope.spawn(move || {
             let wspan = worker_tel.span("runtime.worker");
@@ -366,6 +401,7 @@ pub fn run_adaptive_with(
                         quarantine: worker_quarantine,
                         cad_workers: worker_lanes,
                         store: worker_store,
+                        vm_tier: worker_tier,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -408,7 +444,7 @@ pub fn run_adaptive_with(
             }
             match &specialized {
                 Some((m, machine, _)) => {
-                    let mut vm = Interpreter::new(m);
+                    let mut vm = tiered_vm(m, tier, &mut spec_pd);
                     vm.set_custom_handler(machine);
                     vm.set_telemetry(tel.clone());
                     let out = vm.run(entry, args)?;
@@ -417,7 +453,7 @@ pub fn run_adaptive_with(
                     results.push(out.ret);
                 }
                 None => {
-                    let mut vm = Interpreter::new(module);
+                    let mut vm = tiered_vm(module, tier, &mut base_pd);
                     vm.set_telemetry(tel.clone());
                     let out = vm.run(entry, args)?;
                     cycles_before += out.cycles;
@@ -676,8 +712,15 @@ pub fn run_storm(
         }
     }
 
+    // Pre-decoded forms (fast tier only): the base module is decoded once
+    // for the whole storm; each installed binary is decoded at its swap
+    // and the decode is dropped when a re-specialization replaces it.
+    let tier = options.base.vm_tier;
+    let mut base_pd: Option<Arc<PredecodedModule>> = None;
+    let mut spec_pd: Option<Arc<PredecodedModule>> = None;
+
     // Profiling run (first segment's arguments).
-    let mut vm = Interpreter::new(module);
+    let mut vm = tiered_vm(module, tier, &mut base_pd);
     vm.set_telemetry(tel.clone());
     let first = vm.run(entry, &schedule[seg_of[0]].args)?;
     let profile: Profile = vm.take_profile();
@@ -710,6 +753,7 @@ pub fn run_storm(
         let worker_search_memo = options.base.search_memo.clone();
         let worker_quarantine = Arc::clone(&options.base.quarantine);
         let worker_store = options.base.store.clone();
+        let worker_tier = tier;
         let worker_slots = options.slots;
         let watchdog = options.base.watchdog;
         scope.spawn(move || {
@@ -749,6 +793,7 @@ pub fn run_storm(
                         quarantine: worker_quarantine,
                         cad_workers: worker_lanes,
                         store: worker_store,
+                        vm_tier: worker_tier,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -806,6 +851,7 @@ pub fn run_storm(
                             .collect();
                         overhead += report.makespan;
                         current_report = Some(report);
+                        spec_pd = None;
                         specialized = Some((m, machine));
                         swaps += 1;
                         window.clear();
@@ -823,7 +869,7 @@ pub fn run_storm(
             // Execute the run on whatever binary is current.
             let (ret, cycles, run_profile) = match &specialized {
                 Some((m, machine)) => {
-                    let mut vm = Interpreter::new(m);
+                    let mut vm = tiered_vm(m, tier, &mut spec_pd);
                     vm.set_custom_handler(machine);
                     vm.set_telemetry(tel.clone());
                     let out = vm.run(entry, args)?;
@@ -831,7 +877,7 @@ pub fn run_storm(
                     (out.ret, out.cycles, p)
                 }
                 None => {
-                    let mut vm = Interpreter::new(module);
+                    let mut vm = tiered_vm(module, tier, &mut base_pd);
                     vm.set_telemetry(tel.clone());
                     let out = vm.run(entry, args)?;
                     let p = vm.take_profile();
@@ -950,6 +996,7 @@ pub fn run_storm(
                         quarantine: Arc::clone(&options.base.quarantine),
                         cad_workers: options.base.cad_workers,
                         store: options.base.store.clone(),
+                        vm_tier: tier,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -972,6 +1019,7 @@ pub fn run_storm(
                     if let Some(prev) = current_report.replace(report) {
                         reports.push(prev);
                     }
+                    spec_pd = None;
                     specialized = Some((m2, machine2));
                     respecs += 1;
                     swaps += 1;
@@ -1375,6 +1423,55 @@ mod tests {
         };
         let base = fp(1);
         assert_eq!(base, fp(4), "cad_workers must never change observables");
+    }
+
+    #[test]
+    fn storm_fingerprint_invariant_across_vm_tiers() {
+        let m = storm_module(false);
+        let schedule = [seg(0, 6), seg(1, 8)];
+        let fp = |tier: VmTier| {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let opts = StormOptions {
+                base: AdaptiveOptions {
+                    vm_tier: tier,
+                    ..AdaptiveOptions::default()
+                },
+                ..storm_options()
+            };
+            run_storm(&ctx, &cache, &m, "main", &schedule, &opts)
+                .unwrap()
+                .fingerprint()
+        };
+        assert_eq!(
+            fp(VmTier::Interp),
+            fp(VmTier::Fast),
+            "the fast tier must never change observables"
+        );
+    }
+
+    #[test]
+    fn adaptive_session_identical_on_fast_tier() {
+        let m = hot_module();
+        let run = |tier: VmTier| {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let opts = AdaptiveOptions {
+                vm_tier: tier,
+                ..AdaptiveOptions::default()
+            };
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(3_000)], 6, 2, &opts).unwrap()
+        };
+        let a = run(VmTier::Interp);
+        let b = run(VmTier::Fast);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.cycles_before, b.cycles_before);
+        assert_eq!(a.cycles_after, b.cycles_after);
+        assert_eq!(
+            a.report.as_ref().unwrap().fingerprint(),
+            b.report.as_ref().unwrap().fingerprint()
+        );
+        assert!(b.runs_after >= 1, "fast tier must still hot-swap");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct ConstFold;
 /// Folds an integer binary op at a given width. Returns `None` for division
 /// by zero (left to trap at runtime, like LLVM's undef semantics would not
 /// allow folding).
+#[inline]
 pub fn fold_int_bin(op: BinOp, ty: Type, a: i64, b: i64) -> Option<i64> {
     let wrap = |v: i64| ty.sext(ty.trunc(v));
     let ub = ty.trunc(b);
@@ -62,6 +63,7 @@ pub fn fold_int_bin(op: BinOp, ty: Type, a: i64, b: i64) -> Option<i64> {
 }
 
 /// Folds a float binary op.
+#[inline]
 pub fn fold_float_bin(op: BinOp, a: f64, b: f64) -> Option<f64> {
     Some(match op {
         BinOp::FAdd => a + b,
@@ -73,6 +75,7 @@ pub fn fold_float_bin(op: BinOp, a: f64, b: f64) -> Option<f64> {
 }
 
 /// Folds a comparison; returns the boolean result.
+#[inline]
 pub fn fold_cmp(op: CmpOp, ty: Type, a: &Imm, b: &Imm) -> bool {
     if op.is_float() {
         let (x, y) = (a.as_f64(), b.as_f64());
@@ -105,6 +108,7 @@ pub fn fold_cmp(op: CmpOp, ty: Type, a: &Imm, b: &Imm) -> bool {
 }
 
 /// Folds a unary op / cast.
+#[inline]
 pub fn fold_un(op: UnOp, ty: Type, a: &Imm) -> Option<Imm> {
     Some(match op {
         UnOp::Neg => Imm::int(ty, a.as_i64().wrapping_neg()),

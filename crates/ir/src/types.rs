@@ -31,6 +31,7 @@ impl Type {
     /// Bit width of the type as implemented in a datapath.
     ///
     /// Pointers are 32-bit on the PowerPC-405 target. `Void` has width 0.
+    #[inline]
     pub fn bits(self) -> u32 {
         match self {
             Type::I1 => 1,
@@ -85,6 +86,7 @@ impl Type {
     }
 
     /// Sign-extends `raw` (stored in the low `bits()` of a u64) to i64.
+    #[inline]
     pub fn sext(self, raw: u64) -> i64 {
         let b = self.bits();
         if b == 0 || b >= 64 {
@@ -96,6 +98,7 @@ impl Type {
 
     /// Truncates an i64 to this type's width, returning the raw bits
     /// (zero-extended into the u64).
+    #[inline]
     pub fn trunc(self, v: i64) -> u64 {
         let b = self.bits();
         if b == 0 || b >= 64 {

@@ -1,0 +1,56 @@
+//! Ad-hoc dispatch-cost probe: a tight integer loop on both tiers.
+//! Run with `cargo run --release -p jitise-vm --example microbench`.
+
+use jitise_ir::{FunctionBuilder, Module, Operand as Op, Type};
+use jitise_vm::{Interpreter, Value, VmTier};
+use std::time::Instant;
+
+fn main() {
+    // 16 dependent adds per iteration, 100k iterations.
+    let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+    let header = b.new_block("header");
+    let body = b.new_block("body");
+    let exit = b.new_block("exit");
+    let pre = b.current();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I32);
+    let acc = b.phi(Type::I32);
+    b.add_incoming(i, pre, Op::ci32(0));
+    b.add_incoming(acc, pre, Op::ci32(1));
+    let c = b.cmp(jitise_ir::CmpOp::Slt, i, Op::Arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let mut v = acc;
+    for k in 0..16 {
+        v = b.add(v, Op::ci32(k + 1));
+    }
+    let i2 = b.add(i, Op::ci32(1));
+    b.add_incoming(i, body, i2);
+    b.add_incoming(acc, body, v);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(acc);
+    let mut m = Module::new("micro");
+    m.add_func(b.finish());
+
+    for tier in [VmTier::Interp, VmTier::Fast] {
+        let mut best = f64::MAX;
+        let mut steps = 0;
+        for _ in 0..5 {
+            let mut vm = Interpreter::new(&m);
+            vm.set_tier(tier);
+            let t = Instant::now();
+            let out = vm.run("main", &[Value::I(100_000)]).unwrap();
+            best = best.min(t.elapsed().as_secs_f64());
+            steps = out.steps.max(1);
+            std::hint::black_box(out);
+        }
+        println!(
+            "{tier:?}: {:.3}ms, {} steps, {:.2} ns/inst",
+            best * 1e3,
+            steps,
+            best * 1e9 / steps as f64
+        );
+    }
+}

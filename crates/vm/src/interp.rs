@@ -12,6 +12,7 @@
 
 use crate::cost::CostModel;
 use crate::mem::Memory;
+use crate::predecode::{PredecodedModule, VmTier};
 use crate::profile::{BlockKey, Profile};
 use crate::value::Value;
 use jitise_base::{Error, Result};
@@ -20,6 +21,7 @@ use jitise_ir::{
     BlockId, ExtFunc, FuncId, Function, Imm, InstKind, Module, Operand, Terminator, Type,
 };
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
+use std::sync::Arc;
 
 /// Executes loaded custom instructions on behalf of the interpreter.
 ///
@@ -67,17 +69,26 @@ pub struct ExecOutcome {
 
 /// The virtual machine.
 pub struct Interpreter<'m> {
-    module: &'m Module,
-    cost: CostModel,
+    pub(crate) module: &'m Module,
+    pub(crate) cost: CostModel,
     /// Linear memory (public for test setup and result inspection).
     pub mem: Memory,
-    profile: Profile,
-    custom: Option<&'m dyn CustomHandler>,
-    cfg: RunConfig,
+    pub(crate) profile: Profile,
+    pub(crate) custom: Option<&'m dyn CustomHandler>,
+    pub(crate) cfg: RunConfig,
     telemetry: Telemetry,
-    steps: u64,
-    cycles: u64,
-    blocks: u64,
+    pub(crate) steps: u64,
+    pub(crate) cycles: u64,
+    pub(crate) blocks: u64,
+    tier: VmTier,
+    predecoded: Option<Arc<PredecodedModule>>,
+    /// Recycled fast-tier call frames (see [`crate::predecode::Frame`]).
+    pub(crate) fast_frames: Vec<crate::predecode::Frame>,
+    /// Dense fast-tier profile rows, `[func][block]`, merged into
+    /// `profile` when the outermost fast frame exits.
+    pub(crate) fast_prof: Vec<Vec<crate::predecode::BlockStat>>,
+    /// `(func, block)` indices with nonzero rows in `fast_prof`.
+    pub(crate) fast_prof_touched: Vec<(u32, u32)>,
 }
 
 impl<'m> Interpreter<'m> {
@@ -100,7 +111,38 @@ impl<'m> Interpreter<'m> {
             steps: 0,
             cycles: 0,
             blocks: 0,
+            tier: VmTier::Interp,
+            predecoded: None,
+            fast_frames: Vec::new(),
+            fast_prof: Vec::new(),
+            fast_prof_touched: Vec::new(),
         }
+    }
+
+    /// Selects the execution tier. The fast tier pre-decodes the module on
+    /// first use (or reuses a representation installed with
+    /// [`Interpreter::set_predecoded`]) and is bit-identical to the
+    /// interpreter in results, cycles, steps, profile, and error strings.
+    pub fn set_tier(&mut self, tier: VmTier) {
+        self.tier = tier;
+    }
+
+    /// The currently selected execution tier.
+    pub fn tier(&self) -> VmTier {
+        self.tier
+    }
+
+    /// Installs a shared pre-decoded representation (built with
+    /// [`PredecodedModule::build`] from the *same* module and cost model)
+    /// and switches to the fast tier. Lets long-lived runtimes pay the
+    /// decode cost once per module instead of once per VM instance.
+    pub fn set_predecoded(&mut self, pd: Arc<PredecodedModule>) {
+        assert!(
+            pd.matches(self.module, &self.cost),
+            "predecoded representation does not match this module/cost model"
+        );
+        self.predecoded = Some(pd);
+        self.tier = VmTier::Fast;
     }
 
     /// Installs a custom-instruction handler (the Woolcano model).
@@ -140,7 +182,20 @@ impl<'m> Interpreter<'m> {
         let start_cycles = self.cycles;
         let start_blocks = self.blocks;
         let mut span = self.telemetry.span("vm.run");
-        let ret = self.exec_func(fid, args, 0)?;
+        let ret = match self.tier {
+            VmTier::Interp => self.exec_func(fid, args, 0)?,
+            VmTier::Fast => {
+                let pd = match &self.predecoded {
+                    Some(pd) => Arc::clone(pd),
+                    None => {
+                        let pd = Arc::new(PredecodedModule::build(self.module, &self.cost));
+                        self.predecoded = Some(Arc::clone(&pd));
+                        pd
+                    }
+                };
+                crate::predecode::exec_fast(self, &pd, fid, args, 0)?
+            }
+        };
         let out = ExecOutcome {
             ret,
             cycles: self.cycles - start_cycles,
@@ -190,6 +245,18 @@ impl<'m> Interpreter<'m> {
                 let mut phi_writes: Vec<(usize, Value)> = Vec::new();
                 for (i, &iid) in block.insts.iter().enumerate() {
                     if let InstKind::Phi(incoming) = &f.inst(iid).kind {
+                        // Phi moves are dynamic instructions: they charge
+                        // `steps` (and the fuel guard) exactly like
+                        // straight-line code, so `ExecOutcome::steps` always
+                        // equals `Profile::total_insts`.
+                        self.steps += 1;
+                        block_insts += 1;
+                        if self.steps > self.cfg.max_steps {
+                            return Err(Error::Vm(format!(
+                                "step budget {} exhausted in {}",
+                                self.cfg.max_steps, f.name
+                            )));
+                        }
                         let op = incoming
                             .iter()
                             .find(|(b, _)| *b == from)
@@ -206,7 +273,6 @@ impl<'m> Interpreter<'m> {
                         phi_writes.push((iid.idx(), v.normalize(f.inst(iid).ty)));
                         phi_end = i + 1;
                         block_cycles += self.cost.inst_cycles(&f.inst(iid).kind);
-                        block_insts += 1;
                     } else {
                         break;
                     }
@@ -272,7 +338,13 @@ impl<'m> Interpreter<'m> {
                     InstKind::Select(c, a, b) => {
                         let vc = self.eval_operand(f, &regs, args, *c)?;
                         let chosen = if vc.as_bool() { *a } else { *b };
-                        Some(self.eval_operand(f, &regs, args, chosen)?)
+                        // Normalize like the float Bin path: an arm operand
+                        // may carry more precision than `inst.ty` (e.g. an
+                        // f64 constant feeding an F32 select).
+                        Some(
+                            self.eval_operand(f, &regs, args, chosen)?
+                                .normalize(inst.ty),
+                        )
                     }
                     InstKind::Load(p) => {
                         let addr = self.eval_operand(f, &regs, args, *p)?.as_ptr();
@@ -402,7 +474,7 @@ impl<'m> Interpreter<'m> {
     }
 }
 
-fn value_to_imm(v: Value, ty: Type) -> Imm {
+pub(crate) fn value_to_imm(v: Value, ty: Type) -> Imm {
     match v {
         Value::I(x) => Imm::int(if ty.is_int() { ty } else { Type::I64 }, x),
         Value::F(x) => {
@@ -415,7 +487,7 @@ fn value_to_imm(v: Value, ty: Type) -> Imm {
     }
 }
 
-fn eval_ext(f: ExtFunc, args: &[Value]) -> Result<f64> {
+pub(crate) fn eval_ext(f: ExtFunc, args: &[Value]) -> Result<f64> {
     let arg = |i: usize| -> Result<f64> {
         args.get(i)
             .map(|v| v.as_f())
@@ -602,6 +674,123 @@ mod tests {
         );
         let err = vm.run("main", &[]).unwrap_err();
         assert!(err.to_string().contains("step budget"));
+    }
+
+    #[test]
+    fn phi_steps_match_profile_total_insts() {
+        // Phi-heavy loop: the swap pattern executes 3 phi moves per
+        // iteration. `ExecOutcome::steps` must count them, i.e. equal
+        // `Profile::total_insts` exactly (terminators are excluded from
+        // both — see DESIGN.md §15).
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let pre = b.current();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I32);
+        let a = b.phi(Type::I32);
+        let bb = b.phi(Type::I32);
+        b.add_incoming(i, pre, Op::ci32(0));
+        b.add_incoming(a, pre, Op::ci32(1));
+        b.add_incoming(bb, pre, Op::ci32(2));
+        let c = b.cmp(CmpOp::Slt, i, Op::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add(i, Op::ci32(1));
+        b.add_incoming(i, body, i2);
+        b.add_incoming(a, body, bb);
+        b.add_incoming(bb, body, a);
+        b.br(header);
+        b.switch_to(exit);
+        let r = b.add(a, bb);
+        b.ret(r);
+        let m = module_of(b.finish());
+        let mut vm = Interpreter::new(&m);
+        let out = vm.run("main", &[Value::I(25)]).unwrap();
+        assert_eq!(
+            out.steps,
+            vm.profile().total_insts(),
+            "every dynamic instruction (phis included) must appear in both"
+        );
+        // Per-iteration: 3 phi moves + 1 cmp in the header, 1 add in the
+        // body; 26 header entries (3 phis + cmp each), 25 body entries.
+        assert_eq!(out.steps, 26 * 4 + 25 + 1);
+    }
+
+    #[test]
+    fn phi_only_spin_loop_trips_max_steps() {
+        // A loop whose body is nothing but a phi move must still be
+        // stopped by the fuel guard.
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let spin = b.new_block("spin");
+        let pre = b.current();
+        b.br(spin);
+        b.switch_to(spin);
+        let x = b.phi(Type::I32);
+        b.add_incoming(x, pre, Op::ci32(0));
+        b.add_incoming(x, spin, x);
+        b.br(spin);
+        let m = module_of(b.finish());
+        let mut vm = Interpreter::with_config(
+            &m,
+            CostModel::ppc405(),
+            RunConfig {
+                max_steps: 1_000,
+                ..Default::default()
+            },
+        );
+        let err = vm.run("main", &[]).unwrap_err();
+        assert!(
+            err.to_string().contains("step budget"),
+            "phi-only loop must hit the step budget, got: {err}"
+        );
+    }
+
+    #[test]
+    fn select_normalizes_to_result_type() {
+        // An F32 select whose arms carry f64 precision must round the
+        // chosen value through f32, like every other F32-producing op.
+        for (cond, arm) in [(1, 0.1f64), (0, 0.2f64)] {
+            let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::F32);
+            let s = Op::Inst(b.push(
+                InstKind::Select(
+                    Op::Arg(0),
+                    Op::Const(Imm::f64(0.1)),
+                    Op::Const(Imm::f64(0.2)),
+                ),
+                Type::F32,
+            ));
+            b.ret(s);
+            let m = module_of(b.finish());
+            let mut vm = Interpreter::new(&m);
+            let out = vm.run("main", &[Value::I(cond)]).unwrap();
+            assert_eq!(out.ret, Some(Value::F(arm as f32 as f64)));
+            assert_ne!(out.ret, Some(Value::F(arm)), "f64 precision must not leak");
+        }
+    }
+
+    #[test]
+    fn terminators_excluded_from_steps_but_charged_cycles() {
+        // "Dynamic instruction" excludes terminators (DESIGN.md §15): a
+        // chain of empty blocks executes zero steps and records zero
+        // profile insts, yet still charges branch cycles.
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let b1 = b.new_block("b1");
+        let b2 = b.new_block("b2");
+        b.br(b1);
+        b.switch_to(b1);
+        b.br(b2);
+        b.switch_to(b2);
+        b.ret_void();
+        let m = module_of(b.finish());
+        let mut vm = Interpreter::new(&m);
+        let out = vm.run("main", &[]).unwrap();
+        assert_eq!(out.steps, 0);
+        assert_eq!(vm.profile().total_insts(), 0);
+        assert_eq!(out.cycles, 2 * CostModel::ppc405().branch_cycles());
+        assert_eq!(out.cycles, vm.profile().total_cycles());
     }
 
     #[test]

@@ -30,10 +30,12 @@ pub mod exec_model;
 pub mod interp;
 pub mod kernel;
 pub mod mem;
+pub mod predecode;
 pub mod profile;
 pub mod value;
 
 pub use cost::CostModel;
 pub use interp::{CustomHandler, ExecOutcome, Interpreter, RunConfig};
+pub use predecode::{PredecodedModule, VmTier};
 pub use profile::{BlockKey, HotnessWindow, Profile};
 pub use value::Value;

@@ -97,6 +97,26 @@ impl Memory {
         Ok(addr as usize)
     }
 
+    /// Fixed-width raw load for the fast tier: a compile-time `N` lets the
+    /// copy lower to a single machine load instead of a variable-length
+    /// `memcpy`. Same bounds/null checks and little-endian packing as
+    /// [`Memory::load`].
+    #[inline(always)]
+    pub(crate) fn load_bytes<const N: usize>(&self, addr: u32) -> Result<u64> {
+        let at = self.check(addr, N as u32)?;
+        let mut buf = [0u8; 8];
+        buf[..N].copy_from_slice(&self.bytes[at..at + N]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Fixed-width raw store, the counterpart of [`Memory::load_bytes`].
+    #[inline(always)]
+    pub(crate) fn store_bytes<const N: usize>(&mut self, addr: u32, raw: u64) -> Result<()> {
+        let at = self.check(addr, N as u32)?;
+        self.bytes[at..at + N].copy_from_slice(&raw.to_le_bytes()[..N]);
+        Ok(())
+    }
+
     /// Typed load.
     pub fn load(&self, ty: Type, addr: u32) -> Result<Value> {
         let size = ty.byte_size().max(1);

@@ -26,7 +26,7 @@ impl BlockKey {
 }
 
 /// Per-block counters for one execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     counts: HashMap<BlockKey, u64>,
     cycles: HashMap<BlockKey, u64>,
@@ -44,6 +44,20 @@ impl Profile {
     /// `insts` dynamic instructions.
     pub fn record(&mut self, key: BlockKey, cycles: u64, insts: u64) {
         *self.counts.entry(key).or_insert(0) += 1;
+        *self.cycles.entry(key).or_insert(0) += cycles;
+        self.total_cycles += cycles;
+        self.total_insts += insts;
+    }
+
+    /// Records `execs` executions of a block totalling `cycles` cycles and
+    /// `insts` dynamic instructions. Equivalent to `execs` calls to
+    /// [`Profile::record`] with per-execution averages; the fast dispatch
+    /// tier uses this to merge its dense per-frame accumulators. `execs`
+    /// must be ≥ 1 (a zero-execution record would create an entry the
+    /// interpreter never creates, breaking profile equality).
+    pub fn record_many(&mut self, key: BlockKey, execs: u64, cycles: u64, insts: u64) {
+        debug_assert!(execs > 0, "record_many with zero executions");
+        *self.counts.entry(key).or_insert(0) += execs;
         *self.cycles.entry(key).or_insert(0) += cycles;
         self.total_cycles += cycles;
         self.total_insts += insts;

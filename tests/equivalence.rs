@@ -11,9 +11,10 @@ use jitise::ir::{
     BinOp, BlockId, CmpOp, Dfg, FuncId, FunctionBuilder, Module, Operand as Op, Type,
 };
 use jitise::ise::{maxmiso, ForbiddenPolicy};
-use jitise::vm::{BlockKey, CustomHandler, Interpreter, Value};
+use jitise::vm::{BlockKey, CostModel, CustomHandler, Interpreter, RunConfig, Value, VmTier};
 use jitise::woolcano::freeze_and_patch;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 /// A recipe for one random straight-line+loop integer program.
 #[derive(Debug, Clone)]
@@ -165,6 +166,176 @@ proptest! {
         }
         prop_assert_eq!(m.num_insts(), once.num_insts());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-tier differential suite: the pre-decoded dispatch tier must be
+// bit-identical to the reference interpreter in results, cycles, steps,
+// per-block profiles, and error strings — on success paths AND on traps
+// (division by zero, fuel exhaustion, out-of-bounds memory).
+// ---------------------------------------------------------------------------
+
+/// A control-flow-heavy module exercising everything the fast tier decodes
+/// specially: a cross-function call, a switch with duplicate case targets,
+/// selects (including an f64 round-trip), loop phis, and memory traffic.
+/// `oob` routes the switch default through an out-of-bounds load.
+fn build_tiered(recipe: &ProgramRecipe, oob: bool) -> Module {
+    let mut m = Module::new("tiered");
+
+    let mut h = FunctionBuilder::new("helper", vec![Type::I64], Type::I64);
+    let x = Op::Arg(0);
+    let t = h.mul(x, Op::ci64(3));
+    let t = h.add(t, Op::ci64(7));
+    let t = h.xor(t, x);
+    h.ret(t);
+    let helper = m.add_func(h.finish());
+
+    let mut b = FunctionBuilder::new("main", vec![Type::I64], Type::I64);
+    let arg = Op::Arg(0);
+    let cell = b.alloca(8);
+    b.store(Op::ci64(17), cell);
+    let c0 = b.new_block("case.call");
+    let c1 = b.new_block("case.select");
+    let cdiv = b.new_block("case.div");
+    let cdef = b.new_block("default");
+    let join = b.new_block("join");
+    // Cases 1 and 2 share a target: the decoder must dedup the edge.
+    b.switch(arg, vec![(0, c0), (1, c1), (2, c1), (3, cdiv)], cdef);
+
+    b.switch_to(c0);
+    let x0 = b.call(helper, vec![arg], Type::I64);
+    b.br(join);
+
+    b.switch_to(c1);
+    let cnd = b.cmp(CmpOp::Slt, arg, Op::ci64(2));
+    let s = b.select(cnd, Op::ci64(5), arg);
+    let f = b.sitofp(arg, Type::F64);
+    let g = b.fmul(f, Op::cf64(1.5));
+    let xi = b.fptosi(g, Type::I64);
+    let x1 = b.add(s, xi);
+    b.br(join);
+
+    b.switch_to(cdiv);
+    // Traps with "division by zero" when the selector is exactly 3.
+    let d = b.sub(arg, Op::ci64(3));
+    let x2 = b.sdiv(Op::ci64(100), d);
+    b.br(join);
+
+    b.switch_to(cdef);
+    let x3 = if oob {
+        // 8 MiB past a 1 MiB stack: an out-of-bounds load.
+        let wild = b.gep(cell, Op::ci64(1 << 20), 8);
+        b.load(Type::I64, wild)
+    } else {
+        b.srem(arg, Op::ci64(7))
+    };
+    b.br(join);
+
+    b.switch_to(join);
+    let merged = b.phi(Type::I64);
+    b.add_incoming(merged, c0, x0);
+    b.add_incoming(merged, c1, x1);
+    b.add_incoming(merged, cdiv, x2);
+    b.add_incoming(merged, cdef, x3);
+    let cell2 = b.alloca(4);
+    b.store(Op::ci32(17), cell2);
+    b.counted_loop(
+        "i",
+        Op::ci32(0),
+        Op::ci32(recipe.loop_iters as i32),
+        |b, i| {
+            let mut v = b.load(Type::I32, cell2);
+            v = b.add(v, i);
+            for &(op, k) in &recipe.ops {
+                let kc = Op::ci32(k);
+                v = match op {
+                    0 => b.add(v, kc),
+                    1 => b.sub(v, kc),
+                    2 => b.mul(v, kc),
+                    3 => b.xor(v, kc),
+                    4 => b.and(v, Op::ci32(k | 0xff)),
+                    5 => b.or(v, kc),
+                    _ => {
+                        let c = b.cmp(CmpOp::Slt, v, kc);
+                        b.select(c, kc, v)
+                    }
+                };
+            }
+            b.store(v, cell2);
+        },
+    );
+    let folded = b.load(Type::I32, cell2);
+    let folded = b.sext(folded, Type::I64);
+    let out = b.add(folded, merged);
+    b.ret(out);
+    m.add_func(b.finish());
+    m
+}
+
+/// Runs `main` on both tiers and asserts every observable agrees:
+/// `Ok` outcomes compare `ret`/`cycles`/`steps`, `Err` outcomes compare
+/// the exact error string, and per-block profiles must be equal either way.
+fn assert_tiers_agree(m: &Module, args: &[Value], max_steps: u64) -> Result<(), TestCaseError> {
+    let run = |tier: VmTier| {
+        let cfg = RunConfig {
+            max_steps,
+            ..RunConfig::default()
+        };
+        let mut vm = Interpreter::with_config(m, CostModel::ppc405(), cfg);
+        vm.set_tier(tier);
+        let r = vm.run("main", args).map_err(|e| e.to_string());
+        (r, vm.take_profile())
+    };
+    let (ri, pi) = run(VmTier::Interp);
+    let (rf, pf) = run(VmTier::Fast);
+    prop_assert_eq!(ri, rf, "outcome diverged between tiers");
+    prop_assert_eq!(pi, pf, "profile diverged between tiers");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_tier_matches_interpreter(
+        recipe in recipe_strategy(),
+        sel in -4i64..8,
+        fuel in any::<bool>(),
+        oob in any::<bool>(),
+    ) {
+        let m = build_tiered(&recipe, oob);
+        jitise::ir::verify::verify_module(&m).expect("tiered module verifies");
+        // A tiny budget trips "step budget ... exhausted" mid-loop; the
+        // trap point and the partial profile must agree across tiers.
+        let max_steps = if fuel { 120 } else { RunConfig::default().max_steps };
+        assert_tiers_agree(&m, &[Value::I(sel)], max_steps)?;
+
+        // The optimized module reshapes blocks and phis; the tiers must
+        // still agree on it.
+        let mut o = m.clone();
+        jitise::ir::passes::optimize_module(&mut o, OptLevel::O3);
+        assert_tiers_agree(&o, &[Value::I(sel)], max_steps)?;
+    }
+}
+
+#[test]
+fn tier_trap_sanity() {
+    // One deterministic instance per trap class, debuggable without
+    // proptest shrinking.
+    let recipe = ProgramRecipe {
+        ops: vec![(0, 3), (2, 5)],
+        loop_iters: 5,
+    };
+    let full = RunConfig::default().max_steps;
+    let m = build_tiered(&recipe, false);
+    for sel in [-4, 0, 1, 2, 5] {
+        assert_tiers_agree(&m, &[Value::I(sel)], full).unwrap();
+    }
+    // Division by zero (selector 3), fuel exhaustion, out-of-bounds load.
+    assert_tiers_agree(&m, &[Value::I(3)], full).unwrap();
+    assert_tiers_agree(&m, &[Value::I(0)], 40).unwrap();
+    let moob = build_tiered(&recipe, true);
+    assert_tiers_agree(&moob, &[Value::I(6)], full).unwrap();
 }
 
 #[test]
