@@ -17,7 +17,12 @@
 //! * `storm`    — phase-storm resilience: `run_storm()` over a rotating
 //!   hot set (detection, eviction, re-specialization counters, recovery
 //!   quality), invariant across CAD lanes, plus a crash-storm run (burst
-//!   faults + a store crash budget + phase churn in one session).
+//!   faults + a store crash budget + phase churn in one session);
+//! * `serve`    — multi-tenant service: admission/defer/shed counters,
+//!   fleet time-to-first-speedup quantiles, shared-cache hit rate vs
+//!   population, all bit-identical across `cad_workers`, plus a
+//!   crash-storm recovery gate (store death mid-serve under burst CAD
+//!   faults).
 //!
 //! Every artifact records machine metadata, seed, config knobs, min /
 //! median / p90 host nanoseconds next to the modeled SimTime numbers, and
@@ -53,6 +58,7 @@ use jitise_ise::{
     candidate_search, identify_makespan, Algorithm, DepthEstimator, PruneFilter, SearchConfig,
     SearchMemo,
 };
+use jitise_serve::{run_serve, ServeConfig};
 use jitise_store::testfix::sample_entry;
 use jitise_store::{Record, Store, StoreOptions, TempDir};
 use jitise_telemetry::{Profiler, Telemetry};
@@ -61,7 +67,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const TOPICS: [&str; 6] = ["search", "cad", "vm", "store", "pipeline", "storm"];
+const TOPICS: [&str; 7] = ["search", "cad", "vm", "store", "pipeline", "storm", "serve"];
 /// Default workload seed — the paper's year, like the chaos harness.
 const DEFAULT_SEED: u64 = 2011;
 
@@ -178,6 +184,7 @@ fn run_topic(topic: &str, seed: u64, smoke: bool) -> BenchArtifact {
         "store" => bench_store(seed, smoke),
         "pipeline" => bench_pipeline(seed, smoke),
         "storm" => bench_storm(seed, smoke),
+        "serve" => bench_serve(seed, smoke),
         other => unreachable!("topic {other} was validated at parse time"),
     }
 }
@@ -959,6 +966,206 @@ fn bench_storm(seed: u64, smoke: bool) -> BenchArtifact {
     let tel = Telemetry::enabled();
     let ctx = EvalContext::with_telemetry(tel.clone());
     let _ = session(&ctx, &BitstreamCache::new(), AdaptiveOptions::default());
+    art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
+    art
+}
+
+/// Serve scale: fleet size, admission slots, defer-queue depth, distinct
+/// workload seeds, and kernel trip count.
+fn serve_scale(smoke: bool) -> (u32, usize, usize, u32, i32) {
+    if smoke {
+        (16, 4, 2, 3, 60)
+    } else {
+        (200, 12, 8, 6, 100)
+    }
+}
+
+fn bench_serve(seed: u64, smoke: bool) -> BenchArtifact {
+    let (tenants, max_active, defer_capacity, distinct, hot_iters) = serve_scale(smoke);
+    let reps = if smoke { 2 } else { 3 };
+    let mut art = BenchArtifact::new("serve", seed, smoke);
+    art.config("tenants", tenants);
+    art.config("max_active", max_active as u64);
+    art.config("defer_capacity", defer_capacity as u64);
+    art.config("distinct_workloads", distinct);
+    art.config("hot_iters", hot_iters);
+
+    let config_for = |cad_workers: usize, fleet: u32| ServeConfig {
+        seed,
+        tenants: fleet,
+        cad_workers,
+        max_active,
+        defer_capacity,
+        arrival_spacing_us: 100,
+        service_model_us: if smoke { 600 } else { 2_000 },
+        runs_per_tenant: 3,
+        distinct_workloads: distinct,
+        hot_iters,
+        ..ServeConfig::default()
+    };
+
+    // Exact axis: the whole fleet outcome must be bit-identical across
+    // pool widths — admission, degradation, cache traffic, answers. A
+    // fresh EvalContext per run: its netlist cache is shared
+    // infrastructure, and a warm one legitimately changes C2V charges.
+    let mut fingerprint = None;
+    let mut full_hits = 0u64;
+    for lanes in [1usize, 2, 8] {
+        let out = run_serve(&EvalContext::new(), &config_for(lanes, tenants)).expect("serve runs");
+        let fp = out.fingerprint();
+        match &fingerprint {
+            None => {
+                assert!(out.admitted >= 1, "nothing admitted at arrival");
+                assert!(out.deferred >= 1, "defer queue never used");
+                assert!(out.shed >= 1, "load shedding never triggered");
+                assert!(out.cache_hits >= 1, "shared cache never hit");
+                art.exact("serve.admitted", "count", out.admitted as u64);
+                art.exact("serve.deferred", "count", out.deferred as u64);
+                art.exact("serve.shed", "count", out.shed as u64);
+                art.exact("serve.degraded", "count", out.degraded as u64);
+                art.exact("serve.cache_hits", "count", out.cache_hits);
+                art.exact("serve.fresh", "count", out.fresh);
+                art.exact("serve.fingerprint", "hash", hash_bytes(fp.as_bytes()));
+                full_hits = out.cache_hits;
+                fingerprint = Some(fp);
+            }
+            Some(want) => {
+                assert_eq!(want, &fp, "serve must be bit-identical across cad_workers")
+            }
+        }
+        // The DRR timing post-pass is deterministic per lane count;
+        // record the fleet latency picture at each width.
+        art.exact(
+            &format!("serve.lanes{lanes}.ttfs_p50_us"),
+            "us",
+            out.timing.ttfs_p50_us,
+        );
+        art.exact(
+            &format!("serve.lanes{lanes}.ttfs_p99_us"),
+            "us",
+            out.timing.ttfs_p99_us,
+        );
+        art.exact(
+            &format!("serve.lanes{lanes}.queue_depth"),
+            "count",
+            out.timing.max_queue_depth as u64,
+        );
+        art.exact(
+            &format!("serve.lanes{lanes}.pool_makespan"),
+            "sim_ns",
+            out.timing.makespan.as_nanos(),
+        );
+    }
+
+    // Shared-cache hit rate vs tenant population: a fleet twice the size
+    // revisits the same workload combos more often, so the absolute hit
+    // count must grow with population.
+    let half = run_serve(&EvalContext::new(), &config_for(2, tenants / 2)).expect("half fleet");
+    let rate = |hits: u64, fresh: u64| hits * 1000 / (hits + fresh).max(1);
+    art.exact("serve.half_fleet.cache_hits", "count", half.cache_hits);
+    art.exact(
+        "serve.half_fleet.hit_permille",
+        "permille",
+        rate(half.cache_hits, half.fresh),
+    );
+    assert!(
+        full_hits >= half.cache_hits,
+        "cache hits must not shrink as the population doubles ({} < {})",
+        full_hits,
+        half.cache_hits
+    );
+
+    // Crash-storm recovery gate: burst CAD faults (keyed per tenant
+    // epoch) while the store dies at 60% of the byte stream. Recovery
+    // must restore exactly the committed prefix, and every tenant's
+    // answers stay correct (the engine's tests pin the per-tenant
+    // details; here we gate the counters and the recovered fingerprint).
+    let storm_plan = FaultPlan::uniform(0.08, seed ^ 0x73746f726d).with_bursts(Bursts {
+        period: 5,
+        width: 2,
+        boost: 6.0,
+        calm: 0.2,
+    });
+    let storm_config = |store: Option<Arc<Store>>| ServeConfig {
+        faults: FaultInjector::from_plan(storm_plan.clone()),
+        store,
+        // A small capacity forces FIFO evictions, so the journal carries
+        // Evict tombstones through the crash.
+        cache_capacity: 8,
+        ..config_for(2, tenants)
+    };
+    let dry_dir = TempDir::new("bench-serve-dry");
+    let dry_store = Arc::new(Store::open(dry_dir.path()).expect("store opens"));
+    let dry = run_serve(
+        &EvalContext::new(),
+        &storm_config(Some(Arc::clone(&dry_store))),
+    )
+    .expect("dry storm serve");
+    assert!(dry.degraded >= 1, "storm must degrade at least one tenant");
+    assert!(
+        dry.degraded < dry.admitted + dry.deferred,
+        "storm must leave some tenants healthy"
+    );
+    let budget = dry_store.bytes_written() * 6 / 10;
+    drop(dry_store);
+    art.config("crash_budget_bytes", budget);
+    art.exact("serve.storm.degraded", "count", dry.degraded as u64);
+    art.exact("serve.storm.evictions", "count", dry.evictions);
+
+    let crash_dir = TempDir::new("bench-serve-crash");
+    let store = Arc::new(
+        Store::open_with(
+            crash_dir.path(),
+            StoreOptions {
+                crash: CrashSwitch::armed(StoreCrash {
+                    after_bytes: budget,
+                }),
+                ..StoreOptions::default()
+            },
+        )
+        .expect("store opens"),
+    );
+    let out = run_serve(&EvalContext::new(), &storm_config(Some(Arc::clone(&store))))
+        .expect("crash storm serve");
+    // Every lane-invariant observable — admissions, degradations, and
+    // all workload answers — must be byte-equal to the dry pass: the
+    // store's death never leaks into execution.
+    assert_eq!(
+        out.tenants, dry.tenants,
+        "the store's death must never leak into tenant outcomes"
+    );
+    let committed = store.state().fingerprint();
+    drop(store);
+    let survivor = Store::open(crash_dir.path()).expect("post-crash recovery");
+    assert_eq!(
+        survivor.state().fingerprint(),
+        committed,
+        "recovery must restore exactly the committed prefix"
+    );
+    art.exact(
+        "serve.storm.recovered.records",
+        "count",
+        survivor.recovery().records_recovered,
+    );
+    art.exact(
+        "serve.storm.recovered.fingerprint",
+        "hash",
+        hash_bytes(committed.as_bytes()),
+    );
+    drop(survivor);
+
+    // Host axis: one full healthy fleet per repetition.
+    let sample = measure_host(reps, || {
+        let _ = run_serve(&EvalContext::new(), &config_for(2, tenants));
+    });
+    art.push("serve.fleet.wall", "ns", sample.metric());
+
+    // Instrumented pass for the profile section.
+    let tel = Telemetry::enabled();
+    let ctx = EvalContext::with_telemetry(tel.clone());
+    let mut cfg = config_for(2, tenants);
+    cfg.telemetry = tel.clone();
+    let _ = run_serve(&ctx, &cfg);
     art.set_profile(&Profiler::from_snapshot(&tel.snapshot()));
     art
 }

@@ -48,6 +48,7 @@ fn degraded_code(reason: Option<&DegradedReason>) -> u64 {
         Some(DegradedReason::WorkerDisconnected) => 1,
         Some(DegradedReason::WorkerStalled) => 2,
         Some(DegradedReason::SpecializeFailed(_)) => 3,
+        Some(DegradedReason::DeadlineExceeded) => 4,
     }
 }
 
@@ -89,22 +90,13 @@ fn session(
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = jitise_bench::schema::take_json_path(&mut args);
     let mut seed: u64 = 2011; // the paper's year
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--json" {
-            i += 2; // skip the flag and its path
-            continue;
-        }
-        if let Ok(s) = args[i].parse() {
+    for arg in &args {
+        if let Ok(s) = arg.parse() {
             seed = s;
         }
-        i += 1;
     }
     let mut artifact = BenchArtifact::new("chaos", seed, false);
     artifact.config("apps", APPS.join(","));
@@ -261,8 +253,7 @@ fn main() -> ExitCode {
 
     println!();
     if let Some(path) = &json_path {
-        std::fs::write(path, artifact.to_pretty_string()).expect("write artifact");
-        println!("wrote {path}");
+        artifact.emit(path);
     }
     if failures == 0 {
         println!("chaos sweep passed: all sessions terminated with bit-identical results");

@@ -84,25 +84,20 @@ fn degraded_code(reason: Option<&DegradedReason>) -> u64 {
         Some(DegradedReason::WorkerDisconnected) => 1,
         Some(DegradedReason::WorkerStalled) => 2,
         Some(DegradedReason::SpecializeFailed(_)) => 3,
+        Some(DegradedReason::DeadlineExceeded) => 4,
     }
 }
 
 fn main() -> ExitCode {
     let mut app_name = "adpcm".to_string();
     let mut full = false;
-    let mut json_path: Option<String> = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = jitise_bench::schema::take_json_path(&mut args);
+    for arg in &args {
+        match arg.as_str() {
             "--full" => full = true,
-            "--json" => {
-                json_path = Some(args.get(i + 1).expect("--json needs a path").clone());
-                i += 1;
-            }
             other => app_name = other.to_string(),
         }
-        i += 1;
     }
     let app = App::build(&app_name).expect("paper app");
     let mut artifact = BenchArtifact::new("crashsim", 2011, !full);
@@ -317,8 +312,7 @@ fn main() -> ExitCode {
 
     println!();
     if let Some(path) = &json_path {
-        std::fs::write(path, artifact.to_pretty_string()).expect("write artifact");
-        println!("wrote {path}");
+        artifact.emit(path);
     }
     if failures == 0 {
         println!("crash-sim sweep passed: every crash point recovered the committed prefix");

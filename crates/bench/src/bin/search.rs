@@ -66,12 +66,9 @@ fn timed(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = jitise_bench::schema::take_json_path(&mut args);
     let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     let (loops, iters, repeats) = if smoke { (6, 200, 1) } else { (24, 2_000, 5) };
 
     let mut artifact = BenchArtifact::new("search_sweep", 0, smoke);
@@ -173,7 +170,6 @@ fn main() {
         3 * LANES.len()
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, artifact.to_pretty_string()).expect("write artifact");
-        println!("wrote {path}");
+        artifact.emit(&path);
     }
 }

@@ -1,0 +1,255 @@
+//! Multi-tenant serve harness: drives a 200+-tenant fleet through the
+//! shared specialization service and proves the robustness contract of
+//! DESIGN.md §16 at full scale:
+//!
+//! 1. **Determinism** — the fixed-seed fleet outcome is bit-identical
+//!    across `cad_workers` 1/2/8 (only the DRR timing post-pass may
+//!    differ);
+//! 2. **Overload gracefulness** — admission control admits, defers, and
+//!    sheds; every tenant terminates with correct software-reference
+//!    answers;
+//! 3. **Fault isolation** — per-tenant (id, epoch)-keyed fault streams
+//!    degrade only the faulted tenants;
+//! 4. **Crash-storm survival** — a store death mid-serve under burst CAD
+//!    faults recovers to exactly the committed prefix, and a warm
+//!    restart keeps serving from it.
+//!
+//! Usage: `cargo run --release -p jitise-bench --bin serve [seed]
+//! [--smoke] [--json FILE]` (`--json` writes the fleet counters as a
+//! `BENCH_*`-schema artifact).
+//!
+//! Exits non-zero on the first violated invariant.
+
+use jitise_bench::schema::BenchArtifact;
+use jitise_core::EvalContext;
+use jitise_faults::{Bursts, CrashSwitch, FaultInjector, FaultPlan, StoreCrash};
+use jitise_serve::{run_serve, ServeConfig, ServeOutcome};
+use jitise_store::{Store, StoreOptions, TempDir};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn fleet_config(seed: u64, smoke: bool, cad_workers: usize) -> ServeConfig {
+    if smoke {
+        ServeConfig {
+            seed,
+            tenants: 24,
+            cad_workers,
+            max_active: 4,
+            defer_capacity: 2,
+            arrival_spacing_us: 100,
+            service_model_us: 600,
+            runs_per_tenant: 3,
+            distinct_workloads: 3,
+            hot_iters: 60,
+            ..ServeConfig::default()
+        }
+    } else {
+        ServeConfig {
+            seed,
+            tenants: 224,
+            cad_workers,
+            max_active: 12,
+            defer_capacity: 8,
+            arrival_spacing_us: 100,
+            service_model_us: 2_000,
+            runs_per_tenant: 3,
+            distinct_workloads: 6,
+            hot_iters: 100,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+fn print_fleet(label: &str, out: &ServeOutcome) {
+    println!(
+        "{:<12} {:>5} {:>6} {:>5} {:>9} {:>6} {:>6} {:>7} {:>12} {:>12} {:>6}",
+        label,
+        out.admitted,
+        out.deferred,
+        out.shed,
+        out.degraded,
+        out.cache_hits,
+        out.fresh,
+        out.evictions,
+        out.timing.ttfs_p50_us,
+        out.timing.ttfs_p99_us,
+        out.timing.max_queue_depth,
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = jitise_bench::schema::take_json_path(&mut args);
+    let mut seed: u64 = 2011; // the paper's year
+    let mut smoke = false;
+    for arg in &args {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        }
+    }
+    let mut artifact = BenchArtifact::new("serve-harness", seed, smoke);
+
+    let tenants = fleet_config(seed, smoke, 1).tenants;
+    println!("=== jitise serve fleet (seed {seed}, {tenants} tenants) ===\n");
+    println!(
+        "{:<12} {:>5} {:>6} {:>5} {:>9} {:>6} {:>6} {:>7} {:>12} {:>12} {:>6}",
+        "run",
+        "admit",
+        "defer",
+        "shed",
+        "degraded",
+        "hits",
+        "fresh",
+        "evict",
+        "ttfs_p50_us",
+        "ttfs_p99_us",
+        "queue"
+    );
+
+    // 1. Determinism across pool widths (fresh EvalContext per run: the
+    //    shared netlist cache legitimately changes C2V charges).
+    let mut fingerprint: Option<String> = None;
+    let mut baseline: Option<ServeOutcome> = None;
+    for lanes in [1usize, 2, 8] {
+        let out = run_serve(&EvalContext::new(), &fleet_config(seed, smoke, lanes))
+            .expect("serve must terminate gracefully");
+        print_fleet(&format!("lanes={lanes}"), &out);
+        let fp = out.fingerprint();
+        match &fingerprint {
+            None => {
+                if out.admitted == 0 || out.deferred == 0 || out.shed == 0 {
+                    eprintln!("FAIL: fleet must exercise admit, defer, and shed");
+                    return ExitCode::FAILURE;
+                }
+                if out.cache_hits == 0 {
+                    eprintln!("FAIL: shared cache never hit");
+                    return ExitCode::FAILURE;
+                }
+                artifact.config("tenants", out.tenants.len() as u64);
+                artifact.exact("serve.admitted", "count", out.admitted as u64);
+                artifact.exact("serve.deferred", "count", out.deferred as u64);
+                artifact.exact("serve.shed", "count", out.shed as u64);
+                artifact.exact("serve.degraded", "count", out.degraded as u64);
+                artifact.exact("serve.cache_hits", "count", out.cache_hits);
+                artifact.exact("serve.fresh", "count", out.fresh);
+                fingerprint = Some(fp);
+                baseline = Some(out);
+            }
+            Some(want) => {
+                if want != &fp {
+                    eprintln!("FAIL: fleet outcome differs at cad_workers={lanes}");
+                    eprintln!("  want {want}");
+                    eprintln!("  got  {fp}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let baseline = baseline.expect("baseline recorded");
+    println!("\nfingerprint: {}", fingerprint.expect("recorded"));
+    println!("determinism: ok (bit-identical across cad_workers 1/2/8)\n");
+
+    // 2. Crash storm: burst CAD faults while the store dies mid-serve.
+    let storm = FaultPlan::uniform(0.08, seed ^ 0x73746f726d).with_bursts(Bursts {
+        period: 5,
+        width: 2,
+        boost: 6.0,
+        calm: 0.2,
+    });
+    let storm_config = |store: Option<Arc<Store>>| ServeConfig {
+        faults: FaultInjector::from_plan(storm.clone()),
+        store,
+        cache_capacity: 8,
+        ..fleet_config(seed, smoke, 2)
+    };
+    let dry_dir = TempDir::new("serve-harness-dry");
+    let dry_store = Arc::new(Store::open(dry_dir.path()).expect("store opens"));
+    let dry = run_serve(
+        &EvalContext::new(),
+        &storm_config(Some(Arc::clone(&dry_store))),
+    )
+    .expect("dry storm serve");
+    print_fleet("storm-dry", &dry);
+    if dry.degraded == 0 || dry.degraded >= dry.admitted + dry.deferred {
+        eprintln!("FAIL: storm must degrade some tenants and spare others");
+        return ExitCode::FAILURE;
+    }
+    // Fault isolation: the storm never changes admission or answers.
+    for (t, c) in dry.tenants.iter().zip(&baseline.tenants) {
+        if t.admission != c.admission {
+            eprintln!("FAIL: faults altered admission for tenant {}", t.id);
+            return ExitCode::FAILURE;
+        }
+        if t.results != c.results {
+            eprintln!("FAIL: cross-tenant corruption at tenant {}", t.id);
+            return ExitCode::FAILURE;
+        }
+    }
+    let budget = dry_store.bytes_written() * 6 / 10;
+    drop(dry_store);
+    artifact.config("crash_budget_bytes", budget);
+    artifact.exact("serve.storm.degraded", "count", dry.degraded as u64);
+    artifact.exact("serve.storm.evictions", "count", dry.evictions);
+
+    let crash_dir = TempDir::new("serve-harness-crash");
+    let store = Arc::new(
+        Store::open_with(
+            crash_dir.path(),
+            StoreOptions {
+                crash: CrashSwitch::armed(StoreCrash {
+                    after_bytes: budget,
+                }),
+                ..StoreOptions::default()
+            },
+        )
+        .expect("store opens"),
+    );
+    let out = run_serve(&EvalContext::new(), &storm_config(Some(Arc::clone(&store))))
+        .expect("crash storm serve");
+    print_fleet("storm-crash", &out);
+    if out.tenants != dry.tenants {
+        eprintln!("FAIL: the store's death leaked into tenant outcomes");
+        return ExitCode::FAILURE;
+    }
+    let committed = store.state().fingerprint();
+    drop(store);
+    let survivor = Arc::new(Store::open(crash_dir.path()).expect("post-crash recovery"));
+    if survivor.state().fingerprint() != committed {
+        eprintln!("FAIL: recovery lost or invented committed records");
+        return ExitCode::FAILURE;
+    }
+    artifact.exact(
+        "serve.storm.recovered.records",
+        "count",
+        survivor.recovery().records_recovered,
+    );
+    println!("\ncrash storm: store died at {budget} bytes; recovery == committed prefix: ok");
+
+    // 3. Warm restart from the survivor keeps serving.
+    // Default (uncapped-in-practice) capacity: the hydrated entries all
+    // stay resident, so the warm fleet must hit at least as often as the
+    // cold baseline.
+    let again_config = ServeConfig {
+        store: Some(survivor),
+        ..fleet_config(seed, smoke, 2)
+    };
+    let again = run_serve(&EvalContext::new(), &again_config).expect("warm restart serve");
+    print_fleet("warm-restart", &again);
+    // The recovered journal hydrates both the cache (hits) and the
+    // quarantine (skips), so the robust claim is about *work*: a warm
+    // fleet must never re-generate more bitstreams than a cold one.
+    if again.fresh > baseline.fresh || again.cache_hits == 0 {
+        eprintln!("FAIL: warm restart lost committed cache value");
+        return ExitCode::FAILURE;
+    }
+    artifact.exact("serve.warm.cache_hits", "count", again.cache_hits);
+    artifact.exact("serve.warm.fresh", "count", again.fresh);
+
+    println!("\nverdict: PASS");
+    if let Some(path) = &json_path {
+        artifact.emit(path);
+    }
+    ExitCode::SUCCESS
+}

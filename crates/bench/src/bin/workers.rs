@@ -21,11 +21,7 @@ const LANES: &[usize] = &[1, 2, 4, 8];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        let path = args.get(i + 1).expect("--json needs a path").clone();
-        args.drain(i..=i + 1);
-        path
-    });
+    let json_path = jitise_bench::schema::take_json_path(&mut args);
     let apps: Vec<String> = if args.is_empty() {
         ["adpcm", "fft", "sor", "whetstone"]
             .iter()
@@ -119,7 +115,6 @@ fn main() {
         println!("{}", t.render());
     }
     if let Some(path) = json_path {
-        std::fs::write(&path, artifact.to_pretty_string()).expect("write artifact");
-        println!("wrote {path}");
+        artifact.emit(&path);
     }
 }

@@ -260,6 +260,14 @@ impl BenchArtifact {
         self.to_json().to_pretty()
     }
 
+    /// Writes the pretty-printed artifact to `path` and echoes
+    /// `wrote <path>` — the shared tail of every sweep bin's `--json`
+    /// mode (see [`take_json_path`]).
+    pub fn emit(&self, path: &str) {
+        std::fs::write(path, self.to_pretty_string()).expect("write artifact");
+        println!("wrote {path}");
+    }
+
     /// Parses an artifact, rejecting documents whose schema major differs
     /// from [`SCHEMA_MAJOR`]. A newer minor is accepted (unknown fields
     /// are ignored).
@@ -336,6 +344,18 @@ impl BenchArtifact {
             collapsed: req_str(&doc, "collapsed")?,
         })
     }
+}
+
+/// Extracts a `--json <path>` flag from a sweep bin's argument list,
+/// removing both tokens so the remaining arguments can be parsed
+/// positionally. Every sweep bin shares this flag; pairing it with
+/// [`BenchArtifact::emit`] replaces the hand-rolled writers each bin
+/// used to carry. Panics if the flag is present without a value.
+pub fn take_json_path(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--json")?;
+    let path = args.get(i + 1).expect("--json needs a path").clone();
+    args.drain(i..=i + 1);
+    Some(path)
 }
 
 fn metric_to_json(m: &Metric) -> Json {

@@ -21,12 +21,16 @@
 //! * [`flow`] — the stage driver with the runtime cost model calibrated
 //!   to Table III (Syn 4.22 s, Xst 10.60 s, Tra 8.99 s, Bitgen 151 s,
 //!   map 40–456 s, PAR 56–728 s).
+//! * [`sched`] — deficit-round-robin fair dispatch of CAD jobs across
+//!   tenants sharing one bounded worker pool (serve runtime timing
+//!   model; DESIGN.md §16).
 
 pub mod bitgen;
 pub mod fabric;
 pub mod flow;
 pub mod place;
 pub mod route;
+pub mod sched;
 pub mod techmap;
 pub mod timing;
 
@@ -35,5 +39,6 @@ pub use fabric::{Fabric, SiteKind};
 pub use flow::{run_flow, run_flow_accounted, FlowCost, FlowError, FlowOptions, FlowReport};
 pub use place::{check_legal, place, PlaceEffort, Placement};
 pub use route::{check_connected, route, RouteEffort, RoutedDesign};
+pub use sched::{drr_dispatch, round_bound, DispatchOutcome, DispatchedJob, DrrConfig, PoolJob};
 pub use techmap::{netlist_complexity, synthesize_top};
 pub use timing::{analyze, cell_delay_ns, TimingReport};

@@ -1,0 +1,374 @@
+//! Deficit-round-robin fair dispatch of CAD jobs across tenants.
+//!
+//! The serve runtime (DESIGN.md §16) shares one bounded CAD worker pool
+//! between every admitted tenant. A plain FIFO over the pool lets one
+//! tenant with many heavy candidates starve everyone else, so pool
+//! *timing* is modeled with deficit round robin (Shreedhar & Varghese):
+//! each tenant keeps a FIFO of jobs and a deficit counter; the
+//! dispatcher walks the active tenants in tenant-id order, tops the
+//! visited tenant's deficit up by one quantum, and dispatches its head
+//! job once the deficit covers the job's charge.
+//!
+//! **Starvation freedom.** Every visit adds a full quantum, so a job at
+//! the head of its tenant's queue is dispatched after at most
+//! `ceil(charge / quantum)` visits — the bound is per-job and
+//! independent of how much work *other* tenants have queued. The
+//! dispatcher records the number of passed-over visits per job
+//! ([`DispatchedJob::rounds_waited`], strictly less than the bound) and
+//! the serve proptests assert it under random tenant mixes.
+//!
+//! The simulation is purely a function of the job list and the config:
+//! lanes become free in (time, lane-index) order, ties in tenant
+//! selection resolve by tenant id, and all times are [`SimTime`] — no
+//! host clocks anywhere. The serve runtime runs it as a *post-pass* over
+//! charges recorded by the (lane-invariant) execution layer, so its
+//! outputs feed wall-clock-style fleet metrics without ever touching
+//! the result fingerprint.
+
+use jitise_base::SimTime;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One CAD job as the fair dispatcher sees it: who queued it, how much
+/// simulated tool time it charges a lane, and when it became ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolJob {
+    /// Owning tenant (ring position is tenant-id order).
+    pub tenant: u64,
+    /// Simulated lane occupancy of the job (tool time incl. retries).
+    pub charge: SimTime,
+    /// Earliest dispatch time (the tenant's admission time).
+    pub ready_at: SimTime,
+}
+
+/// Dispatcher knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DrrConfig {
+    /// Pool width: number of identical CAD lanes.
+    pub lanes: usize,
+    /// Deficit added per visit. Smaller quanta interleave tenants more
+    /// finely but raise the per-job round bound `ceil(charge/quantum)`.
+    pub quantum: SimTime,
+}
+
+impl Default for DrrConfig {
+    fn default() -> Self {
+        DrrConfig {
+            lanes: 1,
+            quantum: SimTime::from_secs(60),
+        }
+    }
+}
+
+/// One dispatched job with its simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchedJob {
+    /// Index of the job in the input slice.
+    pub job: usize,
+    /// Owning tenant (copied from the input for convenience).
+    pub tenant: u64,
+    /// Lane the job ran on.
+    pub lane: usize,
+    /// Dispatch time (lane becomes busy).
+    pub start: SimTime,
+    /// Completion time (`start + charge`).
+    pub finish: SimTime,
+    /// Number of times the dispatcher visited this job at the head of
+    /// its tenant's queue and passed it over. Strictly less than
+    /// `ceil(charge / quantum)` — the starvation-freedom bound.
+    pub rounds_waited: u32,
+}
+
+/// The full simulated schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// Every input job, in dispatch order.
+    pub dispatched: Vec<DispatchedJob>,
+    /// Latest completion time across all lanes.
+    pub makespan: SimTime,
+    /// Largest number of ready-but-undispatched jobs observed at any
+    /// dispatch decision (the pool backlog a fleet dashboard would
+    /// report as queue depth).
+    pub max_queue_depth: usize,
+}
+
+impl DispatchOutcome {
+    /// Completion schedule keyed by input index (finish time per job).
+    pub fn finish_by_job(&self) -> BTreeMap<usize, SimTime> {
+        self.dispatched.iter().map(|d| (d.job, d.finish)).collect()
+    }
+}
+
+/// The per-job starvation bound: visits needed before the accumulated
+/// deficit covers `charge` (at least 1; `quantum` must be non-zero).
+pub fn round_bound(charge: SimTime, quantum: SimTime) -> u32 {
+    let q = quantum.as_nanos().max(1);
+    let c = charge.as_nanos();
+    (c.div_ceil(q)).max(1) as u32
+}
+
+struct TenantQueue {
+    jobs: VecDeque<usize>,
+    deficit: u64,
+}
+
+/// Simulates deficit-round-robin dispatch of `jobs` over
+/// `config.lanes` identical lanes. Deterministic: output depends only
+/// on the inputs. Panics if `config.lanes == 0` or
+/// `config.quantum == SimTime::ZERO` (both are configuration bugs, not
+/// load conditions).
+pub fn drr_dispatch(jobs: &[PoolJob], config: &DrrConfig) -> DispatchOutcome {
+    assert!(config.lanes > 0, "drr_dispatch needs at least one lane");
+    assert!(
+        config.quantum > SimTime::ZERO,
+        "drr_dispatch needs a non-zero quantum"
+    );
+    let quantum = config.quantum.as_nanos();
+
+    // Per-tenant FIFO queues in input order; BTreeMap gives the
+    // deterministic tenant-id ring.
+    let mut queues: BTreeMap<u64, TenantQueue> = BTreeMap::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        queues
+            .entry(job.tenant)
+            .or_insert_with(|| TenantQueue {
+                jobs: VecDeque::new(),
+                deficit: 0,
+            })
+            .jobs
+            .push_back(idx);
+    }
+
+    let mut waited = vec![0u32; jobs.len()];
+    let mut lane_free = vec![SimTime::ZERO; config.lanes];
+    let mut dispatched = Vec::with_capacity(jobs.len());
+    let mut remaining = jobs.len();
+    let mut max_queue_depth = 0usize;
+    // Ring cursor: the tenant id the next walk starts from.
+    let mut cursor: Option<u64> = None;
+
+    while remaining > 0 {
+        // Earliest-free lane, lowest index on ties.
+        let lane = (0..config.lanes)
+            .min_by_key(|&l| (lane_free[l], l))
+            .expect("at least one lane");
+        let mut now = lane_free[lane];
+
+        // If nothing is ready yet, advance this lane to the earliest
+        // readiness among undispatched jobs.
+        let earliest_ready = queues
+            .values()
+            .filter_map(|q| q.jobs.front().map(|&i| jobs[i].ready_at))
+            .min()
+            .expect("remaining > 0 implies a queued job");
+        if earliest_ready > now {
+            now = earliest_ready;
+        }
+
+        let ready_depth: usize = queues
+            .values()
+            .flat_map(|q| q.jobs.iter())
+            .filter(|&&i| jobs[i].ready_at <= now)
+            .count();
+        max_queue_depth = max_queue_depth.max(ready_depth);
+
+        // Walk the ring of tenants whose head job is ready, starting at
+        // the cursor, until one dispatches. Each visit adds a quantum,
+        // so the walk terminates within round_bound() laps.
+        let ring: Vec<u64> = queues
+            .iter()
+            .filter(|(_, q)| q.jobs.front().is_some_and(|&i| jobs[i].ready_at <= now))
+            .map(|(&t, _)| t)
+            .collect();
+        debug_assert!(!ring.is_empty(), "a ready job exists at `now`");
+        let start_pos = match cursor {
+            Some(c) => ring.iter().position(|&t| t >= c).unwrap_or(0),
+            None => 0,
+        };
+        let mut pos = start_pos;
+        loop {
+            let tenant = ring[pos];
+            let q = queues.get_mut(&tenant).expect("ring tenant exists");
+            q.deficit += quantum;
+            let head = *q.jobs.front().expect("ring tenant has a head job");
+            let charge = jobs[head].charge.as_nanos();
+            if q.deficit >= charge {
+                q.deficit -= charge;
+                q.jobs.pop_front();
+                // Standard DRR: an emptied queue forfeits its deficit,
+                // so idle tenants cannot bank credit.
+                if q.jobs.is_empty() {
+                    q.deficit = 0;
+                    queues.remove(&tenant);
+                }
+                let start = now;
+                let finish = start + jobs[head].charge;
+                lane_free[lane] = finish;
+                dispatched.push(DispatchedJob {
+                    job: head,
+                    tenant,
+                    lane,
+                    start,
+                    finish,
+                    rounds_waited: waited[head],
+                });
+                remaining -= 1;
+                // Resume the next walk after this tenant.
+                cursor = Some(tenant + 1);
+                break;
+            }
+            waited[head] += 1;
+            pos = (pos + 1) % ring.len();
+        }
+    }
+
+    let makespan = dispatched
+        .iter()
+        .map(|d| d.finish)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    DispatchOutcome {
+        dispatched,
+        makespan,
+        max_queue_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tenant: u64, charge_s: u64) -> PoolJob {
+        PoolJob {
+            tenant,
+            charge: SimTime::from_secs(charge_s),
+            ready_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let jobs = vec![job(7, 100), job(7, 50), job(7, 10)];
+        let out = drr_dispatch(&jobs, &DrrConfig::default());
+        let order: Vec<usize> = out.dispatched.iter().map(|d| d.job).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(out.makespan, SimTime::from_secs(160));
+    }
+
+    #[test]
+    fn heavy_tenant_cannot_starve_light_tenant() {
+        // Tenant 1 queues ten heavy jobs before tenant 2's single light
+        // job; DRR must dispatch tenant 2 long before tenant 1 drains.
+        let mut jobs: Vec<PoolJob> = (0..10).map(|_| job(1, 600)).collect();
+        jobs.push(job(2, 60));
+        let cfg = DrrConfig {
+            lanes: 1,
+            quantum: SimTime::from_secs(60),
+        };
+        let out = drr_dispatch(&jobs, &cfg);
+        let light = out.dispatched.iter().find(|d| d.tenant == 2).unwrap();
+        // The light job waits for at most one heavy job, not ten.
+        assert!(light.start <= SimTime::from_secs(600), "{:?}", light);
+        assert!(light.rounds_waited < round_bound(jobs[10].charge, cfg.quantum));
+    }
+
+    #[test]
+    fn rounds_waited_respects_the_bound() {
+        let cfg = DrrConfig {
+            lanes: 2,
+            quantum: SimTime::from_secs(30),
+        };
+        let jobs = vec![
+            job(1, 300),
+            job(2, 45),
+            job(3, 700),
+            job(1, 10),
+            job(2, 90),
+            job(3, 31),
+        ];
+        let out = drr_dispatch(&jobs, &cfg);
+        assert_eq!(out.dispatched.len(), jobs.len());
+        for d in &out.dispatched {
+            assert!(
+                d.rounds_waited < round_bound(jobs[d.job].charge, cfg.quantum),
+                "job {} waited {} rounds, bound {}",
+                d.job,
+                d.rounds_waited,
+                round_bound(jobs[d.job].charge, cfg.quantum)
+            );
+        }
+    }
+
+    #[test]
+    fn ready_at_defers_dispatch() {
+        let jobs = vec![
+            PoolJob {
+                tenant: 1,
+                charge: SimTime::from_secs(10),
+                ready_at: SimTime::from_secs(100),
+            },
+            PoolJob {
+                tenant: 2,
+                charge: SimTime::from_secs(10),
+                ready_at: SimTime::ZERO,
+            },
+        ];
+        let out = drr_dispatch(&jobs, &DrrConfig::default());
+        assert_eq!(out.dispatched[0].job, 1);
+        assert_eq!(out.dispatched[0].start, SimTime::ZERO);
+        assert_eq!(out.dispatched[1].job, 0);
+        assert_eq!(out.dispatched[1].start, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn deterministic_and_lane_bounded() {
+        let jobs: Vec<PoolJob> = (0..40)
+            .map(|i| PoolJob {
+                tenant: i % 7,
+                charge: SimTime::from_secs(20 + (i * 13) % 200),
+                ready_at: SimTime::from_secs(i * 3),
+            })
+            .collect();
+        let cfg = DrrConfig {
+            lanes: 3,
+            quantum: SimTime::from_secs(45),
+        };
+        let a = drr_dispatch(&jobs, &cfg);
+        let b = drr_dispatch(&jobs, &cfg);
+        assert_eq!(a, b);
+        // No lane ever runs two jobs at once.
+        for lane in 0..cfg.lanes {
+            let mut spans: Vec<(SimTime, SimTime)> = a
+                .dispatched
+                .iter()
+                .filter(|d| d.lane == lane)
+                .map(|d| (d.start, d.finish))
+                .collect();
+            spans.sort();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap on lane {lane}: {w:?}");
+            }
+        }
+        // Wider pools never lengthen the makespan on this workload.
+        let narrow = drr_dispatch(
+            &jobs,
+            &DrrConfig {
+                lanes: 1,
+                quantum: cfg.quantum,
+            },
+        );
+        assert!(a.makespan <= narrow.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero quantum")]
+    fn zero_quantum_is_a_config_bug() {
+        drr_dispatch(
+            &[job(1, 5)],
+            &DrrConfig {
+                lanes: 1,
+                quantum: SimTime::ZERO,
+            },
+        );
+    }
+}

@@ -28,9 +28,10 @@ pub use cache::{BitstreamCache, CachedCi};
 pub use evaluation::{break_even_basis, evaluate_app, AppEvaluation, BreakEvenBasis, EvalContext};
 pub use extrapolate::{average_break_even, table_iv, CACHE_RATES, TOOL_SPEEDUPS};
 pub use pipeline::{
-    specialize, CandidateOutcome, FailedCandidate, SpecializeConfig, SpecializeReport,
+    specialize, CadJob, CadJobResult, CandidateOutcome, FailedCandidate, SpecializeConfig,
+    SpecializeReport, SpecializeSession,
 };
 pub use runtime::{
     run_adaptive, run_adaptive_with, run_storm, AdaptiveOptions, AdaptiveOutcome, DegradedReason,
-    PhasePolicy, PhaseSegment, StormOptions, StormOutcome,
+    PhasePolicy, PhaseSegment, StormOptions, StormOutcome, WorkloadSession,
 };

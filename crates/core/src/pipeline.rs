@@ -40,6 +40,13 @@
 //! lanes) replace the single sequential total. Every other observable —
 //! report fingerprint, patched module, caches, quarantine, canonical
 //! telemetry journal — is bit-identical for any worker count.
+//!
+//! The three stages are also exposed directly as [`SpecializeSession`]
+//! (`begin` → `execute` per job → `finalize`), so a multi-session runtime
+//! (`jitise-serve`, DESIGN.md §16) can interleave CAD jobs from many
+//! concurrent tenants through one shared bounded pool under its own fair
+//! scheduling policy; [`specialize`] is that session driven end-to-end
+//! with the in-process pool.
 
 use crate::cache::{BitstreamCache, CachedCi};
 use jitise_base::par::parallel_map_indexed;
@@ -624,12 +631,67 @@ struct Prepared {
 }
 
 /// A pool job: everything a worker needs to run the generation loop for
-/// one prepared candidate.
-struct Job<'m> {
+/// one prepared candidate. [`SpecializeSession::begin`] hands these out;
+/// whoever owns the session decides where and when each one runs — the
+/// in-process pool in [`specialize`], or a shared cross-tenant scheduler
+/// like `jitise-serve` — and feeds every result back to
+/// [`SpecializeSession::finalize`]. Execution is order-free by
+/// construction: all order-sensitive decisions already happened at
+/// dispatch.
+pub struct CadJob {
     prep: usize,
-    pf: &'m Function,
+    pool: usize,
     first: FirstAttempt,
     tel: Telemetry,
+    signature: u64,
+}
+
+impl CadJob {
+    /// The candidate signature this job implements — the stable identity
+    /// an external scheduler can key queues and fault scopes by.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+}
+
+/// The opaque result of executing one [`CadJob`]; hand the full set back
+/// to [`SpecializeSession::finalize`] in any order.
+pub struct CadJobResult {
+    pool: usize,
+    generated: Generated,
+}
+
+/// A specialization run split open at its stage boundaries.
+///
+/// [`specialize`] is this session driven start-to-finish with an
+/// in-process worker pool. Multi-session runtimes (`jitise-serve`) use the
+/// session directly so CAD jobs from *many* concurrent tenants can share
+/// one bounded pool under an external scheduling policy:
+///
+/// 1. [`SpecializeSession::begin`] — phase 1 (candidate search) plus the
+///    serial dispatch pre-pass (quarantine checks, duplicate dedup, the
+///    attempt-1 cache probe, phase 2), yielding the pool-able jobs;
+/// 2. [`SpecializeSession::execute`] — phases 2–3 retries + the tool flow
+///    for one job; `&self`, thread-safe, any order, any thread;
+/// 3. [`SpecializeSession::finalize`] — the serial adaptation phase (ICAP
+///    installs, IR patching, accounting, store journaling) and the report.
+///
+/// The determinism contract is unchanged: every observable of the
+/// finalized report is a pure function of the inputs, independent of how
+/// the owner interleaved `execute` calls.
+pub struct SpecializeSession<'a> {
+    machine: &'a Woolcano,
+    db: &'a CircuitDb,
+    netlist_cache: &'a NetlistCache,
+    bitstream_cache: &'a BitstreamCache,
+    config: &'a SpecializeConfig,
+    pristine: Module,
+    search: SearchOutcome,
+    prepared: Vec<Prepared>,
+    spans: Vec<Option<Span>>,
+    root: Span,
+    tel: Telemetry,
+    job_count: usize,
 }
 
 /// Runs the complete ASIP specialization process on `module` (profiled by
@@ -648,7 +710,96 @@ pub fn specialize(
     bitstream_cache: &BitstreamCache,
     config: &SpecializeConfig,
 ) -> Result<SpecializeReport> {
-    let mut root = config.telemetry.span("pipeline.specialize");
+    let (session, jobs) = SpecializeSession::begin(
+        module,
+        profile,
+        machine,
+        estimator,
+        db,
+        netlist_cache,
+        bitstream_cache,
+        config,
+    );
+    // ---- Pool: phases 2–3 retries + the tool flow, any completion order ----
+    let results = parallel_map_indexed(config.cad_workers, &jobs, |_, job| session.execute(job));
+    session.finalize(module, results)
+}
+
+impl<'a> SpecializeSession<'a> {
+    /// Phase 1 and the serial dispatch pre-pass; returns the session plus
+    /// the pool jobs. Every job must be passed through [`Self::execute`]
+    /// exactly once before [`Self::finalize`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin(
+        module: &Module,
+        profile: &Profile,
+        machine: &'a Woolcano,
+        estimator: &PivPavEstimator,
+        db: &'a CircuitDb,
+        netlist_cache: &'a NetlistCache,
+        bitstream_cache: &'a BitstreamCache,
+        config: &'a SpecializeConfig,
+    ) -> (SpecializeSession<'a>, Vec<CadJob>) {
+        begin_session(
+            module,
+            profile,
+            machine,
+            estimator,
+            db,
+            netlist_cache,
+            bitstream_cache,
+            config,
+        )
+    }
+
+    /// Runs phases 2–3 (with retries) for one job. Thread-safe (`&self`):
+    /// the owner may call this from any worker thread, in any order —
+    /// nothing order-sensitive happens here.
+    pub fn execute(&self, job: &CadJob) -> CadJobResult {
+        let prep = &self.prepared[job.prep];
+        let pf = self.pristine.func(prep.cand.key.func);
+        CadJobResult {
+            pool: job.pool,
+            generated: run_generation(
+                self.db,
+                self.netlist_cache,
+                self.bitstream_cache,
+                self.config,
+                pf,
+                &prep.dfg,
+                &prep.cand,
+                prep.signature,
+                Some(&job.first),
+                &job.tel,
+            ),
+        }
+    }
+
+    /// The serial adaptation phase: ICAP installs, IR patching, store
+    /// journaling, and report accounting, in selection order. `results`
+    /// must contain exactly one [`CadJobResult`] per job handed out by
+    /// [`Self::begin`] (any order).
+    pub fn finalize(
+        self,
+        module: &mut Module,
+        results: Vec<CadJobResult>,
+    ) -> Result<SpecializeReport> {
+        finalize_session(self, module, results)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn begin_session<'a>(
+    module: &Module,
+    profile: &Profile,
+    machine: &'a Woolcano,
+    estimator: &PivPavEstimator,
+    db: &'a CircuitDb,
+    netlist_cache: &'a NetlistCache,
+    bitstream_cache: &'a BitstreamCache,
+    config: &'a SpecializeConfig,
+) -> (SpecializeSession<'a>, Vec<CadJob>) {
+    let root = config.telemetry.span("pipeline.specialize");
     let tel = config.telemetry.under(&root);
 
     // ---- Phase 1: Candidate Search ----
@@ -686,7 +837,7 @@ pub fn specialize(
     // flow leaves this thread.
     let mut prepared: Vec<Prepared> = Vec::with_capacity(selected.len());
     let mut spans: Vec<Option<Span>> = Vec::with_capacity(selected.len());
-    let mut jobs: Vec<Job<'_>> = Vec::new();
+    let mut jobs: Vec<CadJob> = Vec::new();
     let mut dispatched: HashSet<u64> = HashSet::new();
 
     for (cand, saved_per_exec, exec_count, hw_cycles) in selected {
@@ -739,11 +890,12 @@ pub fn specialize(
                     Ok(pair) => FirstAttempt::Ready(Box::new(pair)),
                     Err(e) => FirstAttempt::Failed(e),
                 };
-                jobs.push(Job {
+                jobs.push(CadJob {
                     prep: prepared.len(),
-                    pf,
+                    pool: jobs.len(),
                     first,
                     tel: cand_tel,
+                    signature,
                 });
                 spans.push(Some(cand_span));
                 Disposition::Pool(jobs.len() - 1)
@@ -760,24 +912,61 @@ pub fn specialize(
         });
     }
 
-    // ---- Pool: phases 2–3 retries + the tool flow, any completion order ----
-    let pooled = parallel_map_indexed(config.cad_workers, &jobs, |_, job| {
-        let prep = &prepared[job.prep];
-        run_generation(
+    let job_count = jobs.len();
+    (
+        SpecializeSession {
+            machine,
             db,
             netlist_cache,
             bitstream_cache,
             config,
-            job.pf,
-            &prep.dfg,
-            &prep.cand,
-            prep.signature,
-            Some(&job.first),
-            &job.tel,
-        )
-    });
-    let mut pooled: Vec<Option<Generated>> = pooled.into_iter().map(Some).collect();
-    drop(jobs);
+            pristine,
+            search,
+            prepared,
+            spans,
+            root,
+            tel,
+            job_count,
+        },
+        jobs,
+    )
+}
+
+fn finalize_session(
+    session: SpecializeSession<'_>,
+    module: &mut Module,
+    results: Vec<CadJobResult>,
+) -> Result<SpecializeReport> {
+    let SpecializeSession {
+        machine,
+        db,
+        netlist_cache,
+        bitstream_cache,
+        config,
+        pristine,
+        search,
+        prepared,
+        spans,
+        mut root,
+        tel,
+        job_count,
+    } = session;
+    // Slot every pool result back at its dispatch position; arrival order
+    // carries no information.
+    assert_eq!(
+        results.len(),
+        job_count,
+        "finalize needs exactly one result per dispatched job"
+    );
+    let mut pooled: Vec<Option<Generated>> = (0..job_count).map(|_| None).collect();
+    for r in results {
+        assert!(
+            pooled[r.pool].is_none(),
+            "job result delivered twice for pool slot {}",
+            r.pool
+        );
+        pooled[r.pool] = Some(r.generated);
+    }
 
     // ---- Finalize (serial, selection order) ----
     // The single ICAP port and the IR patcher impose a serial adaptation

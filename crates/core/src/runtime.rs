@@ -46,6 +46,12 @@ pub enum DegradedReason {
     WorkerStalled,
     /// Specialization itself returned an error.
     SpecializeFailed(String),
+    /// The tenant's specialization exceeded its per-tenant deadline
+    /// budget and the session fell back to software-only execution
+    /// (multi-tenant serve runtime; see DESIGN.md §16). The single-
+    /// session runtime never emits this — its wall-clock bound is the
+    /// watchdog, reported as [`DegradedReason::WorkerStalled`].
+    DeadlineExceeded,
 }
 
 /// Robustness knobs for [`run_adaptive_with`].
@@ -266,6 +272,141 @@ fn tiered_vm<'m>(
     vm
 }
 
+/// Per-session workload execution state: the run/swap/cycle accounting
+/// from [`run_adaptive_with`]'s main loop, factored into a struct so a
+/// multi-session runtime (`jitise-serve`, DESIGN.md §16) can interleave
+/// many tenants' workload runs while each tenant keeps exactly the
+/// accounting a dedicated [`run_adaptive_with`] session would produce.
+///
+/// The profiling run charges the *profiled* cycle total (the VM's cycle
+/// field is zero when profiling) and every later run charges the run's
+/// own cycle count, matching the single-session runtime bit for bit.
+/// On the fast tier the base and specialized modules are each
+/// pre-decoded once and memoized for the life of the session.
+pub struct WorkloadSession {
+    tier: VmTier,
+    base_pd: Option<Arc<PredecodedModule>>,
+    spec_pd: Option<Arc<PredecodedModule>>,
+    runs_before: u32,
+    runs_after: u32,
+    cycles_before: u64,
+    cycles_after: u64,
+    results: Vec<Option<Value>>,
+}
+
+impl WorkloadSession {
+    /// A fresh session on the given execution tier; no runs yet.
+    pub fn new(tier: VmTier) -> WorkloadSession {
+        WorkloadSession {
+            tier,
+            base_pd: None,
+            spec_pd: None,
+            runs_before: 0,
+            runs_after: 0,
+            cycles_before: 0,
+            cycles_after: 0,
+            results: Vec::new(),
+        }
+    }
+
+    /// The profiling run: executes `entry(args)` on the unmodified
+    /// module, charges the profiled cycle total to the pre-swap bucket,
+    /// and returns the [`Profile`] that seeds specialization.
+    pub fn profile_run(
+        &mut self,
+        module: &Module,
+        entry: &str,
+        args: &[Value],
+        tel: &Telemetry,
+    ) -> Result<Profile> {
+        let mut vm = tiered_vm(module, self.tier, &mut self.base_pd);
+        vm.set_telemetry(tel.clone());
+        let out = vm.run(entry, args)?;
+        let profile: Profile = vm.take_profile();
+        self.cycles_before += profile.total_cycles();
+        self.runs_before += 1;
+        self.results.push(out.ret);
+        Ok(profile)
+    }
+
+    /// A pre-swap (or degraded software-only) run of the base module.
+    pub fn software_run(
+        &mut self,
+        module: &Module,
+        entry: &str,
+        args: &[Value],
+        tel: &Telemetry,
+    ) -> Result<()> {
+        let mut vm = tiered_vm(module, self.tier, &mut self.base_pd);
+        vm.set_telemetry(tel.clone());
+        let out = vm.run(entry, args)?;
+        self.cycles_before += out.cycles;
+        self.runs_before += 1;
+        self.results.push(out.ret);
+        Ok(())
+    }
+
+    /// A post-swap run of the specialized module on the loaded machine.
+    pub fn adapted_run(
+        &mut self,
+        module: &Module,
+        machine: &Woolcano,
+        entry: &str,
+        args: &[Value],
+        tel: &Telemetry,
+    ) -> Result<()> {
+        let mut vm = tiered_vm(module, self.tier, &mut self.spec_pd);
+        vm.set_custom_handler(machine);
+        vm.set_telemetry(tel.clone());
+        let out = vm.run(entry, args)?;
+        self.cycles_after += out.cycles;
+        self.runs_after += 1;
+        self.results.push(out.ret);
+        Ok(())
+    }
+
+    /// Runs executed before the swap (profiling run included).
+    pub fn runs_before(&self) -> u32 {
+        self.runs_before
+    }
+
+    /// Runs executed after the swap.
+    pub fn runs_after(&self) -> u32 {
+        self.runs_after
+    }
+
+    /// Return value of every run so far, in execution order.
+    pub fn results(&self) -> &[Option<Value>] {
+        &self.results
+    }
+
+    /// Average cycles per pre-swap run.
+    pub fn avg_before(&self) -> u64 {
+        self.cycles_before / self.runs_before.max(1) as u64
+    }
+
+    /// Average cycles per post-swap run; with no post-swap runs this is
+    /// the pre-swap average (speedup 1.0), matching the degraded path
+    /// of [`run_adaptive_with`].
+    pub fn avg_after(&self) -> u64 {
+        if self.runs_after > 0 {
+            self.cycles_after / self.runs_after as u64
+        } else {
+            self.avg_before()
+        }
+    }
+
+    /// Observed speedup: pre-swap average over post-swap average.
+    pub fn observed_speedup(&self) -> f64 {
+        self.avg_before() as f64 / self.avg_after().max(1) as f64
+    }
+
+    /// Consumes the session, yielding the per-run return values.
+    pub fn into_results(self) -> Vec<Option<Value>> {
+        self.results
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub fn run_adaptive_with(
     ctx: &EvalContext,
@@ -308,19 +449,11 @@ pub fn run_adaptive_with(
         }
     }
 
-    // Pre-decoded form of the base module (fast tier only), built at the
-    // profiling run and reused by every pre-swap run. The specialized
-    // module gets its own decode at swap time.
+    // Per-session workload state: fast-tier pre-decode memos plus run
+    // and cycle accounting. Profiling run first.
     let tier = options.vm_tier;
-    let mut base_pd: Option<Arc<PredecodedModule>> = None;
-    let mut spec_pd: Option<Arc<PredecodedModule>> = None;
-
-    // Profiling run.
-    let mut vm = tiered_vm(module, tier, &mut base_pd);
-    vm.set_telemetry(tel.clone());
-    let first = vm.run(entry, args)?;
-    let profile: Profile = vm.take_profile();
-    let first_cycles = profile.total_cycles();
+    let mut ws = WorkloadSession::new(tier);
+    let profile = ws.profile_run(module, entry, args, &tel)?;
 
     // Worker-level faults are keyed by the session entry point so stall
     // and death decisions are deterministic per (plan seed, workload).
@@ -423,12 +556,6 @@ pub fn run_adaptive_with(
         // waiting and keeps executing the unmodified binary.
         let mut specialized: Option<(Module, Woolcano, SpecializeReport)> = None;
         let mut degraded: Option<DegradedReason> = None;
-        let mut runs_before = 1u32; // the profiling run
-        let mut runs_after = 0u32;
-        let mut cycles_before = first_cycles;
-        let mut cycles_after = 0u64;
-        let mut results: Vec<Option<Value>> = Vec::with_capacity(total_runs as usize);
-        results.push(first.ret);
 
         for run in 1..total_runs {
             if specialized.is_none() && degraded.is_none() && run >= ready_after_runs {
@@ -443,23 +570,8 @@ pub fn run_adaptive_with(
                 }
             }
             match &specialized {
-                Some((m, machine, _)) => {
-                    let mut vm = tiered_vm(m, tier, &mut spec_pd);
-                    vm.set_custom_handler(machine);
-                    vm.set_telemetry(tel.clone());
-                    let out = vm.run(entry, args)?;
-                    cycles_after += out.cycles;
-                    runs_after += 1;
-                    results.push(out.ret);
-                }
-                None => {
-                    let mut vm = tiered_vm(module, tier, &mut base_pd);
-                    vm.set_telemetry(tel.clone());
-                    let out = vm.run(entry, args)?;
-                    cycles_before += out.cycles;
-                    runs_before += 1;
-                    results.push(out.ret);
-                }
+                Some((m, machine, _)) => ws.adapted_run(m, machine, entry, args, &tel)?,
+                None => ws.software_run(module, entry, args, &tel)?,
             }
         }
         // If the gate never opened (all runs before readiness), collect
@@ -476,22 +588,16 @@ pub fn run_adaptive_with(
             None => None,
         };
 
-        let avg_before = cycles_before / runs_before.max(1) as u64;
-        let avg_after = if runs_after > 0 {
-            cycles_after / runs_after as u64
-        } else {
-            avg_before
-        };
         Ok(AdaptiveOutcome {
-            runs_before,
-            runs_after,
-            cycles_before: avg_before,
-            cycles_after: avg_after,
-            observed_speedup: avg_before as f64 / avg_after.max(1) as f64,
+            runs_before: ws.runs_before(),
+            runs_after: ws.runs_after(),
+            cycles_before: ws.avg_before(),
+            cycles_after: ws.avg_after(),
+            observed_speedup: ws.observed_speedup(),
             overhead: report.as_ref().map(|r| r.makespan).unwrap_or(SimTime::ZERO),
             report,
             degraded,
-            results,
+            results: ws.into_results(),
         })
     })?;
 

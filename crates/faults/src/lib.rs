@@ -290,7 +290,16 @@ pub struct FaultInjector {
     /// Burst-cycle position (the storm runtime sets it to the workload run
     /// index). Irrelevant — and zero — unless the plan has a burst overlay.
     epoch: u64,
+    /// Tenant identity folded into every draw key. `None` (the default)
+    /// keeps decisions byte-identical to a tenant-less injector; the serve
+    /// runtime sets it per session so a tenant's fault schedule is a pure
+    /// function of `(plan, tenant id, epoch, site, key, attempt)` —
+    /// invariant under admission order and fleet size.
+    tenant: Option<u64>,
 }
+
+/// Salt folding a tenant id into the draw-key space ("tnant").
+const TENANT_SALT: u64 = 0x0074_6e61_6e74;
 
 impl FaultInjector {
     /// The no-op handle: every decision is `None`.
@@ -305,6 +314,7 @@ impl FaultInjector {
             key: 0,
             attempt: 1,
             epoch: 0,
+            tenant: None,
         }
     }
 
@@ -315,24 +325,55 @@ impl FaultInjector {
 
     /// A handle bound to `(key, attempt)` — the identity decisions are
     /// keyed by (candidate signature, retry attempt number, 1-based).
-    /// The burst epoch is carried over.
+    /// The burst epoch and tenant binding are carried over.
     pub fn scope(&self, key: u64, attempt: u32) -> FaultInjector {
         FaultInjector {
             plan: self.plan.clone(),
             key,
             attempt,
             epoch: self.epoch,
+            tenant: self.tenant,
         }
     }
 
-    /// A handle positioned at a burst epoch (key/attempt carried over).
-    /// A no-op unless the plan has a [`Bursts`] overlay.
+    /// A handle positioned at a burst epoch (key/attempt/tenant carried
+    /// over). A no-op unless the plan has a [`Bursts`] overlay.
     pub fn at_epoch(&self, epoch: u64) -> FaultInjector {
         FaultInjector {
             plan: self.plan.clone(),
             key: self.key,
             attempt: self.attempt,
             epoch,
+            tenant: self.tenant,
+        }
+    }
+
+    /// A handle whose fault stream is keyed by `tenant` (key/attempt/epoch
+    /// carried over): every subsequent decision folds the tenant id into
+    /// the draw identity, so two tenants sharing a plan draw disjoint
+    /// deterministic fault schedules, and one tenant's schedule does not
+    /// depend on who else is admitted, in what order, or how large the
+    /// fleet is. A tenant-less handle is byte-identical to the pre-tenant
+    /// implementation.
+    pub fn for_tenant(&self, tenant: u64) -> FaultInjector {
+        FaultInjector {
+            plan: self.plan.clone(),
+            key: self.key,
+            attempt: self.attempt,
+            epoch: self.epoch,
+            tenant: Some(tenant),
+        }
+    }
+
+    /// The draw key with the tenant binding (if any) folded in.
+    fn effective_key(&self) -> u64 {
+        match self.tenant {
+            None => self.key,
+            Some(t) => {
+                let mut h = SigHasher::new();
+                h.write_u64(self.key).write_u64(TENANT_SALT).write_u64(t);
+                h.finish()
+            }
         }
     }
 
@@ -340,7 +381,7 @@ impl FaultInjector {
     pub fn decide(&self, site: FaultSite) -> Option<FaultKind> {
         self.plan
             .as_ref()
-            .and_then(|p| p.decide_at(site, self.key, self.attempt, self.epoch))
+            .and_then(|p| p.decide_at(site, self.effective_key(), self.attempt, self.epoch))
     }
 
     /// If a fault fires at `site`, flips one deterministic bit in `bytes`
@@ -354,7 +395,7 @@ impl FaultInjector {
                 h.write_u64(plan.seed)
                     .write_u64(4)
                     .write_u64(site.index() as u64)
-                    .write_u64(self.key)
+                    .write_u64(self.effective_key())
                     .write_u64(self.attempt as u64);
                 let bit = h.finish() as usize % (bytes.len() * 8);
                 bytes[bit / 8] ^= 1 << (bit % 8);
@@ -827,6 +868,78 @@ mod tests {
             plan.decide_at(FaultSite::CadPlace, 42, 2, 12),
             "at_epoch() must carry key/attempt"
         );
+    }
+
+    /// A tenant's fault stream is a pure function of `(plan, tenant id,
+    /// epoch, site, key, attempt)`. Whatever the handle saw before
+    /// `for_tenant` — other tenants' scopes, other epochs, any admission
+    /// order — must not perturb the stream, and a fleet twice the size
+    /// must see the same per-tenant schedule.
+    #[test]
+    fn tenant_streams_invariant_under_admission_order_and_fleet_size() {
+        let plan = FaultPlan::uniform(0.5, 2011).with_bursts(Bursts {
+            period: 6,
+            width: 2,
+            boost: 3.0,
+            calm: 0.2,
+        });
+        let sample = |inj: &FaultInjector, tenant: u64| -> Vec<Option<FaultKind>> {
+            let t = inj.for_tenant(tenant).at_epoch(tenant);
+            let mut out = Vec::new();
+            for site in FaultSite::ALL {
+                for key in 0..20u64 {
+                    for attempt in 1..4u32 {
+                        out.push(t.scope(key * 7919, attempt).decide(site));
+                    }
+                }
+            }
+            out
+        };
+
+        // "Fleet A": tenants admitted 0, 1, 2 in order; "fleet B": a
+        // larger fleet admitting in reverse, with unrelated scoping noise
+        // on the handle before each tenant session starts.
+        let fresh = FaultInjector::from_plan(plan.clone());
+        let want: Vec<_> = (0..3u64).map(|t| sample(&fresh, t)).collect();
+        let noisy = FaultInjector::from_plan(plan)
+            .scope(0xdead_beef, 3)
+            .at_epoch(999)
+            .for_tenant(17);
+        for t in (0..6u64).rev() {
+            if t < 3 {
+                assert_eq!(
+                    sample(&noisy, t),
+                    want[t as usize],
+                    "tenant {t}: schedule must not depend on handle history, \
+                     admission order, or fleet size"
+                );
+            } else {
+                let _ = sample(&noisy, t); // extra tenants are just traffic
+            }
+        }
+
+        // Distinct tenants draw distinct streams (same plan, same keys).
+        assert_ne!(want[0], want[1], "tenants must not share a victim set");
+    }
+
+    /// `for_tenant` must change the stream; a handle that never binds a
+    /// tenant stays byte-identical to the plan's direct decisions.
+    #[test]
+    fn tenantless_handle_matches_plan_directly() {
+        let plan = FaultPlan::uniform(0.5, 77);
+        let inj = FaultInjector::from_plan(plan.clone());
+        for key in 0..100u64 {
+            assert_eq!(
+                inj.scope(key, 1).decide(FaultSite::CadMap),
+                plan.decide(FaultSite::CadMap, key, 1),
+                "no tenant bound: decisions must match the plan verbatim"
+            );
+        }
+        let bound = inj.for_tenant(0);
+        let diverged = (0..100u64).any(|key| {
+            bound.scope(key, 1).decide(FaultSite::CadMap) != plan.decide(FaultSite::CadMap, key, 1)
+        });
+        assert!(diverged, "binding a tenant must re-key the stream");
     }
 
     #[test]

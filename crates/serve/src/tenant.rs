@@ -1,0 +1,233 @@
+//! Synthetic tenant fleet and the admission-control simulator.
+//!
+//! Both halves are **lane-invariant**: tenant specs are a pure function
+//! of the fleet seed, and the admission simulator charges every active
+//! session a pool-width-*independent* modeled service time. Admission,
+//! deferral, and shed decisions therefore never depend on
+//! `cad_workers`, which is what lets the whole `ServeOutcome`
+//! fingerprint stay bit-identical across pool widths (the actual CAD
+//! contention is simulated separately, as a timing post-pass — see
+//! DESIGN.md §16).
+
+use jitise_base::hash::SigHasher;
+use jitise_base::rng::SplitMix64;
+use std::collections::{BTreeSet, VecDeque};
+
+/// One synthetic tenant, fully determined by the fleet seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant id (also its arrival rank: ids arrive in order).
+    pub id: u64,
+    /// Arrival time on the open-loop schedule, microseconds.
+    pub arrival_us: u64,
+    /// Modeled active-session residency used by admission control,
+    /// microseconds. Deliberately independent of the CAD pool width.
+    pub service_us: u64,
+    /// Workload-generator seed. Tenants cycle over
+    /// `distinct_workloads` seeds, so a growing population revisits the
+    /// same candidate signatures — the shared-cache hit population.
+    pub workload_seed: u64,
+    /// Kernel selector passed to the workload entry point.
+    pub sel: i64,
+}
+
+/// Builds the seeded open-loop arrival fleet: `tenants` specs with
+/// jittered inter-arrival gaps around `spacing_us` and per-tenant
+/// service times around `service_us`. Pure in its arguments.
+pub fn fleet(
+    seed: u64,
+    tenants: u32,
+    spacing_us: u64,
+    service_us: u64,
+    distinct_workloads: u32,
+    kernels: u32,
+) -> Vec<TenantSpec> {
+    let mut rng = SplitMix64::new(seed ^ 0x0073_6572_7665); // "serve"
+    let distinct = distinct_workloads.max(1) as u64;
+    let kernels = kernels.max(1) as u64;
+    let mut at = 0u64;
+    (0..tenants as u64)
+        .map(|id| {
+            at += 1 + rng.next_below(spacing_us.max(1) * 2);
+            let service = service_us / 2 + rng.next_below(service_us.max(1));
+            let mut h = SigHasher::new();
+            h.write_str("serve.workload");
+            h.write_u64(seed).write_u64(id % distinct);
+            TenantSpec {
+                id,
+                arrival_us: at,
+                service_us: service.max(1),
+                workload_seed: h.finish(),
+                sel: ((id / distinct) % kernels) as i64,
+            }
+        })
+        .collect()
+}
+
+/// Typed admission outcome. Never a panic: overload surfaces as
+/// [`Admission::Deferred`] (bounded queue) and then [`Admission::Shed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Granted a slot at arrival.
+    Admitted {
+        /// Admission time (= arrival time), microseconds.
+        at_us: u64,
+    },
+    /// Parked in the bounded defer queue, then granted a slot when one
+    /// freed. Deferral is FIFO.
+    Deferred {
+        /// Admission time after waiting, microseconds.
+        at_us: u64,
+        /// Time spent in the defer queue, microseconds.
+        waited_us: u64,
+    },
+    /// Rejected at arrival: slots busy *and* defer queue full. The
+    /// tenant still runs, software-only — load shedding degrades
+    /// service, never correctness.
+    Shed,
+}
+
+impl Admission {
+    /// Admission time, if the tenant was admitted at all.
+    pub fn admitted_at_us(&self) -> Option<u64> {
+        match self {
+            Admission::Admitted { at_us } => Some(*at_us),
+            Admission::Deferred { at_us, .. } => Some(*at_us),
+            Admission::Shed => None,
+        }
+    }
+}
+
+/// Simulates admission control over the fleet: `max_active` concurrent
+/// session slots and a FIFO defer queue bounded at `defer_capacity`.
+/// Returns one [`Admission`] per spec, in spec order.
+///
+/// Event order is deterministic: releases at time `t` are processed
+/// before an arrival at `t` (earliest finish first, ties by tenant id),
+/// and each release immediately promotes the defer queue's head.
+pub fn admission_schedule(
+    specs: &[TenantSpec],
+    max_active: usize,
+    defer_capacity: usize,
+) -> Vec<Admission> {
+    assert!(max_active > 0, "admission needs at least one active slot");
+    let mut out = vec![Admission::Shed; specs.len()];
+    let mut free = max_active;
+    // (finish_us, tenant index) — BTreeSet iterates in release order.
+    let mut active: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut deferred: VecDeque<usize> = VecDeque::new();
+
+    let release_until = |active: &mut BTreeSet<(u64, usize)>,
+                         deferred: &mut VecDeque<usize>,
+                         free: &mut usize,
+                         out: &mut Vec<Admission>,
+                         now: u64| {
+        while let Some(&(finish, idx)) = active.iter().next() {
+            if finish > now {
+                break;
+            }
+            active.remove(&(finish, idx));
+            *free += 1;
+            if let Some(j) = deferred.pop_front() {
+                // The freed slot goes straight to the queue head.
+                let at = finish.max(specs[j].arrival_us);
+                out[j] = Admission::Deferred {
+                    at_us: at,
+                    waited_us: at - specs[j].arrival_us,
+                };
+                active.insert((at + specs[j].service_us, j));
+                *free -= 1;
+            }
+        }
+    };
+
+    for (i, spec) in specs.iter().enumerate() {
+        release_until(
+            &mut active,
+            &mut deferred,
+            &mut free,
+            &mut out,
+            spec.arrival_us,
+        );
+        if free > 0 {
+            out[i] = Admission::Admitted {
+                at_us: spec.arrival_us,
+            };
+            active.insert((spec.arrival_us + spec.service_us, i));
+            free -= 1;
+        } else if deferred.len() < defer_capacity {
+            deferred.push_back(i);
+        } else {
+            out[i] = Admission::Shed;
+        }
+    }
+    // Settle the tail: every still-deferred tenant is admitted as slots
+    // drain after the last arrival.
+    release_until(&mut active, &mut deferred, &mut free, &mut out, u64::MAX);
+    debug_assert!(deferred.is_empty(), "tail settlement drains the queue");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64, arrival_us: u64, service_us: u64) -> TenantSpec {
+        TenantSpec {
+            id,
+            arrival_us,
+            service_us,
+            workload_seed: id,
+            sel: 0,
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_shares_workloads() {
+        let a = fleet(2011, 16, 400, 2500, 4, 2);
+        let b = fleet(2011, 16, 400, 2500, 4, 2);
+        assert_eq!(a, b);
+        assert_eq!(a[0].workload_seed, a[4].workload_seed, "cycle of 4");
+        assert_ne!(a[0].workload_seed, a[1].workload_seed);
+        assert!(a.windows(2).all(|w| w[0].arrival_us < w[1].arrival_us));
+    }
+
+    #[test]
+    fn admits_defers_and_sheds_in_order() {
+        // One slot, one defer seat; three overlapping arrivals.
+        let specs = vec![spec(0, 10, 100), spec(1, 20, 100), spec(2, 30, 100)];
+        let adm = admission_schedule(&specs, 1, 1);
+        assert_eq!(adm[0], Admission::Admitted { at_us: 10 });
+        assert_eq!(
+            adm[1],
+            Admission::Deferred {
+                at_us: 110,
+                waited_us: 90
+            }
+        );
+        assert_eq!(adm[2], Admission::Shed);
+    }
+
+    #[test]
+    fn release_at_arrival_time_frees_the_slot_first() {
+        let specs = vec![spec(0, 0, 50), spec(1, 50, 50)];
+        let adm = admission_schedule(&specs, 1, 0);
+        assert_eq!(adm[1], Admission::Admitted { at_us: 50 });
+    }
+
+    #[test]
+    fn deferred_promotion_is_fifo() {
+        let specs = vec![
+            spec(0, 0, 100),
+            spec(1, 10, 10),
+            spec(2, 20, 10),
+            spec(3, 30, 10),
+        ];
+        let adm = admission_schedule(&specs, 1, 3);
+        // Tenants 1..3 defer; promotions happen in queue order.
+        let at = |i: usize| adm[i].admitted_at_us().unwrap();
+        assert_eq!(at(1), 100);
+        assert_eq!(at(2), 110);
+        assert_eq!(at(3), 120);
+    }
+}

@@ -159,6 +159,24 @@ pub mod names {
     pub const RUNTIME_EVICTIONS: &str = "runtime.evict.count";
     /// Re-specializations performed against a post-phase-change profile.
     pub const RUNTIME_RESPECS: &str = "runtime.respec.count";
+    /// Tenants admitted by the serve runtime (granted an active slot,
+    /// immediately or after a deferral).
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Tenants parked in the bounded defer queue before admission.
+    pub const SERVE_DEFERRED: &str = "serve.deferred";
+    /// Tenants shed at arrival (defer queue full): software-only, never
+    /// specialized.
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Admitted tenants that fell back to software-only execution
+    /// (worker faults or deadline exhaustion; see `DegradedReason`).
+    pub const SERVE_DEGRADED: &str = "serve.degraded";
+    /// Time from a tenant's arrival to its first post-swap (sped-up)
+    /// workload run, in simulated microseconds — the fleet's
+    /// time-to-first-speedup histogram (p50/p99 in the serve artifact).
+    pub const SERVE_TTFS_US: &str = "serve.ttfs_us";
+    /// Shared-bitstream-cache entries evicted by the serve runtime's
+    /// capacity policy (journaled as store tombstones).
+    pub const SERVE_CACHE_EVICTIONS: &str = "serve.cache.evictions";
 }
 
 pub(crate) struct Inner {

@@ -111,8 +111,23 @@ impl HistogramSnapshot {
     /// minus one is the largest value the bucket can hold) of the bucket
     /// containing the observation of rank `ceil(q * count)`, clamped to
     /// the observed `max`. The result therefore never under-reports a
-    /// quantile and is at worst 2× the true value. `q` is clamped to
-    /// `[0, 1]`; an empty histogram yields 0.
+    /// quantile and is at worst 2× the true value.
+    ///
+    /// **Interpolation rule.** There is deliberately *no* within-bucket
+    /// interpolation: every rank in a bucket reports the same value
+    /// (`bound − 1`, or `0` for bucket 0, capped at `max`). Interpolating
+    /// inside a pow2 bucket would fabricate precision the counts do not
+    /// carry and could under-report; the step function keeps the
+    /// upper-bound guarantee. Consequences worth knowing:
+    ///
+    /// * `q` is clamped to `[0, 1]` and the rank to `[1, count]`, so
+    ///   `quantile(0.0)` is the first observation's bucket cap, not 0.
+    /// * An empty histogram yields 0 for every `q`.
+    /// * All-zero observations sit in bucket 0 (which holds exactly the
+    ///   value 0), so every quantile is 0 — not bucket 0's bound.
+    /// * When the whole population saturates the final catch-all bucket,
+    ///   the infinite bound collapses to the observed `max` for every
+    ///   `q` — the clamp is what keeps the catch-all meaningful.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -279,8 +294,41 @@ mod tests {
     fn quantile_of_zeros_and_empty() {
         let empty = HistogramSnapshot::from_values("e", &[]);
         assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(1.0), 0);
         let zeros = HistogramSnapshot::from_values("z", &[0, 0, 0]);
         assert_eq!(zeros.quantile(0.99), 0, "bucket 0 holds exactly 0");
+        assert_eq!(zeros.quantile(0.0), 0);
+        assert_eq!(zeros.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_of_saturated_top_bucket() {
+        // Every observation lands in the final catch-all bucket, whose
+        // exclusive bound is u64::MAX: the max-clamp must collapse each
+        // quantile to the observed max, not the infinite bound.
+        let top = 1u64 << (HISTOGRAM_BUCKETS as u32 - 2);
+        let h = HistogramSnapshot::from_values("sat", &[top, top + 7, u64::MAX]);
+        assert_eq!(h.counts[HISTOGRAM_BUCKETS - 1], 3);
+        // The catch-all's cap is `u64::MAX - 1` (exclusive bound minus
+        // one), so even a u64::MAX observation reports one below it —
+        // the single value the scheme cannot represent exactly.
+        assert_eq!(h.quantile(0.0), u64::MAX - 1);
+        assert_eq!(h.quantile(0.5), u64::MAX - 1);
+        assert_eq!(h.quantile(1.0), u64::MAX - 1);
+
+        // Same shape without a u64::MAX member: clamp to the true max.
+        let h = HistogramSnapshot::from_values("sat2", &[top, top + 7]);
+        assert_eq!(h.quantile(0.5), top + 7);
+        assert_eq!(h.quantile(1.0), top + 7);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let h = HistogramSnapshot::from_values("c", &[5, 6, 7]);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(42.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0), "NaN clamps low");
     }
 
     #[test]
