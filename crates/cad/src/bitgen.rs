@@ -27,8 +27,9 @@ pub struct Bitstream {
     pub partial: bool,
 }
 
-/// Sync word opening every bitstream (Xilinx-style).
-const SYNC_WORD: u32 = 0xAA99_5566;
+/// Sync word opening every bitstream (Xilinx-style). Shared with the
+/// overlay assembler so overlay descriptors parse as valid bitstreams.
+pub(crate) const SYNC_WORD: u32 = 0xAA99_5566;
 
 /// CRC32 over bitstream frame payloads (the shared IEEE implementation
 /// from `jitise-base`, re-exported so cad callers keep their import path).

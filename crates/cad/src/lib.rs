@@ -25,9 +25,14 @@
 //!   tenants sharing one bounded worker pool (serve runtime timing
 //!   model; DESIGN.md §16).
 
+//! * [`overlay`] — the millisecond fast path: covers a candidate datapath
+//!   with pre-implemented coarse-grained cells instead of running the full
+//!   flow, trading clock rate for install latency (DESIGN.md §17).
+
 pub mod bitgen;
 pub mod fabric;
 pub mod flow;
+pub mod overlay;
 pub mod place;
 pub mod route;
 pub mod sched;
@@ -37,6 +42,7 @@ pub mod timing;
 pub use bitgen::{bitgen, crc32, Bitstream};
 pub use fabric::{Fabric, SiteKind};
 pub use flow::{run_flow, run_flow_accounted, FlowCost, FlowError, FlowOptions, FlowReport};
+pub use overlay::{map_overlay, InstallTier, OverlayCell, OverlayLibrary, OverlayMap};
 pub use place::{check_legal, place, PlaceEffort, Placement};
 pub use route::{check_connected, route, RouteEffort, RoutedDesign};
 pub use sched::{drr_dispatch, round_bound, DispatchOutcome, DispatchedJob, DrrConfig, PoolJob};

@@ -45,7 +45,13 @@ pub fn break_even_simplistic(
         return None;
     }
     let execs = overhead.as_nanos().div_ceil(saved_per_exec.as_nanos());
-    Some(exec_time * execs)
+    // `exec_time * execs` exceeds u64 nanoseconds (a ~584-year simulated
+    // span) for slow apps with marginal savings; saturate to
+    // `SimTime::from_nanos(u64::MAX)` instead of wrapping into a bogus
+    // *early* break-even.
+    Some(SimTime::from_nanos(
+        exec_time.as_nanos().saturating_mul(execs),
+    ))
 }
 
 /// Frequency-scaled model (the paper's Table II column).
@@ -83,6 +89,58 @@ pub fn break_even_scaled(inp: BreakEvenInputs) -> Option<SimTime> {
     Some(SimTime::from_nanos(total.ceil() as u64))
 }
 
+/// Inputs of the two-tier break-even model (DESIGN.md §17).
+#[derive(Debug, Clone, Copy)]
+pub struct TwoTierInputs {
+    /// The full tier's per-execution view of the application. Its
+    /// `overhead` is the full-CAD overhead — the background flow still
+    /// runs and must still be amortized.
+    pub base: BreakEvenInputs,
+    /// Overlay assembly + install overhead, added on top of the full
+    /// overhead.
+    pub overlay_overhead: SimTime,
+    /// Fraction of the full tier's savings *rate* the overlay achieves
+    /// under its degraded clock. Clamped to `[0, 1]`; `0` means the
+    /// overlay saves nothing over software (small candidates can be
+    /// slower than the fallback path).
+    pub overlay_saved_frac: f64,
+    /// Delay until the background upgrade swaps the slot — the full-CAD
+    /// makespan. Before this point the application saves at the overlay
+    /// rate; after it, at the full rate.
+    pub upgrade_ready: SimTime,
+}
+
+/// Two-tier break-even: time from the *specialization request* until the
+/// accumulated savings cover the combined overlay + full overhead.
+///
+/// A linear-rate piecewise model: the overlay installs at effectively zero
+/// delay, so savings accrue at `overlay_saved_frac` of the full rate from
+/// `t = 0`, then at the full rate once the upgrade lands at
+/// `upgrade_ready`. Contrast with the full-only deployment, where *no*
+/// savings exist before `upgrade_ready` — the two-tier scheme's headline
+/// is collapsing that dead window, not shrinking the overhead itself.
+/// Returns `None` when the full tier saves nothing (never amortizes).
+pub fn break_even_two_tier(inp: TwoTierInputs) -> Option<SimTime> {
+    let total_time = (inp.base.const_time + inp.base.live_time).as_nanos() as f64;
+    let full_saved = (inp.base.const_saved + inp.base.live_saved).as_nanos() as f64;
+    if total_time <= 0.0 || full_saved <= 0.0 {
+        return None;
+    }
+    // Savings rates in saved-ns per executed-ns.
+    let r_full = full_saved / total_time;
+    let r_ovl = r_full * inp.overlay_saved_frac.clamp(0.0, 1.0);
+    let overhead = (inp.base.overhead + inp.overlay_overhead).as_nanos() as f64;
+    let d = inp.upgrade_ready.as_nanos() as f64;
+    let saved_by_upgrade = r_ovl * d;
+    let t = if r_ovl > 0.0 && overhead <= saved_by_upgrade {
+        // Amortized while still serving from the overlay.
+        overhead / r_ovl
+    } else {
+        d + (overhead - saved_by_upgrade) / r_full
+    };
+    Some(SimTime::from_nanos(t.ceil() as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +158,120 @@ mod tests {
         let t = break_even_simplistic(s(10), s(2), s(61)).unwrap();
         assert_eq!(t, s(310));
         assert!(break_even_simplistic(s(10), SimTime::ZERO, s(60)).is_none());
+    }
+
+    #[test]
+    fn simplistic_saturates_instead_of_wrapping() {
+        // 10 executions of a ~292-year run: the product wraps u64. The
+        // wrapped value reported a break-even of ~3 s.
+        let exec = SimTime::from_nanos(u64::MAX / 2);
+        let t = break_even_simplistic(exec, SimTime::from_nanos(1), SimTime::from_nanos(10));
+        assert_eq!(t.unwrap(), SimTime::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn two_tier_amortizes_on_the_overlay_before_the_upgrade() {
+        // Full rate 0.5; overlay at 80 % of it = 0.4. Overhead 20 s is
+        // covered after 50 s — before the upgrade lands at 100 s.
+        let t = break_even_two_tier(TwoTierInputs {
+            base: BreakEvenInputs {
+                const_time: s(0),
+                live_time: s(10),
+                const_saved: s(0),
+                live_saved: s(5),
+                overhead: s(18),
+            },
+            overlay_overhead: s(2),
+            overlay_saved_frac: 0.8,
+            upgrade_ready: s(100),
+        })
+        .unwrap();
+        assert_eq!(t, s(50));
+    }
+
+    #[test]
+    fn two_tier_finishes_amortizing_at_the_full_rate() {
+        // Same rates, overhead 60 s: the overlay banks 0.4 * 100 = 40 s by
+        // the upgrade, the remaining 20 s amortize at 0.5 -> 100 + 40 s.
+        let t = break_even_two_tier(TwoTierInputs {
+            base: BreakEvenInputs {
+                const_time: s(0),
+                live_time: s(10),
+                const_saved: s(0),
+                live_saved: s(5),
+                overhead: s(58),
+            },
+            overlay_overhead: s(2),
+            overlay_saved_frac: 0.8,
+            upgrade_ready: s(100),
+        })
+        .unwrap();
+        assert_eq!(t, s(140));
+    }
+
+    #[test]
+    fn two_tier_collapses_the_dead_window_of_full_only() {
+        // The full-only deployment saves nothing until the CAD makespan
+        // elapses; from the request, its break-even is
+        // `upgrade_ready + break_even_scaled`. Two-tier starts saving
+        // immediately and must come out ahead whenever the overlay saves
+        // anything at all.
+        let base = BreakEvenInputs {
+            const_time: s(1),
+            live_time: s(20),
+            const_saved: s(0),
+            live_saved: s(4),
+            overhead: s(600),
+        };
+        let full_only = s(600) + break_even_scaled(base).unwrap();
+        let two_tier = break_even_two_tier(TwoTierInputs {
+            base,
+            overlay_overhead: SimTime::from_nanos(1_000_000), // 1 ms
+            overlay_saved_frac: 0.5,
+            upgrade_ready: s(600),
+        })
+        .unwrap();
+        assert!(
+            two_tier < full_only,
+            "two-tier {two_tier} vs full-only {full_only}"
+        );
+    }
+
+    #[test]
+    fn two_tier_with_useless_overlay_degenerates_to_waiting() {
+        // overlay_saved_frac = 0: nothing accrues before the upgrade.
+        let base = BreakEvenInputs {
+            const_time: s(0),
+            live_time: s(10),
+            const_saved: s(0),
+            live_saved: s(5),
+            overhead: s(50),
+        };
+        let t = break_even_two_tier(TwoTierInputs {
+            base,
+            overlay_overhead: s(0),
+            overlay_saved_frac: 0.0,
+            upgrade_ready: s(30),
+        })
+        .unwrap();
+        assert_eq!(t, s(130), "30 s wait + 100 s at the full rate");
+    }
+
+    #[test]
+    fn two_tier_none_when_full_tier_saves_nothing() {
+        assert!(break_even_two_tier(TwoTierInputs {
+            base: BreakEvenInputs {
+                const_time: s(1),
+                live_time: s(10),
+                const_saved: s(0),
+                live_saved: s(0),
+                overhead: s(5),
+            },
+            overlay_overhead: s(0),
+            overlay_saved_frac: 0.5,
+            upgrade_ready: s(10),
+        })
+        .is_none());
     }
 
     #[test]
@@ -244,6 +416,25 @@ mod tests {
     use proptest::prelude::*;
 
     proptest! {
+        /// The simplistic model must equal the exact u128 product clamped
+        /// to u64 — never a wrapped value — for any input.
+        #[test]
+        fn simplistic_matches_wide_arithmetic(
+            exec in 0u64..u64::MAX,
+            saved in 1u64..u64::MAX,
+            overhead in 0u64..u64::MAX,
+        ) {
+            let t = break_even_simplistic(
+                SimTime::from_nanos(exec),
+                SimTime::from_nanos(saved),
+                SimTime::from_nanos(overhead),
+            )
+            .unwrap();
+            let execs = (overhead as u128).div_ceil(saved as u128);
+            let want = (exec as u128 * execs).min(u64::MAX as u128);
+            prop_assert_eq!(t.as_nanos() as u128, want);
+        }
+
         /// More overhead can never mean an *earlier* break-even, across
         /// both model branches and the boundary between them.
         #[test]

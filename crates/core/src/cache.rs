@@ -15,7 +15,7 @@
 use jitise_base::codec::{Decoder, Encoder};
 use jitise_base::sync::RwLock;
 use jitise_base::{Error, Result, SimTime};
-use jitise_cad::{Bitstream, TimingReport};
+use jitise_cad::{Bitstream, InstallTier, TimingReport};
 use jitise_store::{CiRecord, StoreState};
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
 use std::collections::HashMap;
@@ -31,6 +31,9 @@ pub struct CachedCi {
     pub timing: TimingReport,
     /// Total generation time this entry saves on a hit (C2V + full flow).
     pub generation_time: SimTime,
+    /// Which backend produced the bitstream: an overlay assembly (fast to
+    /// install, degraded clock) or the fully routed artifact.
+    pub tier: InstallTier,
 }
 
 impl From<CachedCi> for CiRecord {
@@ -40,6 +43,7 @@ impl From<CachedCi> for CiRecord {
             bitstream: e.bitstream,
             timing: e.timing,
             generation_time: e.generation_time,
+            tier: e.tier,
         }
     }
 }
@@ -51,6 +55,7 @@ impl From<CiRecord> for CachedCi {
             bitstream: r.bitstream,
             timing: r.timing,
             generation_time: r.generation_time,
+            tier: r.tier,
         }
     }
 }
@@ -122,7 +127,9 @@ impl BitstreamCache {
     pub fn to_bytes(&self) -> Vec<u8> {
         let map = self.map.read();
         let mut enc = Encoder::new();
-        enc.put_str("JITISE-BSCACHE-1");
+        // -2 appended the install-tier field (PR 10); -1 images are no
+        // longer readable, matching the store's no-migration stance.
+        enc.put_str("JITISE-BSCACHE-2");
         enc.put_varu64(map.len() as u64);
         let mut keys: Vec<u64> = map.keys().copied().collect();
         keys.sort_unstable();
@@ -138,6 +145,7 @@ impl BitstreamCache {
             enc.put_varu32(e.timing.critical_cells);
             enc.put_varu32(e.timing.meets_300mhz as u32);
             enc.put_u64(e.generation_time.as_nanos());
+            enc.put_varu32(e.tier.encode());
         }
         enc.finish()
     }
@@ -202,7 +210,7 @@ impl BitstreamCache {
     fn decode(data: &[u8], drop_poisoned: bool) -> Result<(BitstreamCache, usize)> {
         let mut dec = Decoder::new(data);
         let magic = dec.get_str()?;
-        if magic != "JITISE-BSCACHE-1" {
+        if magic != "JITISE-BSCACHE-2" {
             return Err(Error::Codec(format!("bad cache magic {magic:?}")));
         }
         let n = dec.get_varu64()?;
@@ -219,6 +227,7 @@ impl BitstreamCache {
             let critical_cells = dec.get_varu32()?;
             let meets_300mhz = dec.get_varu32()? != 0;
             let generation_time = SimTime::from_nanos(dec.get_u64()?);
+            let tier = InstallTier::decode(dec.get_varu32()?)?;
             let bitstream = Bitstream {
                 bytes,
                 frames,
@@ -244,6 +253,7 @@ impl BitstreamCache {
                     meets_300mhz,
                 },
                 generation_time,
+                tier,
             });
         }
         if !dec.is_at_end() {

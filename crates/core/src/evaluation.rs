@@ -7,7 +7,7 @@
 //! models. The table-reproduction binaries and integration tests consume
 //! the resulting [`AppEvaluation`].
 
-use crate::breakeven::{break_even_scaled, BreakEvenInputs};
+use crate::breakeven::{break_even_scaled, break_even_two_tier, BreakEvenInputs, TwoTierInputs};
 use crate::cache::BitstreamCache;
 use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
 use jitise_apps::App;
@@ -51,6 +51,9 @@ pub struct EvalContext {
     /// [`VmTier::Interp`]). The fast tier is bit-identical in results,
     /// cycles, steps, and profiles — it changes only host wall-clock.
     pub vm_tier: VmTier,
+    /// Overlay cell library for two-tier installs (DESIGN.md §17); `None`
+    /// (the default) evaluates the full-only pipeline.
+    pub overlay: Option<Arc<jitise_cad::OverlayLibrary>>,
 }
 
 impl Default for EvalContext {
@@ -78,7 +81,15 @@ impl EvalContext {
             search_workers: 1,
             search_memo: None,
             vm_tier: VmTier::Interp,
+            overlay: None,
         }
+    }
+
+    /// The same context with the overlay fast path enabled (the library is
+    /// generated from this context's own circuit database).
+    pub fn with_overlay(mut self) -> EvalContext {
+        self.overlay = Some(Arc::new(jitise_cad::OverlayLibrary::from_db(&self.db)));
+        self
     }
 }
 
@@ -106,6 +117,11 @@ pub struct AppEvaluation {
     pub asip_ratio_pruned: f64,
     /// Break-even time, frequency-scaled model (`None` = never).
     pub break_even: Option<SimTime>,
+    /// Break-even time of the two-tier deployment, measured from the
+    /// specialization request (`None` when the overlay is disabled or
+    /// nothing is saved). Comparable to `upgrade_ready + break_even`, the
+    /// full-only time from the request.
+    pub break_even_two_tier: Option<SimTime>,
     /// The scaled train profile used throughout.
     pub profile: Profile,
 }
@@ -116,6 +132,11 @@ pub struct BreakEvenBasis {
     pub candidate_times: Vec<SimTime>,
     /// Model inputs with `overhead` left at the full (no-cache) value.
     pub inputs: BreakEvenInputs,
+    /// Measured overlay assembly overhead (zero without an overlay).
+    pub overlay_overhead: SimTime,
+    /// Measured fraction of the full savings rate the overlay achieves
+    /// (execution-weighted over all candidates; zero without an overlay).
+    pub overlay_saved_frac: f64,
 }
 
 /// Evaluates one application end to end.
@@ -159,6 +180,7 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
             telemetry: ctx.telemetry.clone(),
             cad_workers: ctx.cad_workers,
             vm_tier: ctx.vm_tier,
+            overlay: ctx.overlay.clone(),
             ..SpecializeConfig::default()
         },
     )
@@ -168,6 +190,16 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
     // ---- break-even ----
     let basis = break_even_basis(ctx, &coverage, &profile, &report);
     let break_even = break_even_scaled(basis.inputs);
+    let break_even_two_tier = if report.overlay_installs > 0 {
+        break_even_two_tier(TwoTierInputs {
+            base: basis.inputs,
+            overlay_overhead: basis.overlay_overhead,
+            overlay_saved_frac: basis.overlay_saved_frac,
+            upgrade_ready: report.makespan,
+        })
+    } else {
+        None
+    };
 
     AppEvaluation {
         name: app.name,
@@ -181,6 +213,7 @@ pub fn evaluate_app(ctx: &EvalContext, app: &App) -> AppEvaluation {
         report,
         asip_ratio_pruned,
         break_even,
+        break_even_two_tier,
         profile,
     }
 }
@@ -204,17 +237,31 @@ pub fn break_even_basis(
             CoverageClass::Dead => {}
         }
     }
-    // Savings by class of the candidate's home block.
+    // Savings by class of the candidate's home block; the overlay-tier
+    // savings are tracked in parallel to derive the execution-weighted
+    // fraction of the full rate the degraded fabric achieves.
     let mut live_saved: u64 = 0;
     let mut const_saved: u64 = 0;
+    let mut full_saved_weighted: u64 = 0;
+    let mut overlay_saved_weighted: u64 = 0;
     for c in &report.candidates {
         let saved = c.saved_per_exec * profile.count(c.key);
+        full_saved_weighted = full_saved_weighted.saturating_add(saved);
+        overlay_saved_weighted = overlay_saved_weighted.saturating_add(
+            c.overlay_saved_per_exec
+                .saturating_mul(profile.count(c.key)),
+        );
         match coverage.class_of(c.key) {
             CoverageClass::Live => live_saved += saved,
             CoverageClass::Const => const_saved += saved,
             CoverageClass::Dead => {}
         }
     }
+    let overlay_saved_frac = if full_saved_weighted > 0 {
+        overlay_saved_weighted as f64 / full_saved_weighted as f64
+    } else {
+        0.0
+    };
     let candidate_times: Vec<SimTime> = report.candidates.iter().map(|c| c.total()).collect();
     BreakEvenBasis {
         inputs: BreakEvenInputs {
@@ -228,6 +275,8 @@ pub fn break_even_basis(
             overhead: report.makespan,
         },
         candidate_times,
+        overlay_overhead: report.overlay_time,
+        overlay_saved_frac,
     }
 }
 
@@ -251,6 +300,30 @@ mod tests {
             "sor break-even {be} should be far under a day"
         );
         assert!(ev.report.sum_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn two_tier_break_even_collapses_the_wait() {
+        let ctx = EvalContext::new().with_overlay();
+        let app = App::build("sor").unwrap();
+        let ev = evaluate_app(&ctx, &app);
+        assert!(ev.report.overlay_installs > 0);
+        assert!(ev.report.upgrades > 0, "background upgrades landed");
+        let two_tier = ev
+            .break_even_two_tier
+            .expect("overlay run yields a two-tier break-even");
+        let basis = break_even_basis(&ctx, &ev.coverage, &ev.profile, &ev.report);
+        assert!(basis.overlay_overhead > SimTime::ZERO);
+        if basis.overlay_saved_frac > 0.0 {
+            // Measured from the request, full-only cannot save anything
+            // until the CAD makespan elapses; the overlay starts earning
+            // immediately and must amortize sooner.
+            let full_only = ev.report.makespan + ev.break_even.unwrap();
+            assert!(
+                two_tier < full_only,
+                "two-tier {two_tier} vs full-only-from-request {full_only}"
+            );
+        }
     }
 
     #[test]

@@ -20,19 +20,45 @@ pub const CACHE_RATES: [f64; 10] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
 /// The tool-flow speedups of Table IV's columns.
 pub const TOOL_SPEEDUPS: [f64; 4] = [0.0, 0.3, 0.6, 0.9];
 
-/// One Table IV cell: the average break-even time over the supplied apps.
-pub fn average_break_even(
+/// Value a never-amortizing trial contributes to the Table IV average: one
+/// simulated year, far beyond every paper-scale break-even (hours). The
+/// mean is defined over *all* trials; amortizing samples are clamped to
+/// the same cap so the average stays monotone across the boundary.
+pub const NEVER_AMORTIZE_CAP_NS: u64 = 365 * 24 * 3600 * 1_000_000_000;
+
+/// One Table IV cell with its amortization coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakEvenAverage {
+    /// Mean break-even over **all** trials; a trial whose configuration
+    /// never amortizes enters at [`NEVER_AMORTIZE_CAP_NS`].
+    pub mean: SimTime,
+    /// Trials that actually amortized.
+    pub amortized: u64,
+    /// Total trials evaluated (`bases.len() * trials`).
+    pub trials: u64,
+}
+
+/// One Table IV cell: the capped-average break-even time over the supplied
+/// apps, plus how many trials amortized at all.
+///
+/// Earlier revisions skipped `None` (never-amortizing) trials from both
+/// the numerator *and* the denominator, so a configuration containing a
+/// never-amortizing app averaged exactly like one without it — and a
+/// strictly worse cell could report a lower "average". Every trial now
+/// counts, with non-amortizing ones entering at the documented cap.
+pub fn average_break_even_detailed(
     bases: &[BreakEvenBasis],
     cache_rate: f64,
     tool_speedup: f64,
     trials: u32,
     seed: u64,
-) -> SimTime {
+) -> BreakEvenAverage {
     assert!((0.0..=1.0).contains(&cache_rate));
     assert!((0.0..=1.0).contains(&tool_speedup));
     let mut rng = SplitMix64::new(seed);
     let mut total_ns: u128 = 0;
-    let mut samples: u128 = 0;
+    let mut amortized: u64 = 0;
+    let mut samples: u64 = 0;
     for basis in bases {
         let n = basis.candidate_times.len();
         let hits = ((n as f64) * cache_rate).round() as usize;
@@ -49,16 +75,38 @@ pub fn average_break_even(
                 overhead,
                 ..basis.inputs
             });
-            if let Some(t) = be {
-                total_ns += t.as_nanos() as u128;
-                samples += 1;
+            samples += 1;
+            match be {
+                Some(t) => {
+                    amortized += 1;
+                    total_ns += t.as_nanos().min(NEVER_AMORTIZE_CAP_NS) as u128;
+                }
+                None => total_ns += NEVER_AMORTIZE_CAP_NS as u128,
             }
         }
     }
-    if samples == 0 {
-        return SimTime::ZERO;
+    let mean = if samples == 0 {
+        SimTime::ZERO
+    } else {
+        SimTime::from_nanos((total_ns / samples as u128) as u64)
+    };
+    BreakEvenAverage {
+        mean,
+        amortized,
+        trials: samples,
     }
-    SimTime::from_nanos((total_ns / samples) as u64)
+}
+
+/// One Table IV cell: the capped-average break-even time (see
+/// [`average_break_even_detailed`] for the averaging semantics).
+pub fn average_break_even(
+    bases: &[BreakEvenBasis],
+    cache_rate: f64,
+    tool_speedup: f64,
+    trials: u32,
+    seed: u64,
+) -> SimTime {
+    average_break_even_detailed(bases, cache_rate, tool_speedup, trials, seed).mean
 }
 
 /// Computes the full Table IV grid: `grid[row][col]` for
@@ -91,6 +139,25 @@ mod tests {
                 live_saved: SimTime::from_secs(16),
                 overhead: SimTime::from_secs(overhead_s),
             },
+            overlay_overhead: SimTime::ZERO,
+            overlay_saved_frac: 0.0,
+        }
+    }
+
+    /// An app whose live code saves nothing: break-even is `None` at any
+    /// overhead its constant savings don't cover.
+    fn never_amortizing_basis() -> BreakEvenBasis {
+        BreakEvenBasis {
+            candidate_times: vec![SimTime::from_secs(500); 4],
+            inputs: BreakEvenInputs {
+                const_time: SimTime::from_secs(1),
+                live_time: SimTime::from_secs(20),
+                const_saved: SimTime::from_secs(1),
+                live_saved: SimTime::ZERO,
+                overhead: SimTime::from_secs(2_000),
+            },
+            overlay_overhead: SimTime::ZERO,
+            overlay_saved_frac: 0.0,
         }
     }
 
@@ -151,6 +218,30 @@ mod tests {
         let cell = average_break_even(&b, 0.9, 0.9, 4, 5);
         let base = average_break_even(&b, 0.0, 0.0, 4, 5);
         assert!(cell < base / 5);
+    }
+
+    #[test]
+    fn never_amortizing_app_is_counted_not_dropped() {
+        let good = [basis(8, 2_993)];
+        let mixed = [basis(8, 2_993), never_amortizing_basis()];
+        let g = average_break_even_detailed(&good, 0.0, 0.0, 4, 1);
+        let m = average_break_even_detailed(&mixed, 0.0, 0.0, 4, 1);
+        assert_eq!(g.amortized, g.trials, "the good app always amortizes");
+        assert_eq!(m.trials, 2 * g.trials);
+        assert_eq!(m.amortized, g.amortized, "the bad app never amortizes");
+        // The regression: the old average silently dropped the bad app's
+        // trials and reported the mixed set exactly like the good set.
+        assert!(
+            m.mean > g.mean,
+            "a never-amortizing app must pull the average up: {} vs {}",
+            m.mean,
+            g.mean
+        );
+        assert!(m.mean.as_nanos() <= NEVER_AMORTIZE_CAP_NS);
+        // With a deep cache the bad app's overhead drops below its
+        // constant savings and it finally amortizes.
+        let deep = average_break_even_detailed(&mixed, 0.9, 0.9, 4, 1);
+        assert_eq!(deep.amortized, deep.trials);
     }
 
     #[test]

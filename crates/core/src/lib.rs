@@ -23,10 +23,15 @@ pub mod runtime;
 #[cfg(test)]
 pub(crate) mod testfix;
 
-pub use breakeven::{break_even_scaled, break_even_simplistic, BreakEvenInputs};
+pub use breakeven::{
+    break_even_scaled, break_even_simplistic, break_even_two_tier, BreakEvenInputs, TwoTierInputs,
+};
 pub use cache::{BitstreamCache, CachedCi};
 pub use evaluation::{break_even_basis, evaluate_app, AppEvaluation, BreakEvenBasis, EvalContext};
-pub use extrapolate::{average_break_even, table_iv, CACHE_RATES, TOOL_SPEEDUPS};
+pub use extrapolate::{
+    average_break_even, average_break_even_detailed, table_iv, BreakEvenAverage, CACHE_RATES,
+    NEVER_AMORTIZE_CAP_NS, TOOL_SPEEDUPS,
+};
 pub use pipeline::{
     specialize, CadJob, CadJobResult, CandidateOutcome, FailedCandidate, SpecializeConfig,
     SpecializeReport, SpecializeSession,

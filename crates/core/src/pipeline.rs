@@ -51,7 +51,9 @@
 use crate::cache::{BitstreamCache, CachedCi};
 use jitise_base::par::parallel_map_indexed;
 use jitise_base::{Error, Result, SimTime};
-use jitise_cad::{run_flow_accounted, Fabric, FlowOptions};
+use jitise_cad::{
+    map_overlay, run_flow_accounted, Fabric, FlowOptions, InstallTier, OverlayLibrary,
+};
 use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::{Dfg, Function, Module};
 use jitise_ise::{candidate_search, Candidate, SearchConfig, SearchOutcome};
@@ -110,6 +112,13 @@ pub struct SpecializeConfig {
     /// read this knob from their own options and keep it in sync here so
     /// one config carries the full runtime surface, like `cad_workers`).
     pub vm_tier: VmTier,
+    /// Overlay cell library for the two-tier install fast path (DESIGN.md
+    /// §17). `Some` makes every cache-missing candidate assemble a
+    /// millisecond-scale overlay implementation at dispatch and install it
+    /// immediately; the full CAD flow still runs on the worker pool and
+    /// atomically upgrades the slot at finalize. `None` (the default) is
+    /// byte-identical to the full-only pipeline.
+    pub overlay: Option<Arc<OverlayLibrary>>,
 }
 
 impl Default for SpecializeConfig {
@@ -126,6 +135,7 @@ impl Default for SpecializeConfig {
             cad_workers: 1,
             store: None,
             vm_tier: VmTier::Interp,
+            overlay: None,
         }
     }
 }
@@ -161,6 +171,22 @@ pub struct CandidateOutcome {
     /// (wasted tool time + failed ICAP transfers + retry backoff). Zero
     /// when `attempts == 1`. Not part of [`Self::total`].
     pub time_lost: SimTime,
+    /// Tier the slot serves when the session finishes: `Full` on the
+    /// full-only path or after a successful upgrade swap, `Overlay` when
+    /// the fast path installed and the background upgrade never landed.
+    pub tier: InstallTier,
+    /// Overlay assembly time charged on the fast path (zero on the
+    /// full-only path and on an overlay cache hit). Not part of
+    /// [`Self::total`] — it is overhead the overlay *adds*, not work a
+    /// cache hit saves.
+    pub overlay_time: SimTime,
+    /// True iff an overlay install was later swapped to the full artifact.
+    pub upgraded: bool,
+    /// Estimated cycles saved per block execution while serving from the
+    /// overlay tier (degraded clock ⇒ at most [`Self::saved_per_exec`];
+    /// zero on the full-only path or when the overlay is no faster than
+    /// software). Feeds the two-tier break-even model.
+    pub overlay_saved_per_exec: u64,
 }
 
 impl CandidateOutcome {
@@ -241,6 +267,18 @@ pub struct SpecializeReport {
     /// Worker-lane count the makespan was scheduled over (echo of
     /// [`SpecializeConfig::cad_workers`], clamped to at least 1).
     pub cad_workers: usize,
+    /// Overlay fast-path installs performed (fresh assemblies plus
+    /// rehydrated overlay cache hits). Zero without an overlay library.
+    pub overlay_installs: usize,
+    /// Overlay slots successfully upgraded to the full artifact.
+    pub upgrades: usize,
+    /// Overlay slots whose upgrade swap exhausted its retries and kept
+    /// serving the overlay tier.
+    pub upgrades_failed: usize,
+    /// Total overlay assembly time charged on the fast path. Part of
+    /// `cpu_time` (the invariant is `cpu_time = sum_time + fault_time() +
+    /// overlay_time`); zero without an overlay library.
+    pub overlay_time: SimTime,
 }
 
 impl SpecializeReport {
@@ -264,7 +302,7 @@ impl SpecializeReport {
         format!(
             "sel={} ratio={:016x} hits={} retries={} const={} map={} par={} sum={} \
              cpu={} reconfig={} f_const={} f_map={} f_par={} f_icap={} backoff={} \
-             candidates={:?} failed={:?}",
+             ovl={} upg={} upgf={} ovl_ns={} candidates={:?} failed={:?}",
             self.search.selection.selected.len(),
             self.search.asip_ratio.to_bits(),
             self.cache_hits,
@@ -280,6 +318,10 @@ impl SpecializeReport {
             self.fault_par_time.as_nanos(),
             self.fault_icap_time.as_nanos(),
             self.backoff_time.as_nanos(),
+            self.overlay_installs,
+            self.upgrades,
+            self.upgrades_failed,
+            self.overlay_time.as_nanos(),
             self.candidates,
             self.failed,
         )
@@ -322,26 +364,34 @@ struct Produced {
     par: SimTime,
 }
 
-impl Produced {
-    fn total(&self) -> SimTime {
-        self.c2v + self.const_stages + self.map + self.par
-    }
+/// What an attempt-scoped bitstream-cache probe found.
+enum Probe {
+    /// A CRC-validated full-tier hit: generation is complete.
+    Hit(Produced),
+    /// A CRC-validated *overlay-tier* entry — the fast-path commit of a
+    /// session that never finished (or never started) its upgrade. Not a
+    /// finished implementation: the dispatcher reuses it as the fast path
+    /// and still schedules the full flow.
+    Overlay(CachedCi),
+    /// Miss, cache disabled, or a poisoned entry that was just evicted.
+    Miss,
 }
 
-/// Attempt-scoped bitstream-cache probe: a CRC-validated hit (the injector
-/// may corrupt it in flight), or `None` after a miss or the eviction of a
-/// poisoned entry.
+/// Attempt-scoped bitstream-cache probe; the injector may corrupt the hit
+/// in flight, in which case the poisoned entry is evicted and counted.
 fn probe_cache(
     bitstream_cache: &BitstreamCache,
     config: &SpecializeConfig,
     inj: &FaultInjector,
     signature: u64,
     tel: &Telemetry,
-) -> Option<Produced> {
+) -> Probe {
     if !config.use_cache {
-        return None;
+        return Probe::Miss;
     }
-    let mut hit = bitstream_cache.get(signature)?;
+    let Some(mut hit) = bitstream_cache.get(signature) else {
+        return Probe::Miss;
+    };
     if let Some(kind) = inj.corrupt(FaultSite::CacheEntry, &mut hit.bitstream.bytes) {
         tel.add(names::FAULTS_INJECTED, 1);
         tel.event(
@@ -353,7 +403,10 @@ fn probe_cache(
         );
     }
     if hit.bitstream.verify() {
-        return Some(Produced {
+        if hit.tier == InstallTier::Overlay {
+            return Probe::Overlay(hit);
+        }
+        return Probe::Hit(Produced {
             entry: hit,
             cache_hit: true,
             c2v: SimTime::ZERO,
@@ -366,7 +419,7 @@ fn probe_cache(
     bitstream_cache.remove(signature);
     tel.add(names::BITSTREAM_CACHE_POISONED, 1);
     tel.event("cache.poisoned", &[("signature", TelValue::U64(signature))]);
-    None
+    Probe::Miss
 }
 
 /// Phase 3 (the CAD flow) on an already-created project, then the cache
@@ -400,6 +453,7 @@ fn implement_project(
         bitstream: flow.bitstream.clone(),
         timing: flow.timing.clone(),
         generation_time: c2v.total() + flow.total(),
+        tier: InstallTier::Full,
     };
     bitstream_cache.put(entry.clone());
     Ok(Produced {
@@ -428,7 +482,10 @@ fn obtain_entry(
     signature: u64,
     tel: &Telemetry,
 ) -> std::result::Result<Produced, (Error, Loss)> {
-    if let Some(hit) = probe_cache(bitstream_cache, config, inj, signature, tel) {
+    // An overlay-tier entry is deliberately *not* a hit here: generation
+    // means producing the full artifact, so the overlay commit of a
+    // crashed twin falls through to regeneration (and is overwritten).
+    if let Probe::Hit(hit) = probe_cache(bitstream_cache, config, inj, signature, tel) {
         return Ok(hit);
     }
     // Phase 2: Netlist Generation.
@@ -469,6 +526,92 @@ fn install_produced(
             // The rejected transfer still occupied the ICAP for the full
             // bitstream length; the controller refuses to count it, so the
             // fault ledger does.
+            let loss = Loss {
+                icap: ReconfigController::reconfig_time(&p.entry.bitstream),
+                ..Loss::default()
+            };
+            (e, loss)
+        })
+}
+
+/// Salt folded into the fault scope of overlay fast-path installs so they
+/// draw from a different deterministic stream than the candidate's full
+/// generation/install attempts (which share the unsalted signature).
+const OVERLAY_SCOPE_SALT: u64 = 0x006f_7665_726c_6179; // "overlay"
+
+/// Dispatch-time state of one candidate's overlay fast path: the assembled
+/// (or cache-rehydrated) overlay entry, ready to install at finalize.
+struct OverlayPrep {
+    /// Overlay-tier cache entry (descriptor bitstream + degraded timing).
+    entry: CachedCi,
+    /// Assembly time to charge — zero when rehydrated from the cache.
+    assembly: SimTime,
+    /// True iff the entry came out of the bitstream cache (a warm restart
+    /// rehydrated the overlay commit of an interrupted session).
+    cache_hit: bool,
+    /// Execution cycles under the overlay clock model.
+    hw_cycles: u64,
+}
+
+/// Installs the overlay fast-path bitstream over the ICAP. Same corruption
+/// surface as a full install (the transfer crosses the same port).
+#[allow(clippy::too_many_arguments)]
+fn install_overlay(
+    op: &OverlayPrep,
+    inj: &FaultInjector,
+    pf: &Function,
+    dfg: &Dfg,
+    cand: &Candidate,
+    machine: &Woolcano,
+    tel: &Telemetry,
+) -> std::result::Result<u32, (Error, Loss)> {
+    let mut bitstream = op.entry.bitstream.clone();
+    if let Some(kind) = inj.corrupt(FaultSite::IcapTransfer, &mut bitstream.bytes) {
+        tel.add(names::FAULTS_INJECTED, 1);
+        tel.event(
+            "fault.injected",
+            &[
+                ("site", TelValue::Str(FaultSite::IcapTransfer.name().into())),
+                ("kind", TelValue::Str(kind.name().into())),
+            ],
+        );
+    }
+    machine
+        .install_tiered(pf, dfg, cand, op.hw_cycles, bitstream, InstallTier::Overlay)
+        .map_err(|e| {
+            let loss = Loss {
+                icap: ReconfigController::reconfig_time(&op.entry.bitstream),
+                ..Loss::default()
+            };
+            (e, loss)
+        })
+}
+
+/// Atomically swaps an overlay slot to the full artifact. The upgrade
+/// transfer has its own fault site ([`FaultSite::UpgradeSwap`]); a rejected
+/// swap leaves the overlay slot serving and is charged the wasted transfer.
+fn upgrade_produced(
+    p: &Produced,
+    inj: &FaultInjector,
+    machine: &Woolcano,
+    signature: u64,
+    hw_cycles: u64,
+    tel: &Telemetry,
+) -> std::result::Result<u32, (Error, Loss)> {
+    let mut bitstream = p.entry.bitstream.clone();
+    if let Some(kind) = inj.corrupt(FaultSite::UpgradeSwap, &mut bitstream.bytes) {
+        tel.add(names::FAULTS_INJECTED, 1);
+        tel.event(
+            "fault.injected",
+            &[
+                ("site", TelValue::Str(FaultSite::UpgradeSwap.name().into())),
+                ("kind", TelValue::Str(kind.name().into())),
+            ],
+        );
+    }
+    machine
+        .upgrade(signature, hw_cycles, bitstream)
+        .map_err(|e| {
             let loss = Loss {
                 icap: ReconfigController::reconfig_time(&p.entry.bitstream),
                 ..Loss::default()
@@ -628,6 +771,9 @@ struct Prepared {
     dfg: Dfg,
     signature: u64,
     disposition: Disposition,
+    /// Overlay fast-path state, when the library is enabled and the
+    /// candidate mapped (or rehydrated) onto it. `None` means full-only.
+    overlay: Option<OverlayPrep>,
 }
 
 /// A pool job: everything a worker needs to run the generation loop for
@@ -851,6 +997,7 @@ fn begin_session<'a>(
 
         // A quarantined signature is skipped outright: it exhausted its
         // retries in a previous run and would only burn tool time again.
+        let mut overlay: Option<OverlayPrep> = None;
         let disposition = if config.quarantine.contains(signature) {
             let reason = config
                 .quarantine
@@ -872,33 +1019,87 @@ fn begin_session<'a>(
             Disposition::Dup
         } else {
             let inj = config.faults.scope(signature, 1);
-            if let Some(hit) = probe_cache(bitstream_cache, config, &inj, signature, &cand_tel) {
-                spans.push(Some(cand_span));
-                Disposition::Resolved(Generated {
-                    produced: Some(hit),
-                    attempt: 1,
-                    loss: Loss::default(),
-                    retries: 0,
-                    error: None,
-                })
-            } else {
-                // Phase 2 stays on this thread: netlist extraction time is
-                // charged by first-touch misses, which must be observed in
-                // selection order to stay schedule-oblivious.
-                let first = match create_project_with(db, netlist_cache, pf, &dfg, &cand, &cand_tel)
-                {
-                    Ok(pair) => FirstAttempt::Ready(Box::new(pair)),
-                    Err(e) => FirstAttempt::Failed(e),
-                };
-                jobs.push(CadJob {
-                    prep: prepared.len(),
-                    pool: jobs.len(),
-                    first,
-                    tel: cand_tel,
-                    signature,
-                });
-                spans.push(Some(cand_span));
-                Disposition::Pool(jobs.len() - 1)
+            match probe_cache(bitstream_cache, config, &inj, signature, &cand_tel) {
+                Probe::Hit(hit) => {
+                    spans.push(Some(cand_span));
+                    Disposition::Resolved(Generated {
+                        produced: Some(hit),
+                        attempt: 1,
+                        loss: Loss::default(),
+                        retries: 0,
+                        error: None,
+                    })
+                }
+                probe => {
+                    // A rehydrated overlay commit (a warm restart after a
+                    // crash mid-upgrade) serves as the fast path for free;
+                    // the full flow still goes to the pool. With the
+                    // overlay disabled the entry is ignored and the full
+                    // regeneration overwrites it.
+                    if let (Probe::Overlay(entry), Some(_)) = (&probe, &config.overlay) {
+                        overlay = Some(OverlayPrep {
+                            hw_cycles: machine.ci_cycles(&entry.timing),
+                            entry: entry.clone(),
+                            assembly: SimTime::ZERO,
+                            cache_hit: true,
+                        });
+                    }
+                    // Phase 2 stays on this thread: netlist extraction time
+                    // is charged by first-touch misses, which must be
+                    // observed in selection order to stay
+                    // schedule-oblivious.
+                    let first =
+                        match create_project_with(db, netlist_cache, pf, &dfg, &cand, &cand_tel) {
+                            Ok(pair) => {
+                                // The overlay fast path assembles here too:
+                                // cell mapping is a pure function of the
+                                // project, and its outcome gates finalize
+                                // decisions, so it stays in dispatch order.
+                                if overlay.is_none() {
+                                    if let Some(lib) = &config.overlay {
+                                        match map_overlay(lib, &pair.0) {
+                                            Ok(m) => {
+                                                overlay = Some(OverlayPrep {
+                                                    hw_cycles: machine.ci_cycles(&m.timing),
+                                                    entry: CachedCi {
+                                                        signature,
+                                                        bitstream: m.bitstream,
+                                                        timing: m.timing,
+                                                        generation_time: m.assembly_time,
+                                                        tier: InstallTier::Overlay,
+                                                    },
+                                                    assembly: m.assembly_time,
+                                                    cache_hit: false,
+                                                });
+                                            }
+                                            Err(e) => {
+                                                // Unmappable candidate:
+                                                // fall back to full-only.
+                                                cand_tel.event(
+                                                    "overlay.unmapped",
+                                                    &[
+                                                        ("signature", TelValue::U64(signature)),
+                                                        ("error", TelValue::Str(e.to_string())),
+                                                    ],
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                                FirstAttempt::Ready(Box::new(pair))
+                            }
+                            Err(e) => FirstAttempt::Failed(e),
+                        };
+                    jobs.push(CadJob {
+                        prep: prepared.len(),
+                        pool: jobs.len(),
+                        first,
+                        tel: cand_tel,
+                        signature,
+                    });
+                    spans.push(Some(cand_span));
+                    Disposition::Pool(jobs.len() - 1)
+                }
             }
         };
         prepared.push(Prepared {
@@ -909,6 +1110,7 @@ fn begin_session<'a>(
             dfg,
             signature,
             disposition,
+            overlay,
         });
     }
 
@@ -982,6 +1184,10 @@ fn finalize_session(
     let mut newly_quarantined = 0u64;
     let mut fault = Loss::default();
     let mut charges: Vec<SimTime> = Vec::with_capacity(prepared.len());
+    let mut overlay_installs = 0usize;
+    let mut upgrades = 0usize;
+    let mut upgrades_failed = 0usize;
+    let mut total_overlay_time = SimTime::ZERO;
     let max_attempts = config.retry.max_attempts.max(1);
 
     for (prep, mut cand_span) in prepared.into_iter().zip(spans) {
@@ -993,6 +1199,7 @@ fn finalize_session(
             dfg,
             signature,
             disposition,
+            overlay: overlay_prep,
         } = prep;
         let pf = pristine.func(cand.key.func);
         let cand_tel = match &cand_span {
@@ -1072,11 +1279,164 @@ fn finalize_session(
         } = generated;
         retries += gen_retries;
 
-        // Adaptation: the ICAP install, serialized here behind the single
-        // reconfiguration port, continuing the attempt numbering where
-        // generation stopped. Generation survives an install failure: only
-        // the transfer is re-attempted.
-        let result: std::result::Result<u32, Error> = if let Some(e) = error {
+        // ---- Overlay fast path (DESIGN.md §17) ----
+        // Installed serially before the background result is applied: in
+        // deployment the candidate serves at millisecond latency while the
+        // full flow is still in flight. A failed overlay install falls back
+        // to the full-only path; a fresh overlay commit is journaled so a
+        // crash before the upgrade rehydrates the overlay tier.
+        let mut overlay_time = SimTime::ZERO;
+        let mut overlay_saved_per_exec = 0u64;
+        let overlay_slot: Option<(u32, OverlayPrep)> = if let Some(op) = overlay_prep {
+            let mut o_attempt = 0u32;
+            let installed = loop {
+                o_attempt += 1;
+                let inj = config
+                    .faults
+                    .scope(signature ^ OVERLAY_SCOPE_SALT, o_attempt);
+                match install_overlay(&op, &inj, pf, &dfg, &cand, machine, &cand_tel) {
+                    Ok(slot) => break Some(slot),
+                    Err((e, waste)) => {
+                        loss.absorb(waste);
+                        if o_attempt >= max_attempts {
+                            // The assembly work is wasted along with the
+                            // dead transfers; full-only fallback.
+                            loss.constant += op.assembly;
+                            cand_tel.event(
+                                "overlay.install_failed",
+                                &[
+                                    ("signature", TelValue::U64(signature)),
+                                    ("error", TelValue::Str(e.to_string())),
+                                ],
+                            );
+                            break None;
+                        }
+                        let backoff = config.retry.backoff_for(o_attempt);
+                        loss.backoff += backoff;
+                        retries += 1;
+                        tel.add(names::PIPELINE_RETRIES, 1);
+                        cand_tel.event(
+                            "candidate.retry",
+                            &[
+                                ("signature", TelValue::U64(signature)),
+                                ("attempt", TelValue::U64(o_attempt as u64)),
+                                ("backoff_ns", TelValue::U64(backoff.as_nanos())),
+                                ("error", TelValue::Str(e.to_string())),
+                            ],
+                        );
+                    }
+                }
+            };
+            match installed {
+                Some(slot) => {
+                    // Savings under the overlay clock: the software cycles
+                    // (`saved_per_exec + hw_cycles`) minus the overlay's
+                    // own cycle count — floored at zero for candidates the
+                    // degraded fabric cannot beat.
+                    overlay_saved_per_exec = saved_per_exec
+                        .saturating_add(hw_cycles)
+                        .saturating_sub(op.hw_cycles);
+                    overlay_time = op.assembly;
+                    overlay_installs += 1;
+                    tel.add(names::OVERLAY_INSTALLS, 1);
+                    cand_tel.event(
+                        "overlay.installed",
+                        &[
+                            ("signature", TelValue::U64(signature)),
+                            ("slot", TelValue::U64(slot as u64)),
+                        ],
+                    );
+                    // Journal the overlay commit now: a crash before the
+                    // upgrade lands must rehydrate this tier.
+                    if !op.cache_hit {
+                        if let Some(store) = &config.store {
+                            let _ = store.append(Record::CacheEntry(op.entry.clone().into()));
+                        }
+                    }
+                    Some((slot, op))
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        total_overlay_time += overlay_time;
+
+        // Adaptation: the ICAP install — or, on the two-tier path, the
+        // upgrade swap — serialized here behind the single reconfiguration
+        // port, continuing the attempt numbering where generation stopped.
+        // Generation survives an install failure: only the transfer is
+        // re-attempted.
+        let mut tier = InstallTier::Full;
+        let mut upgraded = false;
+        let result: std::result::Result<u32, Error> = if let Some((oslot, op)) = overlay_slot {
+            if let Some(e) = error {
+                // The background generation exhausted its retries while
+                // the overlay serves correct answers: the candidate
+                // *succeeds* at the overlay tier. The generation waste
+                // stays on the fault ledger, and the overlay entry is
+                // committed to the in-memory cache so the next session
+                // rehydrates the fast path instead of starting cold.
+                tier = InstallTier::Overlay;
+                cand_tel.event(
+                    "overlay.retained",
+                    &[
+                        ("signature", TelValue::U64(signature)),
+                        ("error", TelValue::Str(e.to_string())),
+                    ],
+                );
+                if config.use_cache {
+                    bitstream_cache.put(op.entry.clone());
+                }
+                Ok(oslot)
+            } else {
+                loop {
+                    let p = produced.as_ref().expect("generation succeeded");
+                    let inj = config.faults.scope(signature, attempt);
+                    match upgrade_produced(p, &inj, machine, signature, hw_cycles, &cand_tel) {
+                        Ok(slot) => {
+                            upgraded = true;
+                            upgrades += 1;
+                            break Ok(slot);
+                        }
+                        Err((e, waste)) => {
+                            loss.absorb(waste);
+                            if attempt >= max_attempts {
+                                // Swap abandoned: the overlay keeps
+                                // serving. The full artifact stays cached
+                                // (and journaled below), so the next
+                                // session upgrades from a clean start.
+                                tier = InstallTier::Overlay;
+                                upgrades_failed += 1;
+                                tel.add(names::OVERLAY_UPGRADES_FAILED, 1);
+                                cand_tel.event(
+                                    "overlay.upgrade_abandoned",
+                                    &[
+                                        ("signature", TelValue::U64(signature)),
+                                        ("error", TelValue::Str(e.to_string())),
+                                    ],
+                                );
+                                break Ok(oslot);
+                            }
+                            let backoff = config.retry.backoff_for(attempt);
+                            loss.backoff += backoff;
+                            retries += 1;
+                            tel.add(names::PIPELINE_RETRIES, 1);
+                            cand_tel.event(
+                                "candidate.retry",
+                                &[
+                                    ("signature", TelValue::U64(signature)),
+                                    ("attempt", TelValue::U64(attempt as u64)),
+                                    ("backoff_ns", TelValue::U64(backoff.as_nanos())),
+                                    ("error", TelValue::Str(e.to_string())),
+                                ],
+                            );
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+        } else if let Some(e) = error {
             Err(e)
         } else {
             loop {
@@ -1116,48 +1476,66 @@ fn finalize_session(
 
         match result {
             Ok(slot) => {
-                let p = produced
-                    .take()
-                    .expect("successful attempt produced an entry");
-                if p.cache_hit {
-                    cache_hits += 1;
-                    tel.add(names::BITSTREAM_CACHE_HITS, 1);
-                } else {
-                    tel.add(names::BITSTREAM_CACHE_MISSES, 1);
-                    // Commit the freshly generated implementation to the
-                    // persistent store (cache hits were journaled by the
-                    // session that generated them). Fire-and-forget: a
-                    // dead store must never fail the candidate.
-                    if let Some(store) = &config.store {
-                        let _ = store.append(Record::CacheEntry(p.entry.clone().into()));
+                // `produced` is absent on the overlay-retained path (the
+                // background generation failed and the overlay serves).
+                let (p_cache_hit, p_c2v, p_const, p_map, p_par) = match produced.take() {
+                    Some(p) => {
+                        if p.cache_hit {
+                            cache_hits += 1;
+                            tel.add(names::BITSTREAM_CACHE_HITS, 1);
+                        } else {
+                            tel.add(names::BITSTREAM_CACHE_MISSES, 1);
+                            // Commit the freshly generated implementation
+                            // to the persistent store (cache hits were
+                            // journaled by the session that generated
+                            // them). Fire-and-forget: a dead store must
+                            // never fail the candidate.
+                            if let Some(store) = &config.store {
+                                let _ = store.append(Record::CacheEntry(p.entry.clone().into()));
+                            }
+                        }
+                        const_time += p.c2v + p.const_stages;
+                        map_time += p.map;
+                        par_time += p.par;
+                        (p.cache_hit, p.c2v, p.const_stages, p.map, p.par)
                     }
-                }
-                const_time += p.c2v + p.const_stages;
-                map_time += p.map;
-                par_time += p.par;
+                    None => (
+                        false,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                    ),
+                };
                 fault.absorb(loss);
-                let charge = p.total() + loss.total();
+                let charge = p_c2v + p_const + p_map + p_par + loss.total() + overlay_time;
                 if let Some(mut span) = cand_span.take() {
                     span.set_sim_time(charge);
-                    span.field("cache_hit", TelValue::Bool(p.cache_hit));
+                    span.field("cache_hit", TelValue::Bool(p_cache_hit));
                     span.field("slot", TelValue::U64(slot as u64));
                     span.field("attempts", TelValue::U64(attempt as u64));
+                    span.field("tier", TelValue::Str(tier.name().into()));
+                    span.field("upgraded", TelValue::Bool(upgraded));
                 }
                 charges.push(charge);
                 outcomes.push(CandidateOutcome {
                     key: cand.key,
                     size: cand.len(),
                     signature,
-                    cache_hit: p.cache_hit,
-                    c2v: p.c2v,
-                    const_stages: p.const_stages,
-                    map: p.map,
-                    par: p.par,
+                    cache_hit: p_cache_hit,
+                    c2v: p_c2v,
+                    const_stages: p_const,
+                    map: p_map,
+                    par: p_par,
                     slot,
                     saved_per_exec,
                     exec_count,
                     attempts: attempt,
                     time_lost: loss.total(),
+                    tier,
+                    overlay_time,
+                    upgraded,
+                    overlay_saved_per_exec,
                 });
             }
             Err(e) => {
@@ -1200,11 +1578,14 @@ fn finalize_session(
                 );
                 fault.absorb(loss);
                 if let Some(mut span) = cand_span.take() {
-                    span.set_sim_time(loss.total());
+                    // `overlay_time` is non-zero here only when patching
+                    // failed after a successful overlay install; the charge
+                    // keeps the lane ledger reconciling exactly.
+                    span.set_sim_time(loss.total() + overlay_time);
                     span.field("failed", TelValue::Bool(true));
                     span.field("attempts", TelValue::U64(attempt as u64));
                 }
-                charges.push(loss.total());
+                charges.push(loss.total() + overlay_time);
                 failed.push(FailedCandidate {
                     key: cand.key,
                     size: cand.len(),
@@ -1220,7 +1601,7 @@ fn finalize_session(
 
     let sum_time = const_time + map_time + par_time;
     let cpu_time: SimTime = charges.iter().copied().sum();
-    debug_assert_eq!(cpu_time, sum_time + fault.total());
+    debug_assert_eq!(cpu_time, sum_time + fault.total() + total_overlay_time);
 
     // Journal the cumulative fault-ledger totals (latest-wins on replay).
     if let Some(store) = &config.store {
@@ -1241,6 +1622,8 @@ fn finalize_session(
     root.field("retries", TelValue::U64(retries));
     root.field("cad_workers", TelValue::U64(lanes as u64));
     root.field("makespan_ns", TelValue::U64(makespan.as_nanos()));
+    root.field("overlay_installs", TelValue::U64(overlay_installs as u64));
+    root.field("upgrades", TelValue::U64(upgrades as u64));
     drop(root);
     Ok(SpecializeReport {
         search,
@@ -1261,6 +1644,10 @@ fn finalize_session(
         cpu_time,
         makespan,
         cad_workers: lanes,
+        overlay_installs,
+        upgrades,
+        upgrades_failed,
+        overlay_time: total_overlay_time,
     })
 }
 
@@ -1366,7 +1753,10 @@ mod tests {
         let per_cand: SimTime = r.candidates.iter().map(|c| c.total()).sum();
         assert_eq!(per_cand, r.sum_time);
         assert_eq!(r.sum_time, r.const_time + r.map_time + r.par_time);
-        assert_eq!(r.cpu_time, r.sum_time + r.fault_time());
+        assert_eq!(r.cpu_time, r.sum_time + r.fault_time() + r.overlay_time);
+        assert_eq!(r.overlay_time, SimTime::ZERO, "no overlay library");
+        assert_eq!(r.overlay_installs, 0);
+        assert_eq!(r.upgrades, 0);
         assert_eq!(r.makespan, r.cpu_time, "one lane: makespan is the sum");
         assert_eq!(r.cad_workers, 1);
         assert!(r.reconfig_time > SimTime::ZERO);
@@ -1608,5 +1998,147 @@ mod tests {
             jitise_woolcano::measure_speedup(&base, &m2, &machine2, "main", &[Value::I(999)])
                 .unwrap();
         assert!(meas.speedup > 1.0);
+    }
+
+    fn overlay_config(ctx: &Ctx) -> SpecializeConfig {
+        SpecializeConfig {
+            overlay: Some(Arc::new(OverlayLibrary::from_db(&ctx.db))),
+            ..SpecializeConfig::default()
+        }
+    }
+
+    #[test]
+    fn overlay_two_tier_installs_then_upgrades_to_full() {
+        let ctx = Ctx::new();
+        let base = hot_module();
+        let mut m = base.clone();
+        let p = run_profile(&m, 5_000);
+        let machine = Woolcano::new(16);
+        let cfg = overlay_config(&ctx);
+        let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+        assert!(!r.candidates.is_empty());
+        assert!(r.failed.is_empty(), "{:?}", r.failed);
+        assert_eq!(r.overlay_installs, r.candidates.len());
+        assert_eq!(r.upgrades, r.candidates.len());
+        assert_eq!(r.upgrades_failed, 0);
+        for c in &r.candidates {
+            assert_eq!(c.tier, InstallTier::Full, "background upgrade landed");
+            assert!(c.upgraded);
+            assert!(c.overlay_time > SimTime::ZERO, "fresh assembly charged");
+        }
+        // The install-latency headline: assembling and installing the
+        // overlay is orders of magnitude cheaper than the full CAD flow.
+        assert!(
+            r.sum_time.as_nanos() > 100 * r.overlay_time.as_nanos(),
+            "overlay {} vs full {}",
+            r.overlay_time,
+            r.sum_time
+        );
+        assert_eq!(r.cpu_time, r.sum_time + r.fault_time() + r.overlay_time);
+
+        let meas =
+            jitise_woolcano::measure_speedup(&base, &m, &machine, "main", &[Value::I(5_000)])
+                .unwrap();
+        assert!(meas.speedup > 1.0, "speedup {}", meas.speedup);
+    }
+
+    #[test]
+    fn upgrade_swap_fault_keeps_overlay_serving() {
+        let ctx = Ctx::new();
+        let base = hot_module();
+        let mut m = base.clone();
+        let p = run_profile(&m, 2_000);
+        let machine = Woolcano::new(16);
+        let mut plan = FaultPlan::none(19).with_rate(FaultSite::UpgradeSwap, 1.0);
+        plan.persistent_frac = 1.0; // every swap transfer dies
+        let cfg = SpecializeConfig {
+            faults: FaultInjector::from_plan(plan),
+            ..overlay_config(&ctx)
+        };
+        let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+        assert!(r.failed.is_empty(), "overlay keeps serving: {:?}", r.failed);
+        assert!(!r.candidates.is_empty());
+        assert_eq!(r.upgrades, 0);
+        assert_eq!(r.upgrades_failed, r.candidates.len());
+        for c in &r.candidates {
+            assert_eq!(c.tier, InstallTier::Overlay, "swap never landed");
+            assert!(!c.upgraded);
+        }
+        assert!(r.fault_icap_time > SimTime::ZERO, "dead swaps ledgered");
+        assert!(
+            r.sum_time > SimTime::ZERO,
+            "full generation still succeeded"
+        );
+        assert!(
+            cfg.quarantine.is_empty(),
+            "a serving slot never quarantines"
+        );
+
+        // The overlay tier computes the same answers as software.
+        jitise_woolcano::measure_speedup(&base, &m, &machine, "main", &[Value::I(777)]).unwrap();
+    }
+
+    #[test]
+    fn worker_count_invariance_holds_with_overlay() {
+        let run = |workers: usize| {
+            let ctx = Ctx::new();
+            let mut m = hot_module();
+            let p = run_profile(&m, 2_000);
+            let machine = Woolcano::new(16);
+            let cfg = SpecializeConfig {
+                cad_workers: workers,
+                ..overlay_config(&ctx)
+            };
+            let r = specialize_with(&ctx, &mut m, &p, &machine, &cfg);
+            (r.fingerprint(), m)
+        };
+        let (f1, m1) = run(1);
+        let (f2, m2) = run(2);
+        let (f8, m8) = run(8);
+        assert_eq!(f1, f2);
+        assert_eq!(f1, f8);
+        assert_eq!(m1, m2, "patched modules identical");
+        assert_eq!(m1, m8);
+    }
+
+    #[test]
+    fn overlay_cache_entry_rehydrates_fast_path_and_upgrades() {
+        let ctx = Ctx::new();
+        // Session 1: generation is persistently dead; the overlay serves
+        // and its entry is committed to the cache at the overlay tier.
+        let mut m1 = hot_module();
+        let p1 = run_profile(&m1, 2_000);
+        let machine1 = Woolcano::new(16);
+        let mut plan = FaultPlan::none(23).with_rate(FaultSite::CadMap, 1.0);
+        plan.persistent_frac = 1.0;
+        let cfg1 = SpecializeConfig {
+            faults: FaultInjector::from_plan(plan),
+            ..overlay_config(&ctx)
+        };
+        let r1 = specialize_with(&ctx, &mut m1, &p1, &machine1, &cfg1);
+        assert!(r1.failed.is_empty(), "{:?}", r1.failed);
+        assert!(!r1.candidates.is_empty());
+        assert!(r1.candidates.iter().all(|c| c.tier == InstallTier::Overlay));
+        assert_eq!(r1.sum_time, SimTime::ZERO, "no full generation landed");
+        assert!(r1.overlay_time > SimTime::ZERO);
+        assert!(
+            cfg1.quarantine.is_empty(),
+            "served candidates never quarantine"
+        );
+
+        // Session 2 (fault-free, shared caches): the overlay entry serves
+        // the fast path for free — no re-assembly — and the full flow
+        // finishes the upgrade.
+        let mut m2 = hot_module();
+        let p2 = run_profile(&m2, 2_000);
+        let machine2 = Woolcano::new(16);
+        let cfg2 = overlay_config(&ctx);
+        let r2 = specialize_with(&ctx, &mut m2, &p2, &machine2, &cfg2);
+        assert!(r2.failed.is_empty(), "{:?}", r2.failed);
+        assert_eq!(r2.overlay_installs, r2.candidates.len());
+        assert_eq!(r2.upgrades, r2.candidates.len());
+        assert!(r2.candidates.iter().all(|c| c.tier == InstallTier::Full));
+        assert_eq!(r2.overlay_time, SimTime::ZERO, "rehydrated: no assembly");
+        assert!(r2.sum_time > SimTime::ZERO, "the full flow still ran");
     }
 }

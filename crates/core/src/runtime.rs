@@ -22,6 +22,7 @@ use crate::evaluation::EvalContext;
 use crate::pipeline::{specialize, SpecializeConfig, SpecializeReport};
 use jitise_base::hash::SigHasher;
 use jitise_base::{Error, Result, SimTime};
+use jitise_cad::OverlayLibrary;
 use jitise_faults::{FaultInjector, FaultSite, Quarantine, RetryPolicy};
 use jitise_ir::Module;
 use jitise_ise::{SearchConfig, SearchMemo};
@@ -93,6 +94,13 @@ pub struct AdaptiveOptions {
     /// bit-identical in results, cycles, and profiles, so fingerprints
     /// are unchanged; only host wall-clock improves.
     pub vm_tier: VmTier,
+    /// Optional overlay cell library enabling two-tier installation in
+    /// every specialization this session runs (initial install and storm
+    /// re-specializations alike): candidates go live on a millisecond
+    /// cell-assembly overlay while the full CAD flow runs as a background
+    /// upgrade (DESIGN.md §17). `None` (the default) keeps the session
+    /// byte-identical to the full-only pipeline.
+    pub overlay: Option<Arc<OverlayLibrary>>,
 }
 
 impl Default for AdaptiveOptions {
@@ -107,6 +115,7 @@ impl Default for AdaptiveOptions {
             search_memo: None,
             store: None,
             vm_tier: VmTier::Interp,
+            overlay: None,
         }
     }
 }
@@ -489,6 +498,7 @@ pub fn run_adaptive_with(
         let worker_quarantine = Arc::clone(&options.quarantine);
         let worker_store = options.store.clone();
         let worker_tier = tier;
+        let worker_overlay = options.overlay.clone();
         let watchdog = options.watchdog;
         scope.spawn(move || {
             let wspan = worker_tel.span("runtime.worker");
@@ -535,6 +545,7 @@ pub fn run_adaptive_with(
                         cad_workers: worker_lanes,
                         store: worker_store,
                         vm_tier: worker_tier,
+                        overlay: worker_overlay,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -860,6 +871,7 @@ pub fn run_storm(
         let worker_quarantine = Arc::clone(&options.base.quarantine);
         let worker_store = options.base.store.clone();
         let worker_tier = tier;
+        let worker_overlay = options.base.overlay.clone();
         let worker_slots = options.slots;
         let watchdog = options.base.watchdog;
         scope.spawn(move || {
@@ -900,6 +912,7 @@ pub fn run_storm(
                         cad_workers: worker_lanes,
                         store: worker_store,
                         vm_tier: worker_tier,
+                        overlay: worker_overlay,
                         ..SpecializeConfig::default()
                     },
                 )
@@ -1103,6 +1116,7 @@ pub fn run_storm(
                         cad_workers: options.base.cad_workers,
                         store: options.base.store.clone(),
                         vm_tier: tier,
+                        overlay: options.base.overlay.clone(),
                         ..SpecializeConfig::default()
                     },
                 )
@@ -1399,6 +1413,113 @@ mod tests {
         assert_eq!(got.fingerprint(), want.fingerprint());
     }
 
+    fn overlay_lib(ctx: &EvalContext) -> Option<Arc<OverlayLibrary>> {
+        Some(Arc::new(OverlayLibrary::from_db(&ctx.db)))
+    }
+
+    #[test]
+    fn adaptive_overlay_session_installs_fast_then_upgrades() {
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let m = hot_module();
+        let opts = AdaptiveOptions {
+            overlay: overlay_lib(&ctx),
+            ..AdaptiveOptions::default()
+        };
+        let out =
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(3_000)], 6, 2, &opts).unwrap();
+        assert!(out.degraded.is_none());
+        let report = out.report.as_ref().unwrap();
+        assert!(!report.candidates.is_empty());
+        assert_eq!(report.overlay_installs, report.candidates.len());
+        assert_eq!(report.upgrades, report.candidates.len());
+        assert!(report
+            .candidates
+            .iter()
+            .all(|c| c.tier == jitise_cad::InstallTier::Full && c.upgraded));
+        assert!(out.observed_speedup > 1.0);
+
+        // Two-tier or not, the workload's answers never change.
+        let ctx2 = EvalContext::new();
+        let cache2 = BitstreamCache::new();
+        let base = run_adaptive(&ctx2, &cache2, &m, "main", &[Value::I(3_000)], 6, 2).unwrap();
+        assert_eq!(out.results, base.results);
+    }
+
+    #[test]
+    fn warm_restart_rehydrates_overlay_tier_and_upgrades() {
+        use jitise_store::{Store, StoreOptions, TempDir};
+        let tmp = TempDir::new("runtime-warm-overlay");
+        let m = hot_module();
+
+        // Session 1: full generation is persistently dead, so every
+        // candidate is served by the overlay and journaled at the overlay
+        // tier.
+        {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+            let mut plan = FaultPlan::none(29).with_rate(FaultSite::CadMap, 1.0);
+            plan.persistent_frac = 1.0;
+            let opts = AdaptiveOptions {
+                store: Some(Arc::clone(&store)),
+                faults: FaultInjector::from_plan(plan),
+                overlay: overlay_lib(&ctx),
+                ..AdaptiveOptions::default()
+            };
+            let out = run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2, &opts)
+                .unwrap();
+            assert!(out.degraded.is_none(), "the overlay must carry the session");
+            let report = out.report.as_ref().unwrap();
+            assert!(!report.candidates.is_empty());
+            assert!(report
+                .candidates
+                .iter()
+                .all(|c| c.tier == jitise_cad::InstallTier::Overlay));
+            let state = store.state();
+            assert!(!state.entries.is_empty(), "overlay commits must journal");
+            assert!(
+                state
+                    .entries
+                    .values()
+                    .all(|r| r.tier == jitise_cad::InstallTier::Overlay),
+                "the journal must record the overlay tier"
+            );
+        }
+
+        // Session 2: simulated restart — fresh cache, store recovered from
+        // disk, faults gone. The rehydrated overlay entries serve the fast
+        // path with zero re-assembly and every candidate upgrades to Full.
+        let ctx = EvalContext::new();
+        let cache = BitstreamCache::new();
+        let store = Arc::new(Store::open_with(tmp.path(), StoreOptions::default()).unwrap());
+        let opts = AdaptiveOptions {
+            store: Some(Arc::clone(&store)),
+            overlay: overlay_lib(&ctx),
+            ..AdaptiveOptions::default()
+        };
+        let out =
+            run_adaptive_with(&ctx, &cache, &m, "main", &[Value::I(1_000)], 4, 2, &opts).unwrap();
+        let report = out.report.as_ref().unwrap();
+        assert_eq!(report.overlay_installs, report.candidates.len());
+        assert_eq!(report.upgrades, report.candidates.len());
+        assert!(report
+            .candidates
+            .iter()
+            .all(|c| c.tier == jitise_cad::InstallTier::Full));
+        assert_eq!(
+            report.overlay_time,
+            SimTime::ZERO,
+            "rehydrated entries need no re-assembly"
+        );
+        // The journal now carries the full-tier artifact for session 3.
+        assert!(store
+            .state()
+            .entries
+            .values()
+            .all(|r| r.tier == jitise_cad::InstallTier::Full));
+    }
+
     #[test]
     fn storeless_session_is_byte_identical_to_default() {
         let m = hot_module();
@@ -1529,6 +1650,33 @@ mod tests {
         };
         let base = fp(1);
         assert_eq!(base, fp(4), "cad_workers must never change observables");
+    }
+
+    #[test]
+    fn storm_fingerprint_invariant_across_cad_workers_with_overlay() {
+        let m = storm_module(false);
+        let schedule = [seg(0, 6), seg(1, 8)];
+        let fp = |lanes: usize| {
+            let ctx = EvalContext::new();
+            let cache = BitstreamCache::new();
+            let opts = StormOptions {
+                base: AdaptiveOptions {
+                    cad_workers: lanes,
+                    overlay: overlay_lib(&ctx),
+                    ..AdaptiveOptions::default()
+                },
+                ..storm_options()
+            };
+            let out = run_storm(&ctx, &cache, &m, "main", &schedule, &opts).unwrap();
+            assert!(
+                out.reports.iter().any(|r| r.overlay_installs > 0),
+                "the two-tier path must actually engage"
+            );
+            out.fingerprint()
+        };
+        let base = fp(1);
+        assert_eq!(base, fp(2), "two lanes must not change observables");
+        assert_eq!(base, fp(8), "eight lanes must not change observables");
     }
 
     #[test]

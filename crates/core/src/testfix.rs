@@ -20,6 +20,7 @@ pub fn sample_cached_ci(sig: u64) -> CachedCi {
         bitstream,
         timing,
         generation_time: SimTime::from_secs(220),
+        tier: jitise_cad::InstallTier::Full,
     }
 }
 

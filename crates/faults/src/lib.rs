@@ -58,11 +58,16 @@ pub enum FaultSite {
     /// platters (silent media corruption): the in-session write succeeds,
     /// but recovery must CRC-drop the record instead of trusting it.
     StoreWal,
+    /// The atomic tier swap that replaces an installed overlay CI with
+    /// its fully routed upgrade: the ICAP transfer of the upgrade
+    /// bitstream corrupts, the CRC check rejects it, and the slot keeps
+    /// the overlay tier (still correct, just slower).
+    UpgradeSwap,
 }
 
 impl FaultSite {
     /// Every site, in stable order (indexes [`FaultPlan`] rate storage).
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::CadSynthesis,
         FaultSite::CadMap,
         FaultSite::CadPlace,
@@ -73,6 +78,7 @@ impl FaultSite {
         FaultSite::WorkerStall,
         FaultSite::WorkerDeath,
         FaultSite::StoreWal,
+        FaultSite::UpgradeSwap,
     ];
 
     /// Stable short name (telemetry fields, error messages).
@@ -88,6 +94,7 @@ impl FaultSite {
             FaultSite::WorkerStall => "worker.stall",
             FaultSite::WorkerDeath => "worker.death",
             FaultSite::StoreWal => "store.wal",
+            FaultSite::UpgradeSwap => "upgrade.swap",
         }
     }
 

@@ -31,6 +31,7 @@ use jitise_base::hash::SigHasher;
 use jitise_base::par::parallel_map_indexed;
 use jitise_base::{Result, SimTime};
 use jitise_cad::sched::{drr_dispatch, round_bound, DrrConfig, PoolJob};
+use jitise_cad::OverlayLibrary;
 use jitise_core::{
     BitstreamCache, DegradedReason, EvalContext, SpecializeConfig, SpecializeReport,
     SpecializeSession, WorkloadSession,
@@ -78,6 +79,12 @@ pub struct ServeConfig {
     pub kernels: u32,
     /// Kernel loop trip count (workload size knob).
     pub hot_iters: i32,
+    /// Build every workload with near-duplicate kernels: structurally
+    /// distinct blocks (distinct candidate signatures) with near-equal
+    /// hotness. Combined with a small [`Self::cache_capacity`] this is
+    /// the seeded cache-thrash scenario — many same-shaped signatures
+    /// competing for few shared slots (ROADMAP item 5).
+    pub near_duplicate: bool,
     /// Shared-cache capacity in entries; beyond it the oldest fresh
     /// entry is evicted (and journaled as a [`Record::Evict`]
     /// tombstone).
@@ -94,6 +101,11 @@ pub struct ServeConfig {
     pub store: Option<Arc<Store>>,
     /// Workload execution tier.
     pub vm_tier: VmTier,
+    /// Optional overlay cell library: every tenant's specialization uses
+    /// two-tier installation (millisecond overlay install + full-CAD
+    /// background upgrade, DESIGN.md §17). `None` keeps the fleet
+    /// byte-identical to the full-only pipeline.
+    pub overlay: Option<Arc<OverlayLibrary>>,
     /// Observability sink.
     pub telemetry: Telemetry,
 }
@@ -115,10 +127,12 @@ impl Default for ServeConfig {
             hot_iters: 40,
             cache_capacity: 64,
             quantum: SimTime::from_secs(60),
+            near_duplicate: false,
             faults: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             store: None,
             vm_tier: VmTier::Interp,
+            overlay: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -142,6 +156,11 @@ pub struct TenantOutcome {
     pub failed: u32,
     /// Pipeline retries burned.
     pub retries: u64,
+    /// Candidates that went live on the overlay fast path (two-tier
+    /// installation; zero without [`ServeConfig::overlay`]).
+    pub overlay_installs: u32,
+    /// Overlay installs whose background full-CAD upgrade landed.
+    pub upgrades: u32,
     /// Schedule-invariant total tool time of this tenant's
     /// specialization ([`SimTime::ZERO`] when it never specialized).
     pub cpu_time: SimTime,
@@ -190,6 +209,10 @@ pub struct ServeOutcome {
     pub cache_hits: u64,
     /// Freshly generated candidates across the fleet.
     pub fresh: u64,
+    /// Overlay fast-path installs across the fleet.
+    pub overlay_installs: u64,
+    /// Completed full-CAD background upgrades across the fleet.
+    pub upgrades: u64,
     /// Shared-cache evictions (capacity policy), each journaled.
     pub evictions: u64,
     /// The store's committed-state fingerprint after the run (`None`
@@ -209,13 +232,15 @@ impl ServeOutcome {
         for t in &self.tenants {
             h.write_u64(t.id);
             h.write_str(&format!(
-                "{:?}|{:?}|{}|{}|{}|{}|{}|{:016x}|{:?}",
+                "{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}",
                 t.admission,
                 t.degraded,
                 t.cache_hits,
                 t.fresh,
                 t.failed,
                 t.retries,
+                t.overlay_installs,
+                t.upgrades,
                 t.cpu_time.as_nanos(),
                 t.speedup_bits,
                 t.results,
@@ -223,7 +248,7 @@ impl ServeOutcome {
         }
         format!(
             "tenants={} admitted={} deferred={} shed={} degraded={} hits={} fresh={} \
-             evict={} store={} digest={:016x}",
+             ovl={} upg={} evict={} store={} digest={:016x}",
             self.tenants.len(),
             self.admitted,
             self.deferred,
@@ -231,6 +256,8 @@ impl ServeOutcome {
             self.degraded,
             self.cache_hits,
             self.fresh,
+            self.overlay_installs,
+            self.upgrades,
             self.evictions,
             self.store_fingerprint.as_deref().unwrap_or("none"),
             h.finish(),
@@ -242,7 +269,12 @@ impl ServeOutcome {
 /// [`run_serve`] per workload seed — same seed, same module, same
 /// candidate signatures, shared cache entries). Public so tests and
 /// benches can construct the byte-identical software-only reference.
-pub fn workload_module(spec: &TenantSpec, kernels: u32, hot_iters: i32) -> Module {
+pub fn workload_module(
+    spec: &TenantSpec,
+    kernels: u32,
+    hot_iters: i32,
+    near_duplicate: bool,
+) -> Module {
     jitise_apps::build_phased(&jitise_apps::PhasedSpec {
         seed: spec.workload_seed,
         kernels: kernels.max(1),
@@ -250,7 +282,7 @@ pub fn workload_module(spec: &TenantSpec, kernels: u32, hot_iters: i32) -> Modul
         block_ins: 48,
         seg_len: 6,
         hot_iters: hot_iters.max(1),
-        near_duplicate: false,
+        near_duplicate,
     })
 }
 
@@ -358,7 +390,14 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
         let admission = admissions[i];
         let module = modules
             .entry(spec.workload_seed)
-            .or_insert_with(|| workload_module(spec, config.kernels, config.hot_iters))
+            .or_insert_with(|| {
+                workload_module(
+                    spec,
+                    config.kernels,
+                    config.hot_iters,
+                    config.near_duplicate,
+                )
+            })
             .clone();
         let args = [Value::I(spec.sel), Value::I(2)];
 
@@ -400,6 +439,7 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
                     cad_workers: config.cad_workers,
                     store: config.store.clone(),
                     vm_tier: config.vm_tier,
+                    overlay: config.overlay.clone(),
                     ..SpecializeConfig::default()
                 };
                 let mut m = module.clone();
@@ -468,10 +508,13 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
                 SimTime::from_micros(admission.admitted_at_us().expect("report implies admitted"));
             let jobs = tenant_jobs.entry(spec.id).or_default();
             for c in &r.candidates {
+                // Two-tier candidates charge the overlay assembly too:
+                // both the fast install and its full-CAD upgrade occupy
+                // the shared pool.
                 let charge = if c.cache_hit {
                     c.time_lost
                 } else {
-                    c.total() + c.time_lost
+                    c.total() + c.time_lost + c.overlay_time
                 };
                 if charge > SimTime::ZERO {
                     jobs.push(pool_jobs.len());
@@ -513,6 +556,8 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
             }),
             failed: report.as_ref().map_or(0, |r| r.failed.len() as u32),
             retries: report.as_ref().map_or(0, |r| r.retries),
+            overlay_installs: report.as_ref().map_or(0, |r| r.overlay_installs as u32),
+            upgrades: report.as_ref().map_or(0, |r| r.upgrades as u32),
             cpu_time: report.as_ref().map_or(SimTime::ZERO, |r| r.cpu_time),
             speedup_bits: ws.observed_speedup().to_bits(),
             results: ws.into_results(),
@@ -580,6 +625,8 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
     let mut degraded_n = 0u32;
     let mut cache_hits = 0u64;
     let mut fresh = 0u64;
+    let mut overlay_installs = 0u64;
+    let mut upgrades = 0u64;
     for t in &tenants {
         match t.admission {
             Admission::Admitted { .. } => admitted += 1,
@@ -591,6 +638,8 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
         }
         cache_hits += t.cache_hits as u64;
         fresh += t.fresh as u64;
+        overlay_installs += t.overlay_installs as u64;
+        upgrades += t.upgrades as u64;
     }
     tel.add(names::SERVE_ADMITTED, (admitted + deferred) as u64);
     tel.add(names::SERVE_DEFERRED, deferred as u64);
@@ -611,6 +660,8 @@ pub fn run_serve(ctx: &EvalContext, config: &ServeConfig) -> Result<ServeOutcome
         degraded: degraded_n,
         cache_hits,
         fresh,
+        overlay_installs,
+        upgrades,
         evictions,
         store_fingerprint,
         timing,

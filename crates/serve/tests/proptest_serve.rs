@@ -106,7 +106,12 @@ proptest! {
         );
         for t in &out.tenants {
             let spec = &specs[t.id as usize];
-            let m = workload_module(spec, config.kernels, config.hot_iters);
+            let m = workload_module(
+                spec,
+                config.kernels,
+                config.hot_iters,
+                config.near_duplicate,
+            );
             let args = [Value::I(spec.sel), Value::I(2)];
             let want = Interpreter::new(&m).run("main", &args).unwrap().ret;
             for (run, got) in t.results.iter().enumerate() {

@@ -53,7 +53,12 @@ fn software_reference(config: &ServeConfig) -> Vec<Vec<Option<Value>>> {
     specs
         .iter()
         .map(|spec| {
-            let m = workload_module(spec, config.kernels, config.hot_iters);
+            let m = workload_module(
+                spec,
+                config.kernels,
+                config.hot_iters,
+                config.near_duplicate,
+            );
             let args = [Value::I(spec.sel), Value::I(2)];
             (0..config.runs_per_tenant)
                 .map(|_| Interpreter::new(&m).run("main", &args).unwrap().ret)
@@ -180,6 +185,74 @@ fn deadline_exhaustion_degrades_only_that_tenant_tier() {
     )
     .unwrap();
     assert_eq!(out.fingerprint(), out8.fingerprint());
+}
+
+/// Acceptance criterion for two-tier installation at fleet scale: with
+/// the overlay enabled, the whole lane-invariant outcome — overlay
+/// installs, upgrades, answers — is bit-identical across pool widths.
+#[test]
+fn overlay_fleet_is_bit_identical_across_pool_widths() {
+    let config_for = |w: usize| {
+        let ctx = EvalContext::new();
+        let overlay = Some(Arc::new(jitise_cad::OverlayLibrary::from_db(&ctx.db)));
+        (
+            ctx,
+            ServeConfig {
+                overlay,
+                ..small_config(2011, w, None)
+            },
+        )
+    };
+    let outs: Vec<ServeOutcome> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            let (ctx, config) = config_for(w);
+            run_serve(&ctx, &config).unwrap()
+        })
+        .collect();
+    assert!(
+        outs[0].overlay_installs >= 1,
+        "the two-tier path must engage"
+    );
+    assert!(outs[0].upgrades >= 1, "background upgrades must land");
+    let fp = outs[0].fingerprint();
+    for out in &outs[1..] {
+        assert_eq!(out.fingerprint(), fp, "pool width leaked into outcome");
+    }
+    let (_, config) = config_for(2);
+    assert_all_results_correct(&outs[1], &config);
+}
+
+/// The seeded cache-thrash scenario (ROADMAP item 5): near-duplicate
+/// kernels give every workload distinct same-shaped signatures, and a
+/// tiny shared cache forces them to fight over a few slots. Answers stay
+/// correct and the fleet stays lane-invariant; the thrash shows up as
+/// capacity evictions and lost hits.
+#[test]
+fn near_duplicate_thrash_fleet_stays_correct_and_deterministic() {
+    let thrash_config = |w: usize| ServeConfig {
+        near_duplicate: true,
+        cache_capacity: 2,
+        ..small_config(2011, w, None)
+    };
+    let out = run_serve(&EvalContext::new(), &thrash_config(2)).unwrap();
+    assert!(
+        out.evictions >= 1,
+        "a two-slot cache under thrash must evict"
+    );
+    assert_all_results_correct(&out, &thrash_config(2));
+
+    let out8 = run_serve(&EvalContext::new(), &thrash_config(8)).unwrap();
+    assert_eq!(
+        out.fingerprint(),
+        out8.fingerprint(),
+        "thrash must stay lane-invariant"
+    );
+
+    // The calm control — same fleet, ample cache, no near-duplicates —
+    // keeps more of its hits.
+    let calm = run_serve(&EvalContext::new(), &small_config(2011, 2, None)).unwrap();
+    assert!(calm.evictions == 0, "the control must not thrash");
 }
 
 /// The full crash storm: burst CAD faults (keyed per tenant epoch) while

@@ -11,7 +11,7 @@
 use jitise_base::codec::{Decoder, Encoder};
 use jitise_base::hash::hash_bytes;
 use jitise_base::{Error, Result, SimTime};
-use jitise_cad::{Bitstream, TimingReport};
+use jitise_cad::{Bitstream, InstallTier, TimingReport};
 use std::collections::BTreeMap;
 
 /// A persisted bitstream-cache entry: everything a warm restart needs to
@@ -27,6 +27,12 @@ pub struct CiRecord {
     pub timing: TimingReport,
     /// Total generation time a cache hit on this entry saves.
     pub generation_time: SimTime,
+    /// Which backend produced the bitstream. An `Overlay` record is
+    /// journaled the moment the fast path installs; the `Full` record
+    /// that follows a successful background upgrade upserts over it, so
+    /// WAL replay order rehydrates exactly the tier the crash left
+    /// installed.
+    pub tier: InstallTier,
 }
 
 /// Cumulative fault-ledger totals across every session that wrote to this
@@ -87,6 +93,7 @@ fn encode_ci(enc: &mut Encoder, e: &CiRecord) {
     enc.put_varu32(e.timing.critical_cells);
     enc.put_varu32(e.timing.meets_300mhz as u32);
     enc.put_u64(e.generation_time.as_nanos());
+    enc.put_varu32(e.tier.encode());
 }
 
 fn decode_ci(dec: &mut Decoder<'_>) -> Result<CiRecord> {
@@ -100,6 +107,7 @@ fn decode_ci(dec: &mut Decoder<'_>) -> Result<CiRecord> {
     let critical_cells = dec.get_varu32()?;
     let meets_300mhz = dec.get_varu32()? != 0;
     let generation_time = SimTime::from_nanos(dec.get_u64()?);
+    let tier = InstallTier::decode(dec.get_varu32()?)?;
     Ok(CiRecord {
         signature,
         bitstream: Bitstream {
@@ -115,6 +123,7 @@ fn decode_ci(dec: &mut Decoder<'_>) -> Result<CiRecord> {
             meets_300mhz,
         },
         generation_time,
+        tier,
     })
 }
 

@@ -3,7 +3,7 @@
 use crate::record::CiRecord;
 use jitise_base::codec::{crc32, Encoder};
 use jitise_base::SimTime;
-use jitise_cad::{Bitstream, TimingReport};
+use jitise_cad::{Bitstream, InstallTier, TimingReport};
 
 /// A minimal structurally valid bitstream (sync word, one frame, CRC
 /// trailer) whose payload varies with `seed`, so `Bitstream::verify`
@@ -42,5 +42,6 @@ pub fn sample_entry(sig: u64) -> CiRecord {
             meets_300mhz: true,
         },
         generation_time: SimTime::from_secs(220),
+        tier: InstallTier::Full,
     }
 }

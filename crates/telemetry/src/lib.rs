@@ -109,6 +109,12 @@ pub mod names {
     pub const ICAP_LOADS: &str = "icap.loads";
     /// CIs evicted from Woolcano slots to make room.
     pub const ICAP_EVICTIONS: &str = "icap.evictions";
+    /// Overlay slots atomically swapped to their fully routed upgrade.
+    pub const ICAP_UPGRADES: &str = "icap.upgrades";
+    /// Overlay fast-path installs (candidates serving before full CAD).
+    pub const OVERLAY_INSTALLS: &str = "overlay.installs";
+    /// Background upgrades abandoned after exhausting swap retries.
+    pub const OVERLAY_UPGRADES_FAILED: &str = "overlay.upgrades_failed";
     /// Faults fired by the deterministic injector (every firing counts,
     /// including repeat firings of one persistent fault across retries).
     pub const FAULTS_INJECTED: &str = "faults.injected";

@@ -10,7 +10,7 @@
 use crate::reconfig::ReconfigController;
 use crate::semantics::CiSemantics;
 use jitise_base::{Error, Result, SimTime};
-use jitise_cad::{Bitstream, TimingReport};
+use jitise_cad::{Bitstream, InstallTier, TimingReport};
 use jitise_ir::{Dfg, Function};
 use jitise_ise::Candidate;
 use jitise_telemetry::{names, Telemetry, Value as TelValue};
@@ -71,13 +71,29 @@ impl Woolcano {
         hw_cycles: u64,
         bitstream: Bitstream,
     ) -> Result<u32> {
+        self.install_tiered(f, dfg, cand, hw_cycles, bitstream, InstallTier::Full)
+    }
+
+    /// [`Self::install`] at an explicit tier: the overlay fast path passes
+    /// [`InstallTier::Overlay`] with the assembled descriptor and the
+    /// overlay-clock `hw_cycles`; the background upgrade later swaps the
+    /// slot via [`Self::upgrade`].
+    pub fn install_tiered(
+        &self,
+        f: &Function,
+        dfg: &Dfg,
+        cand: &Candidate,
+        hw_cycles: u64,
+        bitstream: Bitstream,
+        tier: InstallTier,
+    ) -> Result<u32> {
         let semantics = CiSemantics::freeze(f, dfg, cand)?;
         let signature = cand.signature(f, dfg);
         let mut span = self.telemetry.span("woolcano.install");
         let bytes = bitstream.len() as u64;
         let mut ctl = self.controller.lock().expect("controller lock");
         let (loads0, evictions0, time0) = (ctl.loads, ctl.evictions, ctl.total_reconfig_time);
-        let slot = ctl.load(signature, semantics, hw_cycles, bitstream)?;
+        let slot = ctl.load_tiered(signature, semantics, hw_cycles, bitstream, tier)?;
         let (loads1, evictions1, time1) = (ctl.loads, ctl.evictions, ctl.total_reconfig_time);
         drop(ctl);
         if self.telemetry.is_enabled() {
@@ -90,8 +106,40 @@ impl Woolcano {
             span.set_sim_time(SimTime::from_nanos(time1.as_nanos() - time0.as_nanos()));
             span.field("slot", TelValue::U64(slot as u64));
             span.field("signature", TelValue::U64(signature));
+            span.field("tier", TelValue::Str(tier.name().into()));
         }
         Ok(slot)
+    }
+
+    /// Atomically upgrades an installed overlay CI to its fully routed
+    /// bitstream (CRC-verified before the slot is touched — a corrupt
+    /// upgrade leaves the overlay serving). Returns the slot index.
+    pub fn upgrade(&self, signature: u64, hw_cycles: u64, bitstream: Bitstream) -> Result<u32> {
+        let mut span = self.telemetry.span("woolcano.upgrade");
+        let bytes = bitstream.len() as u64;
+        let mut ctl = self.controller.lock().expect("controller lock");
+        let (upgrades0, time0) = (ctl.upgrades, ctl.total_reconfig_time);
+        let slot = ctl.upgrade(signature, hw_cycles, bitstream)?;
+        let (upgrades1, time1) = (ctl.upgrades, ctl.total_reconfig_time);
+        drop(ctl);
+        if self.telemetry.is_enabled() {
+            if upgrades1 > upgrades0 {
+                self.telemetry
+                    .add(names::ICAP_UPGRADES, upgrades1 - upgrades0);
+                self.telemetry.add(names::ICAP_BYTES, bytes);
+            }
+            span.set_sim_time(SimTime::from_nanos(time1.as_nanos() - time0.as_nanos()));
+            span.field("slot", TelValue::U64(slot as u64));
+            span.field("signature", TelValue::U64(signature));
+        }
+        Ok(slot)
+    }
+
+    /// The tier currently installed for a signature, if loaded.
+    pub fn tier_of(&self, signature: u64) -> Option<InstallTier> {
+        let ctl = self.controller.lock().expect("lock");
+        let slot = ctl.slot_of(signature)?;
+        ctl.get(slot).map(|ci| ci.tier)
     }
 
     /// Slot of an already-loaded CI, by signature.

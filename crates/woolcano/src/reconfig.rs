@@ -8,7 +8,7 @@
 
 use crate::semantics::CiSemantics;
 use jitise_base::{Error, Result, SimTime};
-use jitise_cad::Bitstream;
+use jitise_cad::{Bitstream, InstallTier};
 
 /// ICAP throughput: 32-bit word per cycle at 100 MHz = 400 MB/s
 /// theoretical; sustained practice is lower.
@@ -28,6 +28,10 @@ pub struct LoadedCi {
     pub hw_cycles: u64,
     /// The configuration bitstream.
     pub bitstream: Bitstream,
+    /// Which artifact currently backs the slot: an overlay assembly or
+    /// the fully routed design (see [`Self::hw_cycles`] — the two tiers
+    /// differ only in timing, never in semantics).
+    pub tier: InstallTier,
     /// Load counter for LRU eviction.
     last_use: u64,
 }
@@ -43,6 +47,8 @@ pub struct ReconfigController {
     pub loads: u64,
     /// Number of evictions.
     pub evictions: u64,
+    /// Number of overlay→full tier swaps performed.
+    pub upgrades: u64,
 }
 
 impl ReconfigController {
@@ -55,6 +61,7 @@ impl ReconfigController {
             total_reconfig_time: SimTime::ZERO,
             loads: 0,
             evictions: 0,
+            upgrades: 0,
         }
     }
 
@@ -64,14 +71,35 @@ impl ReconfigController {
         SimTime::from_nanos(ns as u64)
     }
 
-    /// Loads a CI, evicting the least-recently-used slot if full. Returns
-    /// the slot index.
+    /// Loads a fully routed CI ([`InstallTier::Full`]), evicting the
+    /// least-recently-used slot if full. Returns the slot index.
     pub fn load(
         &mut self,
         signature: u64,
         semantics: CiSemantics,
         hw_cycles: u64,
         bitstream: Bitstream,
+    ) -> Result<u32> {
+        self.load_tiered(
+            signature,
+            semantics,
+            hw_cycles,
+            bitstream,
+            InstallTier::Full,
+        )
+    }
+
+    /// Loads a CI at an explicit tier, evicting the least-recently-used
+    /// slot if full. Returns the slot index. A same-signature reload is a
+    /// free refresh and does *not* change the installed tier — upgrades go
+    /// through [`Self::upgrade`], which swaps atomically.
+    pub fn load_tiered(
+        &mut self,
+        signature: u64,
+        semantics: CiSemantics,
+        hw_cycles: u64,
+        bitstream: Bitstream,
+        tier: InstallTier,
     ) -> Result<u32> {
         if !bitstream.verify() {
             return Err(Error::Arch(format!(
@@ -110,9 +138,40 @@ impl ReconfigController {
             semantics,
             hw_cycles,
             bitstream,
+            tier,
             last_use: self.clock,
         });
         Ok(slot as u32)
+    }
+
+    /// Atomically swaps an installed overlay CI for its fully routed
+    /// upgrade. The CRC check runs *before* the slot is touched: a
+    /// corrupted upgrade bitstream leaves the overlay installed and
+    /// serving (still correct, just slower) — there is no window where the
+    /// slot is empty or holds unverified configuration. Charges one ICAP
+    /// transfer for the upgrade bitstream. A slot already at
+    /// [`InstallTier::Full`] is left unchanged (idempotent; no transfer).
+    pub fn upgrade(&mut self, signature: u64, hw_cycles: u64, bitstream: Bitstream) -> Result<u32> {
+        if !bitstream.verify() {
+            return Err(Error::Arch(format!(
+                "upgrade bitstream CRC failure for CI {signature:#018x}"
+            )));
+        }
+        let slot = self.slot_of(signature).ok_or_else(|| {
+            Error::Arch(format!("upgrade target CI {signature:#018x} not installed"))
+        })?;
+        let ci = self.slots[slot as usize].as_mut().expect("occupied");
+        if ci.tier == InstallTier::Full {
+            return Ok(slot);
+        }
+        self.total_reconfig_time += Self::reconfig_time(&bitstream);
+        self.clock += 1;
+        ci.bitstream = bitstream;
+        ci.hw_cycles = hw_cycles;
+        ci.tier = InstallTier::Full;
+        ci.last_use = self.clock;
+        self.upgrades += 1;
+        Ok(slot)
     }
 
     /// Slot currently holding the CI with `signature`.
@@ -234,6 +293,61 @@ mod tests {
         bs.bytes[n / 2] ^= 0x01;
         assert!(ctl.load(sig, sem, 5, bs).is_err());
         assert_eq!(ctl.occupied(), 0);
+    }
+
+    #[test]
+    fn upgrade_swaps_tier_and_charges_one_transfer() {
+        let mut ctl = ReconfigController::new(2);
+        let (sig, sem, bs) = dummy_ci(3);
+        let slot = ctl
+            .load_tiered(sig, sem, 20, bs.clone(), InstallTier::Overlay)
+            .unwrap();
+        assert_eq!(ctl.get(slot).unwrap().tier, InstallTier::Overlay);
+        let t_overlay = ctl.total_reconfig_time;
+
+        let slot2 = ctl.upgrade(sig, 6, bs.clone()).unwrap();
+        assert_eq!(slot, slot2, "upgrade swaps in place");
+        let ci = ctl.get(slot).unwrap();
+        assert_eq!(ci.tier, InstallTier::Full);
+        assert_eq!(ci.hw_cycles, 6, "upgrade installs the full-tier timing");
+        assert!(ctl.total_reconfig_time > t_overlay, "upgrade pays ICAP");
+        assert_eq!(ctl.upgrades, 1);
+
+        // Idempotent: upgrading a full slot is a no-op without a transfer.
+        let t_full = ctl.total_reconfig_time;
+        ctl.upgrade(sig, 6, bs).unwrap();
+        assert_eq!(ctl.total_reconfig_time, t_full);
+        assert_eq!(ctl.upgrades, 1);
+    }
+
+    #[test]
+    fn failed_upgrade_leaves_overlay_slot_untouched() {
+        let mut ctl = ReconfigController::new(2);
+        let (sig, sem, bs) = dummy_ci(4);
+        let slot = ctl
+            .load_tiered(sig, sem, 20, bs.clone(), InstallTier::Overlay)
+            .unwrap();
+        let before = ctl.get(slot).unwrap().clone();
+        let t0 = ctl.total_reconfig_time;
+
+        let mut bad = bs;
+        let n = bad.bytes.len();
+        bad.bytes[n / 2] ^= 0x01;
+        assert!(ctl.upgrade(sig, 6, bad).is_err());
+
+        let after = ctl.get(slot).unwrap();
+        assert_eq!(after.tier, InstallTier::Overlay);
+        assert_eq!(after.hw_cycles, before.hw_cycles);
+        assert_eq!(after.bitstream, before.bitstream);
+        assert_eq!(ctl.total_reconfig_time, t0, "no charge for rejected swap");
+        assert_eq!(ctl.upgrades, 0);
+    }
+
+    #[test]
+    fn upgrade_of_uninstalled_signature_errors() {
+        let mut ctl = ReconfigController::new(2);
+        let (sig, _, bs) = dummy_ci(5);
+        assert!(ctl.upgrade(sig, 6, bs).is_err());
     }
 
     #[test]
